@@ -1,0 +1,84 @@
+// Ablation study on the optimizer design choices DESIGN.md calls out:
+//   1. two-phase engine (min-slack + relaxation) vs phase-A-only
+//      (relaxation's job per the paper: escape local minima);
+//   2. leaf-only swaps vs full internal-pin swaps (logic-level reduction);
+//   3. candidate cap per supergate (quality/runtime trade).
+// Plain binary printing one table per ablation over a few circuits.
+#include <cstdio>
+#include <iostream>
+
+#include "flow/flow.hpp"
+#include "gen/suite.hpp"
+#include "library/cell_library.hpp"
+#include "util/timer.hpp"
+
+using namespace rapids;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  OptimizerOptions opt;
+};
+
+void run_ablation(const char* title, const std::vector<Variant>& variants,
+                  const std::vector<std::string>& circuits, const CellLibrary& lib) {
+  std::cout << "\n== " << title << " ==\n";
+  std::printf("%-8s", "ckt");
+  for (const Variant& v : variants) std::printf(" | %-18s", v.label);
+  std::printf("\n");
+  FlowOptions flow;
+  flow.placer.effort = 3.0;
+  flow.placer.num_temps = 12;
+  flow.verify = true;
+  for (const std::string& name : circuits) {
+    const PreparedCircuit prepared = prepare_benchmark(name, lib, flow);
+    std::printf("%-8s", name.c_str());
+    for (const Variant& v : variants) {
+      FlowOptions f = flow;
+      f.opt = v.opt;
+      const ModeRun run = run_mode(prepared, lib, v.opt.mode, f);
+      std::printf(" | %6.2f%% %6.2fs %s", run.result.improvement_percent(),
+                  run.result.seconds, run.verified ? " " : "!");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const CellLibrary lib = builtin_library_035();
+  const std::vector<std::string> circuits = {"alu2", "c432", "c499", "x3"};
+
+  {
+    OptimizerOptions both;
+    both.mode = OptMode::Gsg;
+    both.max_iterations = 4;
+    OptimizerOptions phase_a = both;
+    phase_a.max_iterations = 1;  // single round ~= min-slack phase dominated
+    run_ablation("two-phase iterations vs single round (gsg)",
+                 {{"4 rounds A+B", both}, {"1 round A+B", phase_a}}, circuits, lib);
+  }
+  {
+    OptimizerOptions full;
+    full.mode = OptMode::Gsg;
+    full.max_iterations = 3;
+    OptimizerOptions leaves = full;
+    leaves.leaves_only_swaps = true;
+    run_ablation("internal-pin swaps vs leaf-only swaps (gsg)",
+                 {{"all covered pins", full}, {"leaf pins only", leaves}}, circuits,
+                 lib);
+  }
+  {
+    OptimizerOptions wide;
+    wide.mode = OptMode::GsgPlusGS;
+    wide.max_iterations = 3;
+    wide.max_swaps_per_sg = 256;
+    OptimizerOptions narrow = wide;
+    narrow.max_swaps_per_sg = 8;
+    run_ablation("swap-candidate cap per supergate (gsg+GS)",
+                 {{"cap 256", wide}, {"cap 8", narrow}}, circuits, lib);
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 1 reproduction: redundancy discovery during supergate extraction.
+//
+// Part A reconstructs the figure's two cases on toy netlists and shows the
+// engine classifying them (case 1: conflicting implication at a stem ->
+// cone constant; case 2: agreeing implication -> untestable branch).
+// Part B sweeps PLA-style circuits with injected redundancies and reports
+// detection counts, fix results and verified equivalence, plus the
+// detection throughput (the paper's claim: redundancies come for free
+// during linear-time extraction).
+#include <iostream>
+
+#include "gen/control.hpp"
+#include "netlist/builder.hpp"
+#include "sym/gisg.hpp"
+#include "sym/redundancy.hpp"
+#include "util/timer.hpp"
+#include "verify/equivalence.hpp"
+
+using namespace rapids;
+
+namespace {
+
+void part_a() {
+  std::cout << "== Fig. 1 case study ==\n";
+  {
+    // Case 1: f = AND(x, g, INV(g)) — backward implication from f=1 demands
+    // g=1 and g=0 simultaneously.
+    NetworkBuilder b;
+    const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+    const GateId g = b.or_({y, z});
+    b.output("f", b.and_({x, g, b.inv(g)}));
+    b.output("keep", g);
+    Network net = b.take();
+    const Network golden = net.clone();
+    const GisgPartition part = extract_gisg(net);
+    std::cout << "case 1 netlist: found " << part.redundancies.size()
+              << " redundancy (kind="
+              << (part.redundancies[0].kind == RedundancyRecord::Kind::ConflictConstant
+                      ? "conflict->constant"
+                      : "?")
+              << ")\n";
+    apply_all_redundancies(net, part);
+    std::cout << "  after fix: " << net.num_logic_gates() << " logic gates (was "
+              << golden.num_logic_gates() << "), equivalence "
+              << (check_equivalence(golden, net).equivalent ? "OK" : "BROKEN") << "\n";
+  }
+  {
+    // Case 2: f = AND(x, g, g) — both branches implied to the same value.
+    NetworkBuilder b;
+    const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+    const GateId g = b.or_({y, z});
+    b.output("f", b.and_({x, g, g}));
+    Network net = b.take();
+    const Network golden = net.clone();
+    const GisgPartition part = extract_gisg(net);
+    std::cout << "case 2 netlist: found " << part.redundancies.size()
+              << " redundancy (kind="
+              << (part.redundancies[0].kind == RedundancyRecord::Kind::RedundantBranch
+                      ? "untestable-branch"
+                      : "?")
+              << ")\n";
+    apply_all_redundancies(net, part);
+    std::cout << "  after fix: " << net.num_logic_gates() << " logic gates (was "
+              << golden.num_logic_gates() << "), equivalence "
+              << (check_equivalence(golden, net).equivalent ? "OK" : "BROKEN") << "\n";
+  }
+}
+
+void part_b() {
+  std::cout << "\n== redundancy sweep on PLA-style circuits ==\n";
+  std::cout << "inputs products dup%% conf%% | gates  found  fixed  equiv  extract_ms\n";
+  for (const double rate : {0.0, 0.1, 0.3, 0.6}) {
+    PlaSpec spec;
+    spec.num_inputs = 40;
+    spec.num_outputs = 20;
+    spec.num_products = 80;
+    spec.dup_literal_rate = rate;
+    spec.conflict_literal_rate = rate / 3.0;
+    spec.seed = 1234 + static_cast<std::uint64_t>(rate * 100);
+    Network net = make_pla(spec);
+    const Network golden = net.clone();
+
+    Timer t;
+    const GisgPartition part = extract_gisg(net);
+    const double extract_ms = t.milliseconds();
+
+    RedundancyFixStats stats;
+    for (const RedundancyRecord& rec : part.redundancies) {
+      apply_redundancy(net, part, rec, stats);
+    }
+    const std::size_t fixed =
+        stats.branches_tied + stats.constants_created + stats.xor_pairs_cancelled;
+    const bool equiv = check_equivalence(golden, net).equivalent;
+    std::printf("%6d %8d %5.0f %5.0f | %5zu %6zu %6zu %6s %10.2f\n", spec.num_inputs,
+                spec.num_products, 100 * spec.dup_literal_rate,
+                100 * spec.conflict_literal_rate, golden.num_logic_gates(),
+                part.redundancies.size(), fixed, equiv ? "OK" : "BROKEN", extract_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  part_a();
+  part_b();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Linear-time claim (§3): GISG extraction + symmetry identification scale
+// linearly in network size. google-benchmark over chains, trees, grids and
+// mapped multiplier arrays from 1k to 256k gates; the reported items/sec
+// should stay flat when the algorithm is linear.
+#include <benchmark/benchmark.h>
+
+#include "gen/arith.hpp"
+#include "netlist/builder.hpp"
+#include "sym/gisg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rapids;
+
+/// Wide-fanin AND chain: single giant supergate.
+Network make_chain(int gates) {
+  NetworkBuilder b;
+  GateId cur = b.input("x");
+  for (int i = 0; i < gates; ++i) {
+    cur = b.and_({cur, b.input("y" + std::to_string(i))});
+  }
+  b.output("f", cur);
+  return b.take();
+}
+
+/// Balanced NAND tree: alternating absorb/stop boundaries.
+Network make_tree(int leaves) {
+  NetworkBuilder b;
+  std::vector<GateId> layer;
+  for (int i = 0; i < leaves; ++i) layer.push_back(b.input("x" + std::to_string(i)));
+  while (layer.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(b.nand({layer[i], layer[i + 1]}));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  b.output("f", layer[0]);
+  return b.take();
+}
+
+/// Reconvergent random DAG: many supergates, many stems.
+Network make_dag(int gates, std::uint64_t seed) {
+  NetworkBuilder b;
+  Rng rng(seed);
+  std::vector<GateId> pool;
+  for (int i = 0; i < 64; ++i) pool.push_back(b.input("x" + std::to_string(i)));
+  static constexpr GateType kTypes[6] = {GateType::And,  GateType::Nand, GateType::Or,
+                                         GateType::Nor,  GateType::Xor,  GateType::Inv};
+  for (int i = 0; i < gates; ++i) {
+    const GateType t = kTypes[rng.next_below(6)];
+    if (is_multi_input(t)) {
+      pool.push_back(b.gate(t, {pool[rng.next_below(pool.size())],
+                                pool[rng.next_below(pool.size())]}));
+    } else {
+      pool.push_back(b.gate(t, {pool[rng.next_below(pool.size())]}));
+    }
+  }
+  for (int o = 0; o < 32; ++o) {
+    b.output("y" + std::to_string(o), pool[pool.size() - 1 - static_cast<std::size_t>(o)]);
+  }
+  Network net = b.take();
+  net.sweep_dangling();
+  return net;
+}
+
+void BM_ExtractChain(benchmark::State& state) {
+  const Network net = make_chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_gisg(net));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ExtractTree(benchmark::State& state) {
+  const Network net = make_tree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_gisg(net));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(net.num_logic_gates()));
+}
+
+void BM_ExtractDag(benchmark::State& state) {
+  const Network net = make_dag(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_gisg(net));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(net.num_logic_gates()));
+}
+
+void BM_ExtractMultiplier(benchmark::State& state) {
+  const Network net = make_array_multiplier(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_gisg(net));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(net.num_logic_gates()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExtractChain)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000)->Arg(256000);
+BENCHMARK(BM_ExtractTree)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536)->Arg(262144);
+BENCHMARK(BM_ExtractDag)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000)->Arg(256000);
+BENCHMARK(BM_ExtractMultiplier)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK_MAIN();

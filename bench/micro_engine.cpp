@@ -1,0 +1,114 @@
+// Engine micro-benchmarks: incremental vs full STA, swap apply/undo cost,
+// swap enumeration, equivalence checking throughput. These quantify why the
+// optimizer can probe thousands of candidate moves ("very computationally
+// efficient", §1).
+#include <benchmark/benchmark.h>
+
+#include "gen/suite.hpp"
+#include "library/cell_library.hpp"
+#include "mapping/mapper.hpp"
+#include "place/placer.hpp"
+#include "rewire/swap.hpp"
+#include "sym/gisg.hpp"
+#include "sym/symmetry.hpp"
+#include "timing/sta.hpp"
+#include "verify/equivalence.hpp"
+
+namespace {
+
+using namespace rapids;
+
+struct Fixture {
+  CellLibrary lib = builtin_library_035();
+  Network net;
+  Placement pl;
+  std::vector<SwapCandidate> swaps;
+
+  explicit Fixture(const std::string& name) {
+    const Network src = make_benchmark(name);
+    net = map_network(src, lib).mapped;
+    PlacerOptions popt;
+    popt.effort = 2.0;
+    popt.num_temps = 8;
+    pl = place(net, lib, popt);
+    const GisgPartition part = extract_gisg(net);
+    swaps = enumerate_all_swaps(part, net);
+  }
+};
+
+Fixture& alu4_fixture() {
+  static Fixture f("alu4");
+  return f;
+}
+
+void BM_StaFullRun(benchmark::State& state) {
+  Fixture& f = alu4_fixture();
+  Sta sta(f.net, f.lib, f.pl);
+  for (auto _ : state) {
+    sta.run_full();
+    benchmark::DoNotOptimize(sta.critical_delay());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.net.num_logic_gates()));
+}
+
+void BM_StaIncrementalSwapProbe(benchmark::State& state) {
+  Fixture& f = alu4_fixture();
+  Sta sta(f.net, f.lib, f.pl);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const SwapCandidate& cand = f.swaps[i++ % f.swaps.size()];
+    sta.begin();
+    SwapEdit edit = apply_swap(f.net, f.pl, f.lib, cand);
+    for (const GateId d : edit.dirty_nets) sta.invalidate_net(d);
+    sta.propagate();
+    benchmark::DoNotOptimize(sta.critical_delay());
+    undo_swap(f.net, f.pl, edit);
+    sta.rollback();
+  }
+}
+
+void BM_SwapApplyUndo(benchmark::State& state) {
+  Fixture& f = alu4_fixture();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const SwapCandidate& cand = f.swaps[i++ % f.swaps.size()];
+    SwapEdit edit = apply_swap(f.net, f.pl, f.lib, cand);
+    undo_swap(f.net, f.pl, edit);
+  }
+}
+
+void BM_EnumerateSwaps(benchmark::State& state) {
+  Fixture& f = alu4_fixture();
+  const GisgPartition part = extract_gisg(f.net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_all_swaps(part, f.net));
+  }
+}
+
+void BM_ExtractionOnMapped(benchmark::State& state) {
+  Fixture& f = alu4_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_gisg(f.net));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.net.num_logic_gates()));
+}
+
+void BM_EquivalenceCheck(benchmark::State& state) {
+  Fixture& f = alu4_fixture();
+  const Network copy = f.net.clone();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_equivalence(f.net, copy));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_StaFullRun);
+BENCHMARK(BM_StaIncrementalSwapProbe);
+BENCHMARK(BM_SwapApplyUndo);
+BENCHMARK(BM_EnumerateSwaps);
+BENCHMARK(BM_ExtractionOnMapped);
+BENCHMARK(BM_EquivalenceCheck);
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// The paper's headline scenario end to end: a placed design misses timing;
+// RAPIDS recovers delay WITHOUT moving a single placed cell.
+//
+//   $ ./timing_closure_flow [circuit]   (default: alu4)
+//
+// Steps: generate -> map (0.35um library) -> place -> STA baseline ->
+// gsg / GS / gsg+GS -> report delay, area, runtime, perturbation.
+#include <iostream>
+#include <string>
+
+#include "flow/flow.hpp"
+#include "library/cell_library.hpp"
+#include "timing/sta.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rapids;
+  const std::string circuit = argc > 1 ? argv[1] : "alu4";
+  const CellLibrary lib = builtin_library_035();
+
+  FlowOptions options;
+  options.placer.effort = 4.0;
+  options.opt.max_iterations = 4;
+
+  std::cout << "preparing " << circuit << " (synthesize, map, place, STA)...\n";
+  const PreparedCircuit prepared = prepare_benchmark(circuit, lib, options);
+  std::cout << "  cells: " << prepared.mapped.num_logic_gates()
+            << "  die: " << prepared.placement.die().width << " x "
+            << prepared.placement.die().height << " um"
+            << "  initial critical delay: " << prepared.initial_delay << " ns\n\n";
+
+  for (const OptMode mode : {OptMode::Gsg, OptMode::GateSizing, OptMode::GsgPlusGS}) {
+    const ModeRun run = run_mode(prepared, lib, mode, options);
+    const OptimizerResult& r = run.result;
+    std::cout << to_string(mode) << ":\n";
+    std::cout << "  delay " << r.initial_delay << " -> " << r.final_delay << " ns  ("
+              << r.improvement_percent() << "% better)\n";
+    std::cout << "  area  " << r.initial_area << " -> " << r.final_area << " um^2  ("
+              << r.area_delta_percent() << "%)\n";
+    std::cout << "  moves: " << r.swaps_committed << " swaps, " << r.resizes_committed
+              << " resizes, +" << r.inverters_added << "/-" << r.inverters_removed
+              << " inverters\n";
+    std::cout << "  cpu: " << r.seconds << " s   equivalence: "
+              << (run.verified ? "verified" : "FAILED") << "\n";
+    if (mode == OptMode::Gsg) {
+      std::cout << "  supergate coverage: " << 100.0 * r.coverage
+                << "%  largest supergate: " << r.max_sg_inputs
+                << " inputs  redundancies found: " << r.redundancies_found << "\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "note: every originally placed cell kept its exact location in all\n"
+               "three runs — the rewiring engine only reconnects wires (and, for\n"
+               "inverting swaps, inserts/removes inverters).\n";
+  return 0;
+}

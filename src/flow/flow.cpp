@@ -1,0 +1,118 @@
+#include "flow/flow.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gen/suite.hpp"
+#include "mapping/mapper.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rapids {
+
+PreparedCircuit prepare_circuit(const std::string& name, const Network& src,
+                                const CellLibrary& lib, const FlowOptions& options) {
+  PreparedCircuit prepared;
+  prepared.name = name;
+  MapResult mapped = map_network(src, lib);
+  prepared.mapped = std::move(mapped.mapped);
+
+  PlacerOptions popt = options.placer;
+  const std::size_t cells = prepared.mapped.num_logic_gates();
+  if (cells > options.reduce_effort_above && options.reduce_effort_above > 0) {
+    popt.effort = popt.effort * static_cast<double>(options.reduce_effort_above) /
+                  static_cast<double>(cells);
+  }
+  prepared.placement = place(prepared.mapped, lib, popt);
+
+  Sta sta(prepared.mapped, lib, prepared.placement);
+  prepared.initial_delay = sta.critical_delay();
+  prepared.initial_area = 0.0;
+  prepared.mapped.for_each_gate([&](GateId g) {
+    const std::int32_t c = prepared.mapped.cell(g);
+    if (c >= 0 && is_logic(prepared.mapped.type(g))) {
+      prepared.initial_area += lib.cell(c).area;
+    }
+  });
+  log_info() << name << ": " << cells << " cells, init delay " << prepared.initial_delay
+             << " ns";
+  return prepared;
+}
+
+PreparedCircuit prepare_benchmark(const std::string& suite_name, const CellLibrary& lib,
+                                  const FlowOptions& options) {
+  const Network src = make_benchmark(suite_name);
+  return prepare_circuit(suite_name, src, lib, options);
+}
+
+std::pair<Placement, double> place_timing_driven(const Network& mapped,
+                                                 const CellLibrary& lib,
+                                                 const PlacerOptions& base_options,
+                                                 int rounds) {
+  PlacerOptions popt = base_options;
+  Placement best = place(mapped, lib, popt);
+  double best_delay;
+  {
+    Sta sta(mapped, lib, best);
+    best_delay = sta.critical_delay();
+  }
+  for (int round = 1; round < rounds; ++round) {
+    // Weight each net by how close its driver sits to the critical path:
+    // weight = 1 + k * criticality^2, the classic net-weighting recipe.
+    Sta sta(mapped, lib, best);
+    sta.refresh_required();
+    const double period = std::max(sta.critical_delay(), 1e-9);
+    popt.net_weights.assign(mapped.id_bound(), 1.0);
+    mapped.for_each_gate([&](GateId g) {
+      if (mapped.type(g) == GateType::Output || mapped.fanout_count(g) == 0) return;
+      const double crit =
+          std::clamp(1.0 - sta.slack(g) / period, 0.0, 1.0);
+      popt.net_weights[g] = 1.0 + 4.0 * crit * crit;
+    });
+    popt.seed = base_options.seed + static_cast<std::uint64_t>(round);
+    Placement candidate = place(mapped, lib, popt);
+    Sta probe(mapped, lib, candidate);
+    if (probe.critical_delay() < best_delay) {
+      best_delay = probe.critical_delay();
+      best = std::move(candidate);
+    }
+  }
+  return {std::move(best), best_delay};
+}
+
+ModeRun run_mode(const PreparedCircuit& prepared, const CellLibrary& lib, OptMode mode,
+                 const FlowOptions& options) {
+  ModeRun run;
+  run.optimized = prepared.mapped.clone();
+  Placement placement = prepared.placement;  // value copy; original intact
+  Sta sta(run.optimized, lib, placement);
+  OptimizerOptions oopt = options.opt;
+  oopt.mode = mode;
+  run.result = optimize(run.optimized, placement, lib, sta, oopt);
+  if (options.verify) {
+    const EquivalenceResult eq = check_equivalence(prepared.mapped, run.optimized);
+    run.verified = eq.equivalent;
+    if (!eq.equivalent) {
+      log_error() << prepared.name << " " << to_string(mode)
+                  << ": optimization broke equivalence at output " << eq.failing_output;
+    }
+  }
+  return run;
+}
+
+BenchmarkRow produce_table1_row(const PreparedCircuit& prepared, const CellLibrary& lib,
+                                const FlowOptions& options) {
+  BenchmarkRow row;
+  row.name = prepared.name;
+  row.num_gates = prepared.mapped.num_logic_gates();
+  row.init_delay_ns = prepared.initial_delay;
+  for (const OptMode mode : {OptMode::Gsg, OptMode::GateSizing, OptMode::GsgPlusGS}) {
+    const ModeRun run = run_mode(prepared, lib, mode, options);
+    RAPIDS_ASSERT_MSG(run.verified, "optimized netlist failed equivalence check");
+    record_mode(row, mode, run.result);
+  }
+  return row;
+}
+
+}  // namespace rapids

@@ -1,0 +1,212 @@
+#include "gen/arith.hpp"
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+AdderOutputs ripple_adder(NetworkBuilder& b, const std::vector<GateId>& a,
+                          const std::vector<GateId>& bb, GateId cin) {
+  RAPIDS_ASSERT(a.size() == bb.size() && !a.empty());
+  AdderOutputs out;
+  GateId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const GateId axb = b.xor_({a[i], bb[i]});
+    if (carry == kNullGate) {
+      out.sum.push_back(axb);
+      carry = b.and_({a[i], bb[i]});
+    } else {
+      out.sum.push_back(b.xor_({axb, carry}));
+      // carry' = ab + c(a^b)
+      carry = b.or_({b.and_({a[i], bb[i]}), b.and_({carry, axb})});
+    }
+  }
+  out.cout = carry;
+  return out;
+}
+
+ComparatorOutputs comparator(NetworkBuilder& b, const std::vector<GateId>& a,
+                             const std::vector<GateId>& bb) {
+  RAPIDS_ASSERT(a.size() == bb.size() && !a.empty());
+  // Shared-prefix implementation (as synthesis tools produce): the
+  // equal-above chain fans out to both the gt terms and the next stage, so
+  // the comparator is NOT one fanout-free cone.
+  std::vector<GateId> eq_bits;
+  eq_bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eq_bits.push_back(b.xnor({a[i], bb[i]}));
+
+  ComparatorOutputs out;
+  GateId eq_prefix = kNullGate;  // AND of eq bits above the current one
+  GateId gt_acc = kNullGate;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    GateId term = b.and_({a[i], b.inv(bb[i])});
+    if (eq_prefix != kNullGate) term = b.and_({term, eq_prefix});
+    gt_acc = gt_acc == kNullGate ? term : b.or_({gt_acc, term});
+    eq_prefix = eq_prefix == kNullGate ? eq_bits[i] : b.and_({eq_prefix, eq_bits[i]});
+  }
+  out.gt = gt_acc;
+  out.eq = eq_prefix;  // AND over all eq bits
+  return out;
+}
+
+GateId parity_tree(NetworkBuilder& b, const std::vector<GateId>& xs) {
+  return b.tree(GateType::Xor, xs, 2);
+}
+
+Network make_alu(int width, int num_banks, const std::string& prefix) {
+  RAPIDS_ASSERT(width >= 2 && num_banks >= 1);
+  NetworkBuilder b;
+  std::vector<GateId> op;
+  for (int i = 0; i < 3; ++i) op.push_back(b.input(prefix + "_op" + std::to_string(i)));
+  const GateId cin = b.input(prefix + "_cin");
+
+  // Opcode one-hot decode (3-to-8, six used).
+  std::vector<GateId> sel;
+  for (int code = 0; code < 6; ++code) {
+    std::vector<GateId> lits;
+    for (int bit = 0; bit < 3; ++bit) {
+      lits.push_back((code >> bit) & 1 ? op[static_cast<std::size_t>(bit)]
+                                       : b.inv(op[static_cast<std::size_t>(bit)]));
+    }
+    sel.push_back(b.and_(lits));
+  }
+
+  for (int bank = 0; bank < num_banks; ++bank) {
+    const std::string bp = prefix + std::to_string(bank);
+    std::vector<GateId> a, bb;
+    for (int i = 0; i < width; ++i) {
+      a.push_back(b.input(bp + "_a" + std::to_string(i)));
+      bb.push_back(b.input(bp + "_b" + std::to_string(i)));
+    }
+    // sub operand: b XOR sub_flag (sel[1] means subtract => invert b, cin=1).
+    std::vector<GateId> b_eff;
+    for (int i = 0; i < width; ++i) {
+      b_eff.push_back(b.xor_({bb[static_cast<std::size_t>(i)], sel[1]}));
+    }
+    const GateId cin_eff = b.or_({b.and_({cin, sel[0]}), sel[1]});
+    const AdderOutputs add = ripple_adder(b, a, b_eff, cin_eff);
+
+    for (int i = 0; i < width; ++i) {
+      const std::size_t ui = static_cast<std::size_t>(i);
+      const GateId and_r = b.and_({a[ui], bb[ui]});
+      const GateId or_r = b.or_({a[ui], bb[ui]});
+      const GateId xor_r = b.xor_({a[ui], bb[ui]});
+      // result_i = OR over op-gated candidates (add/sub share the adder).
+      const GateId r = b.or_({
+          b.and_({add.sum[ui], b.or_({sel[0], sel[1]})}),
+          b.and_({and_r, sel[2]}),
+          b.and_({or_r, sel[3]}),
+          b.and_({xor_r, sel[4]}),
+          b.and_({a[ui], sel[5]}),
+      });
+      b.output(bp + "_y" + std::to_string(i), r);
+    }
+    b.output(bp + "_cout", add.cout);
+    const ComparatorOutputs cmp = comparator(b, a, bb);
+    b.output(bp + "_gt", cmp.gt);
+    b.output(bp + "_eq", cmp.eq);
+  }
+  return b.take();
+}
+
+Network make_array_multiplier(int n) {
+  RAPIDS_ASSERT(n >= 2);
+  NetworkBuilder b;
+  std::vector<GateId> a, bb;
+  for (int i = 0; i < n; ++i) a.push_back(b.input("a" + std::to_string(i)));
+  for (int i = 0; i < n; ++i) bb.push_back(b.input("b" + std::to_string(i)));
+
+  auto pp = [&](int i, int r) {
+    return b.and_({a[static_cast<std::size_t>(i)], bb[static_cast<std::size_t>(r)]});
+  };
+
+  // Shift-add rows (the classic adder array, as in c6288): `acc` holds the
+  // n bits of the running sum at weights r..r+n-1; each row emits the low
+  // product bit and folds in the next partial-product row.
+  std::vector<GateId> acc;
+  acc.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) acc.push_back(pp(i, 0));
+  b.output("p0", acc[0]);
+  GateId top = b.const0();  // carry-out bit of the previous row (weight r+n-1)
+
+  for (int r = 1; r < n; ++r) {
+    std::vector<GateId> lhs(acc.begin() + 1, acc.end());
+    lhs.push_back(top);  // weights r .. r+n-1
+    std::vector<GateId> rhs;
+    rhs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) rhs.push_back(pp(i, r));
+    const AdderOutputs row = ripple_adder(b, lhs, rhs, kNullGate);
+    acc = row.sum;
+    top = row.cout;
+    b.output("p" + std::to_string(r), acc[0]);
+  }
+  for (int i = 1; i < n; ++i) {
+    b.output("p" + std::to_string(n - 1 + i), acc[static_cast<std::size_t>(i)]);
+  }
+  b.output("p" + std::to_string(2 * n - 1), top);
+  return b.take();
+}
+
+Network make_adder_comparator(int width, bool with_parity) {
+  RAPIDS_ASSERT(width >= 2);
+  NetworkBuilder b;
+  std::vector<GateId> a, bb;
+  for (int i = 0; i < width; ++i) {
+    a.push_back(b.input("a" + std::to_string(i)));
+    bb.push_back(b.input("b" + std::to_string(i)));
+  }
+  const GateId cin = b.input("cin");
+  const AdderOutputs add = ripple_adder(b, a, bb, cin);
+  for (int i = 0; i < width; ++i) {
+    b.output("s" + std::to_string(i), add.sum[static_cast<std::size_t>(i)]);
+  }
+  b.output("cout", add.cout);
+  const ComparatorOutputs cmp = comparator(b, a, bb);
+  b.output("gt", cmp.gt);
+  b.output("eq", cmp.eq);
+  if (with_parity) {
+    b.output("par_a", parity_tree(b, a));
+    b.output("par_b", parity_tree(b, bb));
+    b.output("par_s", parity_tree(b, add.sum));
+  }
+  return b.take();
+}
+
+Network make_priority_controller(int channels) {
+  RAPIDS_ASSERT(channels >= 2);
+  NetworkBuilder b;
+  std::vector<GateId> req, mask;
+  for (int i = 0; i < channels; ++i) {
+    req.push_back(b.input("req" + std::to_string(i)));
+    mask.push_back(b.input("mask" + std::to_string(i)));
+  }
+  // Enabled requests; channel i wins if enabled and no lower-index enabled.
+  // The none-enabled-below prefix is shared between the grant logic and the
+  // next prefix stage (fanout 2), as a synthesized netlist would share it.
+  std::vector<GateId> en, win;
+  for (int i = 0; i < channels; ++i) {
+    en.push_back(b.and_({req[static_cast<std::size_t>(i)],
+                         b.inv(mask[static_cast<std::size_t>(i)])}));
+  }
+  GateId prefix = kNullGate;  // AND of !en_j for j < i
+  for (int i = 0; i < channels; ++i) {
+    const GateId en_i = en[static_cast<std::size_t>(i)];
+    win.push_back(prefix == kNullGate ? en_i : b.and_({en_i, prefix}));
+    b.output("grant" + std::to_string(i), win.back());
+    const GateId not_en = b.inv(en_i);
+    prefix = prefix == kNullGate ? not_en : b.and_({prefix, not_en});
+  }
+  // Encoded winner index + any-request flag.
+  const int bits = 32 - __builtin_clz(static_cast<unsigned>(channels - 1));
+  for (int bit = 0; bit < bits; ++bit) {
+    std::vector<GateId> terms;
+    for (int i = 0; i < channels; ++i) {
+      if ((i >> bit) & 1) terms.push_back(win[static_cast<std::size_t>(i)]);
+    }
+    b.output("idx" + std::to_string(bit),
+             terms.empty() ? b.const0() : b.tree(GateType::Or, terms, 2));
+  }
+  b.output("any", b.tree(GateType::Or, en, 2));
+  return b.take();
+}
+
+}  // namespace rapids

@@ -1,0 +1,46 @@
+// Arithmetic circuit generators: adders, comparators, ALUs, multipliers.
+// These regenerate the structural families of the ISCAS85/MCNC arithmetic
+// benchmarks (see DESIGN.md §5 for the substitution rationale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace rapids {
+
+/// a + b (+ cin) -> sum[width], cout. Ripple-carry structure.
+struct AdderOutputs {
+  std::vector<GateId> sum;
+  GateId cout = kNullGate;
+};
+AdderOutputs ripple_adder(NetworkBuilder& b, const std::vector<GateId>& a,
+                          const std::vector<GateId>& bb, GateId cin);
+
+/// Magnitude comparator: returns {a_gt_b, a_eq_b}.
+struct ComparatorOutputs {
+  GateId gt = kNullGate;
+  GateId eq = kNullGate;
+};
+ComparatorOutputs comparator(NetworkBuilder& b, const std::vector<GateId>& a,
+                             const std::vector<GateId>& bb);
+
+/// XOR parity over the given signals.
+GateId parity_tree(NetworkBuilder& b, const std::vector<GateId>& xs);
+
+/// Multi-function ALU (add, sub, AND, OR, XOR, pass) with an opcode input;
+/// the workhorse behind alu2/alu4/c3540/c5315-class circuits.
+Network make_alu(int width, int num_banks, const std::string& prefix = "alu");
+
+/// n x n carry-save array multiplier (c6288 is the 16x16 instance).
+Network make_array_multiplier(int n);
+
+/// Adder + comparator + parity mix (c2670/c7552 family).
+Network make_adder_comparator(int width, bool with_parity);
+
+/// Priority-encoded interrupt controller (c432 family): `channels` request
+/// lines, priority resolution, channel decode.
+Network make_priority_controller(int channels);
+
+}  // namespace rapids

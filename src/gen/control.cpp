@@ -1,0 +1,131 @@
+#include "gen/control.hpp"
+
+#include <algorithm>
+
+#include "gen/arith.hpp"
+#include "netlist/builder.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rapids {
+
+Network make_pla(const PlaSpec& spec) {
+  RAPIDS_ASSERT(spec.num_inputs >= 2 && spec.num_products >= 1 && spec.num_outputs >= 1);
+  NetworkBuilder b;
+  Rng rng(spec.seed);
+
+  std::vector<GateId> in;
+  for (int i = 0; i < spec.num_inputs; ++i) in.push_back(b.input("x" + std::to_string(i)));
+  // Pre-built complement rail (multi-fanout inverters, like a real PLA).
+  std::vector<GateId> in_n;
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    in_n.push_back(b.inv(in[static_cast<std::size_t>(i)]));
+  }
+
+  std::vector<GateId> products;
+  for (int p = 0; p < spec.num_products; ++p) {
+    const int lits = rng.next_int(spec.min_literals,
+                                  std::min(spec.max_literals, spec.num_inputs));
+    // Choose distinct variables, random polarity each.
+    std::vector<int> vars(static_cast<std::size_t>(spec.num_inputs));
+    for (int i = 0; i < spec.num_inputs; ++i) vars[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(vars);
+    std::vector<GateId> term;
+    for (int l = 0; l < lits; ++l) {
+      const int v = vars[static_cast<std::size_t>(l)];
+      const bool pos = rng.next_bool();
+      term.push_back((pos ? in : in_n)[static_cast<std::size_t>(v)]);
+    }
+    // Redundancy injection (see PlaSpec docs).
+    if (rng.next_double() < spec.dup_literal_rate) {
+      term.push_back(term[rng.next_below(term.size())]);
+    }
+    if (rng.next_double() < spec.conflict_literal_rate) {
+      const int v = vars[0];
+      term.push_back(in[static_cast<std::size_t>(v)]);
+      term.push_back(in_n[static_cast<std::size_t>(v)]);
+    }
+    products.push_back(term.size() == 1 ? term[0] : b.tree(GateType::And, term, 2));
+  }
+
+  for (int o = 0; o < spec.num_outputs; ++o) {
+    const int terms = rng.next_int(spec.min_terms,
+                                   std::min(spec.max_terms, spec.num_products));
+    std::vector<GateId> sum;
+    for (int t = 0; t < terms; ++t) {
+      sum.push_back(products[rng.next_below(products.size())]);
+    }
+    b.output("f" + std::to_string(o),
+             sum.size() == 1 ? sum[0] : b.tree(GateType::Or, sum, 2));
+  }
+  return b.take();
+}
+
+Network make_control_mix(const ControlMixSpec& spec) {
+  RAPIDS_ASSERT(spec.num_blocks >= 1);
+  NetworkBuilder b;
+  Rng rng(spec.seed);
+
+  std::vector<GateId> carries;  // cross-block stitching signals
+  for (int blk = 0; blk < spec.num_blocks; ++blk) {
+    const std::string bp = "blk" + std::to_string(blk);
+    // Pseudo-PIs: former flip-flop outputs.
+    std::vector<GateId> state;
+    for (int i = 0; i < spec.inputs_per_block; ++i) {
+      state.push_back(b.input(bp + "_q" + std::to_string(i)));
+    }
+    if (!carries.empty()) {
+      state.push_back(carries[rng.next_below(carries.size())]);
+    }
+
+    // Random next-state logic: layered AND/OR/XOR with random polarities.
+    std::vector<GateId> layer = state;
+    const int depth = rng.next_int(3, 6);
+    for (int d = 0; d < depth; ++d) {
+      std::vector<GateId> next;
+      const int width = std::max<int>(3, static_cast<int>(layer.size()) - 2);
+      for (int w = 0; w < width; ++w) {
+        const GateId x = layer[rng.next_below(layer.size())];
+        const GateId y = layer[rng.next_below(layer.size())];
+        if (x == y) {
+          next.push_back(b.inv(x));
+          continue;
+        }
+        const double pick = rng.next_double();
+        GateId g;
+        if (pick < 0.4) {
+          g = b.and_({rng.next_bool() ? x : b.inv(x), y});
+        } else if (pick < 0.8) {
+          g = b.or_({x, rng.next_bool() ? y : b.inv(y)});
+        } else {
+          g = b.xor_({x, y});
+        }
+        next.push_back(g);
+      }
+      layer = std::move(next);
+    }
+
+    // Small datapath chunk driven by the control bits.
+    std::vector<GateId> a, bb2;
+    for (int i = 0; i < spec.datapath_width; ++i) {
+      a.push_back(layer[rng.next_below(layer.size())]);
+      bb2.push_back(layer[rng.next_below(layer.size())]);
+    }
+    const AdderOutputs add = ripple_adder(b, a, bb2, kNullGate);
+
+    // Pseudo-POs: former flip-flop inputs.
+    for (int o = 0; o < spec.outputs_per_block; ++o) {
+      const GateId d0 = layer[rng.next_below(layer.size())];
+      const GateId d1 = add.sum[rng.next_below(add.sum.size())];
+      b.output(bp + "_d" + std::to_string(o), b.xor_({d0, d1}));
+    }
+    carries.push_back(add.cout);
+  }
+  // Expose the stitch signals as outputs so nothing dangles.
+  for (std::size_t i = 0; i < carries.size(); ++i) {
+    b.output("carry" + std::to_string(i), carries[i]);
+  }
+  return b.take();
+}
+
+}  // namespace rapids

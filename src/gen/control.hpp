@@ -1,0 +1,50 @@
+// Control-logic generators: seeded multi-output shared-SOP (PLA-flavored)
+// networks for the MCNC logic benchmarks (k2/i8/i10/x3) and register-bounded
+// control+datapath mixes for the ISCAS89 sequential circuits (FFs removed,
+// as in the paper's experimental setup).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+struct PlaSpec {
+  int num_inputs = 16;
+  int num_outputs = 8;
+  int num_products = 32;
+  /// Literals per product term (min..max, uniform).
+  int min_literals = 3;
+  int max_literals = 8;
+  /// Products OR-ed into each output (min..max, uniform, sampled with
+  /// replacement — intentional duplicates create the paper's "easily
+  /// detectable" case-2 redundancies).
+  int min_terms = 2;
+  int max_terms = 10;
+  /// Probability that a product receives a duplicated literal (case-2
+  /// redundancy inside an AND supergate).
+  double dup_literal_rate = 0.02;
+  /// Probability that a product receives a literal and its complement
+  /// (case-1 redundancy: the product is constant false).
+  double conflict_literal_rate = 0.01;
+  std::uint64_t seed = 1;
+};
+
+/// Two-level AND-OR network per the spec. Wide products/sums produce the
+/// large supergates the paper reports for PLA-derived circuits (k2, L=43).
+Network make_pla(const PlaSpec& spec);
+
+struct ControlMixSpec {
+  int num_blocks = 8;       // independent control blocks
+  int inputs_per_block = 12;
+  int outputs_per_block = 6;
+  int datapath_width = 8;   // small adder/compare chunks stitched between
+  std::uint64_t seed = 1;
+};
+
+/// Register-bounded control/datapath mix (s5378...s38417 family): many
+/// pseudo-PIs/POs (former flip-flop boundaries), shallow-to-medium cones.
+Network make_control_mix(const ControlMixSpec& spec);
+
+}  // namespace rapids

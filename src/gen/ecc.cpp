@@ -1,0 +1,118 @@
+#include "gen/ecc.hpp"
+
+#include <cmath>
+
+#include "netlist/builder.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+
+/// Number of Hamming check bits for `data_bits` data bits.
+int num_check_bits(int data_bits) {
+  int r = 1;
+  while ((1 << r) < data_bits + r + 1) ++r;
+  return r;
+}
+
+/// Positions 1..(data+check) in Hamming layout; data positions are the
+/// non-powers-of-two. Returns data position list (1-based codeword index).
+std::vector<int> data_positions(int data_bits, int check_bits) {
+  std::vector<int> pos;
+  for (int p = 1; pos.size() < static_cast<std::size_t>(data_bits) &&
+                  p < (1 << (check_bits + 1));
+       ++p) {
+    if ((p & (p - 1)) != 0) pos.push_back(p);  // skip powers of two
+  }
+  RAPIDS_ASSERT(pos.size() == static_cast<std::size_t>(data_bits));
+  return pos;
+}
+
+}  // namespace
+
+Network make_sec_corrector(int data_bits) {
+  RAPIDS_ASSERT(data_bits >= 4);
+  NetworkBuilder b;
+  const int r = num_check_bits(data_bits);
+  const std::vector<int> dpos = data_positions(data_bits, r);
+
+  std::vector<GateId> data, check;
+  for (int i = 0; i < data_bits; ++i) data.push_back(b.input("d" + std::to_string(i)));
+  for (int i = 0; i < r; ++i) check.push_back(b.input("c" + std::to_string(i)));
+
+  // Syndrome bit j = check_j XOR parity of data bits whose position has
+  // bit j set — wide XOR trees, exactly the c499 structure.
+  std::vector<GateId> syndrome;
+  for (int j = 0; j < r; ++j) {
+    std::vector<GateId> terms{check[static_cast<std::size_t>(j)]};
+    for (int i = 0; i < data_bits; ++i) {
+      if ((dpos[static_cast<std::size_t>(i)] >> j) & 1) {
+        terms.push_back(data[static_cast<std::size_t>(i)]);
+      }
+    }
+    syndrome.push_back(b.tree(GateType::Xor, terms, 2));
+    b.output("syn" + std::to_string(j), syndrome.back());
+  }
+
+  // Corrected data: d_i XOR (syndrome == position_i) — AND decode per bit.
+  for (int i = 0; i < data_bits; ++i) {
+    std::vector<GateId> lits;
+    for (int j = 0; j < r; ++j) {
+      const bool want = (dpos[static_cast<std::size_t>(i)] >> j) & 1;
+      lits.push_back(want ? syndrome[static_cast<std::size_t>(j)]
+                          : b.inv(syndrome[static_cast<std::size_t>(j)]));
+    }
+    const GateId hit = b.tree(GateType::And, lits, 2);
+    b.output("q" + std::to_string(i), b.xor_({data[static_cast<std::size_t>(i)], hit}));
+  }
+  return b.take();
+}
+
+Network make_secded_corrector(int data_bits) {
+  RAPIDS_ASSERT(data_bits >= 4);
+  NetworkBuilder b;
+  const int r = num_check_bits(data_bits);
+  const std::vector<int> dpos = data_positions(data_bits, r);
+
+  std::vector<GateId> data, check;
+  for (int i = 0; i < data_bits; ++i) data.push_back(b.input("d" + std::to_string(i)));
+  for (int i = 0; i < r; ++i) check.push_back(b.input("c" + std::to_string(i)));
+  const GateId overall = b.input("pov");
+
+  std::vector<GateId> syndrome;
+  for (int j = 0; j < r; ++j) {
+    std::vector<GateId> terms{check[static_cast<std::size_t>(j)]};
+    for (int i = 0; i < data_bits; ++i) {
+      if ((dpos[static_cast<std::size_t>(i)] >> j) & 1) {
+        terms.push_back(data[static_cast<std::size_t>(i)]);
+      }
+    }
+    syndrome.push_back(b.tree(GateType::Xor, terms, 2));
+  }
+
+  // Overall parity across everything (double-error detection).
+  std::vector<GateId> all(data.begin(), data.end());
+  all.insert(all.end(), check.begin(), check.end());
+  all.push_back(overall);
+  const GateId par = b.tree(GateType::Xor, all, 2);
+  const GateId syn_nonzero = b.tree(GateType::Or, syndrome, 2);
+  // Single error: syndrome != 0 and parity trips. Double: syndrome != 0,
+  // parity clean.
+  b.output("ded", b.and_({syn_nonzero, b.inv(par)}));
+  b.output("sec", b.and_({syn_nonzero, par}));
+
+  for (int i = 0; i < data_bits; ++i) {
+    std::vector<GateId> lits{par};
+    for (int j = 0; j < r; ++j) {
+      const bool want = (dpos[static_cast<std::size_t>(i)] >> j) & 1;
+      lits.push_back(want ? syndrome[static_cast<std::size_t>(j)]
+                          : b.inv(syndrome[static_cast<std::size_t>(j)]));
+    }
+    const GateId hit = b.tree(GateType::And, lits, 2);
+    b.output("q" + std::to_string(i), b.xor_({data[static_cast<std::size_t>(i)], hit}));
+  }
+  return b.take();
+}
+
+}  // namespace rapids

@@ -1,0 +1,19 @@
+// Error-correcting-code circuit generators (c499/c1355/c1908 family):
+// XOR-tree-dominated syndrome computation plus AND-decode correction.
+#pragma once
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+/// Single-error-correcting circuit over `data_bits` data inputs and the
+/// matching number of check-bit inputs: computes the syndrome (XOR trees)
+/// and outputs the corrected data word (each bit XORed with its syndrome
+/// decode). c499/c1355 correspond to data_bits = 32.
+Network make_sec_corrector(int data_bits);
+
+/// SEC/DED variant with an overall-parity input and a detected-error
+/// output (c1908 family; data_bits = 16).
+Network make_secded_corrector(int data_bits);
+
+}  // namespace rapids

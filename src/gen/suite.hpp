@@ -1,0 +1,26 @@
+// The named benchmark suite: regenerated stand-ins for the 19 circuits of
+// the paper's Table 1 (MCNC91 + ISCAS85 + ISCAS89; see DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+struct BenchmarkInfo {
+  std::string name;           // paper's circuit name
+  std::string family;         // "alu", "ecc", "multiplier", "pla", ...
+  std::size_t paper_gates;    // gate count reported in Table 1
+};
+
+/// All 19 Table 1 circuits, in the paper's row order.
+const std::vector<BenchmarkInfo>& benchmark_suite();
+
+/// Construct the named circuit (technology-independent network; feed it to
+/// map_network before placement/timing). Throws InputError for unknown
+/// names.
+Network make_benchmark(const std::string& name);
+
+}  // namespace rapids

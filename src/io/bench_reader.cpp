@@ -1,0 +1,142 @@
+#include "io/bench_reader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+struct BenchLine {
+  std::string output;
+  std::string op;
+  std::vector<std::string> args;
+};
+
+}  // namespace
+
+Network read_bench(std::istream& in) {
+  std::vector<std::string> inputs, outputs;
+  std::vector<BenchLine> gates;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    auto grab_paren = [&](const std::string& s) {
+      const std::size_t l = s.find('('), r = s.rfind(')');
+      if (l == std::string::npos || r == std::string::npos || r < l) {
+        throw InputError("bench line " + std::to_string(line_no) + ": bad syntax");
+      }
+      return trim(s.substr(l + 1, r - l - 1));
+    };
+    if (line.rfind("INPUT", 0) == 0) {
+      inputs.push_back(grab_paren(line));
+    } else if (line.rfind("OUTPUT", 0) == 0) {
+      outputs.push_back(grab_paren(line));
+    } else {
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        throw InputError("bench line " + std::to_string(line_no) + ": expected '='");
+      }
+      BenchLine g;
+      g.output = trim(line.substr(0, eq));
+      const std::string rhs = trim(line.substr(eq + 1));
+      const std::size_t l = rhs.find('(');
+      if (l == std::string::npos) {
+        throw InputError("bench line " + std::to_string(line_no) + ": expected '('");
+      }
+      g.op = trim(rhs.substr(0, l));
+      std::transform(g.op.begin(), g.op.end(), g.op.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+      std::istringstream args(grab_paren(rhs));
+      std::string a;
+      while (std::getline(args, a, ',')) g.args.push_back(trim(a));
+      gates.push_back(std::move(g));
+    }
+  }
+
+  Network net;
+  std::unordered_map<std::string, GateId> signal;
+  for (const std::string& name : inputs) {
+    signal[name] = net.add_gate(GateType::Input, name);
+  }
+  // DFF outputs are pseudo-PIs.
+  for (const BenchLine& g : gates) {
+    if (g.op == "DFF") signal[g.output] = net.add_gate(GateType::Input, g.output);
+  }
+
+  std::vector<const BenchLine*> pending;
+  for (const BenchLine& g : gates) {
+    if (g.op != "DFF") pending.push_back(&g);
+  }
+  auto build = [&](const BenchLine& g) -> bool {
+    for (const std::string& a : g.args) {
+      if (signal.find(a) == signal.end()) return false;
+    }
+    GateType type;
+    if (g.op == "NOT" || g.op == "INV") {
+      type = GateType::Inv;
+    } else if (g.op == "BUF" || g.op == "BUFF") {
+      type = GateType::Buf;
+    } else {
+      type = gate_type_from_string(g.op);
+    }
+    const GateId gid = net.add_gate(type);
+    for (const std::string& a : g.args) net.add_fanin(gid, signal.at(a));
+    signal[g.output] = gid;
+    return true;
+  };
+  while (!pending.empty()) {
+    std::vector<const BenchLine*> next;
+    for (const BenchLine* g : pending) {
+      if (!build(*g)) next.push_back(g);
+    }
+    if (next.size() == pending.size()) {
+      throw InputError("bench: unresolved signal feeding " + next.front()->output);
+    }
+    pending = std::move(next);
+  }
+
+  for (const std::string& name : outputs) {
+    auto it = signal.find(name);
+    if (it == signal.end()) throw InputError("bench: undefined output " + name);
+    const std::string po_name = net.find(name) == kNullGate ? name : name + "$po";
+    const GateId po = net.add_gate(GateType::Output, po_name);
+    net.add_fanin(po, it->second);
+  }
+  // DFF inputs are pseudo-POs.
+  for (const BenchLine& g : gates) {
+    if (g.op != "DFF") continue;
+    RAPIDS_ASSERT(g.args.size() == 1);
+    auto it = signal.find(g.args[0]);
+    if (it == signal.end()) throw InputError("bench: undefined DFF input " + g.args[0]);
+    const GateId po = net.add_gate(GateType::Output, g.output + "$next");
+    net.add_fanin(po, it->second);
+  }
+  return net;
+}
+
+Network read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open bench file: " + path);
+  return read_bench(in);
+}
+
+}  // namespace rapids

@@ -1,0 +1,15 @@
+// ISCAS .bench reader: INPUT(x), OUTPUT(y), g = GATE(a, b, ...).
+// DFF cells are cut into pseudo-PI/PO pairs (paper §6).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+Network read_bench(std::istream& in);
+Network read_bench_file(const std::string& path);
+
+}  // namespace rapids

@@ -1,0 +1,56 @@
+#include "io/bench_writer.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+void write_bench(const Network& net, std::ostream& out) {
+  out << "# written by RAPIDS\n";
+  for (const GateId pi : net.primary_inputs()) out << "INPUT(" << net.name(pi) << ")\n";
+  for (const GateId po : net.primary_outputs()) out << "OUTPUT(" << net.name(po) << ")\n";
+  net.for_each_gate([&](GateId g) {
+    const GateType t = net.type(g);
+    switch (t) {
+      case GateType::Input:
+      case GateType::Output:
+        return;
+      case GateType::Const0:
+        // .bench has no constants; emit as XOR(x,x) is invasive — use AND of
+        // an input with its inverse only if inputs exist. Constants are rare
+        // (swept netlists); reject loudly instead of writing wrong logic.
+        throw InputError("bench writer: network contains constants; simplify first");
+      case GateType::Const1:
+        throw InputError("bench writer: network contains constants; simplify first");
+      default: {
+        out << net.name(g) << " = ";
+        out << (t == GateType::Inv ? "NOT" : to_string(t));
+        out << '(';
+        const auto fanins = net.fanins(g);
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << net.name(fanins[i]);
+        }
+        out << ")\n";
+      }
+    }
+  });
+  // Output markers: .bench outputs refer to signal names; emit a BUF alias
+  // when the marker name differs from its driver's.
+  for (const GateId po : net.primary_outputs()) {
+    const GateId d = net.po_driver(po);
+    if (net.name(po) != net.name(d)) {
+      out << net.name(po) << " = BUF(" << net.name(d) << ")\n";
+    }
+  }
+}
+
+void write_bench_file(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw InputError("cannot write bench file: " + path);
+  write_bench(net, out);
+}
+
+}  // namespace rapids

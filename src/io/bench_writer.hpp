@@ -1,0 +1,14 @@
+// ISCAS .bench writer (combinational view).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+void write_bench(const Network& net, std::ostream& out);
+void write_bench_file(const Network& net, const std::string& path);
+
+}  // namespace rapids

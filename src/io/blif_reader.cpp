@@ -1,0 +1,223 @@
+#include "io/blif_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+
+struct NamesBlock {
+  std::vector<std::string> signals;  // inputs..., output last
+  std::vector<std::string> cover;    // rows "<mask> <val>" or "<val>"
+};
+
+struct BlifModel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<NamesBlock> names;
+  std::vector<std::pair<std::string, std::string>> latches;  // (input, output)
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+BlifModel parse(std::istream& in) {
+  BlifModel model;
+  std::string raw, line;
+  NamesBlock* current = nullptr;
+  int line_no = 0;
+  auto fail = [&line_no](const std::string& msg) {
+    throw InputError("blif line " + std::to_string(line_no) + ": " + msg);
+  };
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    // Handle '\' continuations.
+    while (!raw.empty() && raw.back() == '\\') {
+      raw.pop_back();
+      std::string more;
+      if (!std::getline(in, more)) break;
+      ++line_no;
+      raw += more;
+    }
+    line = raw;
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (toks[0] == ".model") {
+      if (toks.size() >= 2) model.name = toks[1];
+      current = nullptr;
+    } else if (toks[0] == ".inputs") {
+      model.inputs.insert(model.inputs.end(), toks.begin() + 1, toks.end());
+      current = nullptr;
+    } else if (toks[0] == ".outputs") {
+      model.outputs.insert(model.outputs.end(), toks.begin() + 1, toks.end());
+      current = nullptr;
+    } else if (toks[0] == ".names") {
+      if (toks.size() < 2) fail(".names needs at least an output");
+      NamesBlock block;
+      block.signals.assign(toks.begin() + 1, toks.end());
+      model.names.push_back(std::move(block));
+      current = &model.names.back();
+    } else if (toks[0] == ".latch") {
+      if (toks.size() < 3) fail(".latch needs input and output");
+      model.latches.emplace_back(toks[1], toks[2]);
+      current = nullptr;
+    } else if (toks[0] == ".end") {
+      break;
+    } else if (toks[0][0] == '.') {
+      // Unsupported directive (.clock, .gate, ...): ignore gracefully.
+      current = nullptr;
+    } else {
+      if (current == nullptr) fail("cover row outside .names");
+      current->cover.push_back(line);
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+Network read_blif(std::istream& in) {
+  const BlifModel model = parse(in);
+  Network net;
+  std::unordered_map<std::string, GateId> signal;  // name -> driver gate
+
+  for (const std::string& name : model.inputs) {
+    signal[name] = net.add_gate(GateType::Input, name);
+  }
+  // Latch outputs become pseudo primary inputs.
+  for (const auto& [d, q] : model.latches) {
+    (void)d;
+    signal[q] = net.add_gate(GateType::Input, q);
+  }
+
+  auto get_const = [&net](bool value) {
+    return net.add_gate(value ? GateType::Const1 : GateType::Const0);
+  };
+
+  // Two passes: declare a placeholder for every .names output first so
+  // covers may reference signals defined later in the file.
+  // We instead topologically defer: build once all fanins are available.
+  std::vector<const NamesBlock*> pending;
+  for (const NamesBlock& block : model.names) pending.push_back(&block);
+
+  auto build_block = [&](const NamesBlock& block) -> bool {
+    const std::string& out_name = block.signals.back();
+    const std::size_t nin = block.signals.size() - 1;
+    for (std::size_t i = 0; i < nin; ++i) {
+      if (signal.find(block.signals[i]) == signal.end()) return false;
+    }
+    GateId out = kNullGate;
+    if (nin == 0) {
+      // Constant: a "1" row makes it const1; empty cover = const0.
+      bool value = false;
+      for (const std::string& row : block.cover) {
+        const std::vector<std::string> toks = tokenize(row);
+        if (!toks.empty() && toks.back() == "1") value = true;
+      }
+      out = get_const(value);
+    } else {
+      // General SOP. Rows: "<mask> <v>"; all v identical per BLIF rules.
+      std::vector<GateId> products;
+      int out_val = 1;
+      for (const std::string& row : block.cover) {
+        const std::vector<std::string> toks = tokenize(row);
+        if (toks.size() != 2) {
+          throw InputError("blif: malformed cover row '" + row + "'");
+        }
+        const std::string& mask = toks[0];
+        out_val = toks[1] == "1" ? 1 : 0;
+        if (mask.size() != nin) {
+          throw InputError("blif: cover width mismatch in '" + row + "'");
+        }
+        std::vector<GateId> lits;
+        for (std::size_t i = 0; i < nin; ++i) {
+          const GateId s = signal.at(block.signals[i]);
+          if (mask[i] == '1') {
+            lits.push_back(s);
+          } else if (mask[i] == '0') {
+            const GateId inv = net.add_gate(GateType::Inv);
+            net.add_fanin(inv, s);
+            lits.push_back(inv);
+          }  // '-': absent
+        }
+        GateId product;
+        if (lits.empty()) {
+          product = get_const(true);
+        } else if (lits.size() == 1) {
+          product = lits[0];
+        } else {
+          product = net.add_gate(GateType::And);
+          for (const GateId l : lits) net.add_fanin(product, l);
+        }
+        products.push_back(product);
+      }
+      if (products.empty()) {
+        out = get_const(false);
+      } else if (products.size() == 1) {
+        out = products[0];
+      } else {
+        out = net.add_gate(GateType::Or);
+        for (const GateId p : products) net.add_fanin(out, p);
+      }
+      if (out_val == 0) {
+        const GateId inv = net.add_gate(GateType::Inv);
+        net.add_fanin(inv, out);
+        out = inv;
+      }
+    }
+    signal[out_name] = out;
+    return true;
+  };
+
+  // Iterate until no progress (files are rarely deeply out of order).
+  while (!pending.empty()) {
+    std::vector<const NamesBlock*> next;
+    for (const NamesBlock* block : pending) {
+      if (!build_block(*block)) next.push_back(block);
+    }
+    if (next.size() == pending.size()) {
+      throw InputError("blif: unresolved signal in .names (cycle or typo): " +
+                       next.front()->signals.back());
+    }
+    pending = std::move(next);
+  }
+
+  for (const std::string& name : model.outputs) {
+    auto it = signal.find(name);
+    if (it == signal.end()) throw InputError("blif: undefined output " + name);
+    // Output markers carry the PO name (for by-name equivalence checking);
+    // fall back to a suffix when an input already owns the name.
+    const std::string po_name = net.find(name) == kNullGate ? name : name + "$po";
+    const GateId po = net.add_gate(GateType::Output, po_name);
+    net.add_fanin(po, it->second);
+  }
+  // Latch inputs become pseudo primary outputs.
+  for (const auto& [d, q] : model.latches) {
+    auto it = signal.find(d);
+    if (it == signal.end()) throw InputError("blif: undefined latch input " + d);
+    const GateId po = net.add_gate(GateType::Output, q + "$next");
+    net.add_fanin(po, it->second);
+  }
+  return net;
+}
+
+Network read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open BLIF file: " + path);
+  return read_blif(in);
+}
+
+}  // namespace rapids

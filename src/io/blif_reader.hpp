@@ -1,0 +1,20 @@
+// BLIF reader (the SIS-era interchange format).
+//
+// Supported constructs: .model/.inputs/.outputs/.names/.latch/.end, '\'
+// line continuation, '#' comments. SOP covers become AND-OR logic (or the
+// complemented form for 0-covers). Latches are cut into pseudo-PI/PO pairs,
+// matching the paper: "Sequential circuits are treated as combinational
+// ones with all sequential elements removed."
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+Network read_blif(std::istream& in);
+Network read_blif_file(const std::string& path);
+
+}  // namespace rapids

@@ -1,0 +1,70 @@
+#include "io/placement_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+void write_placement(const Network& net, const Placement& pl, std::ostream& out) {
+  // Round-trip fidelity: shortest representation that restores the double.
+  out.precision(17);
+  const Die& die = pl.die();
+  out << "die " << die.width << ' ' << die.height << ' ' << die.num_rows << ' '
+      << die.row_height << "\n";
+  net.for_each_gate([&](GateId g) {
+    if (!pl.is_placed(g)) return;
+    const Point p = pl.at(g);
+    out << "cell " << net.name(g) << ' ' << p.x << ' ' << p.y << "\n";
+  });
+}
+
+void write_placement_file(const Network& net, const Placement& pl,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw InputError("cannot write placement file: " + path);
+  write_placement(net, pl, out);
+}
+
+Placement read_placement(const Network& net, std::istream& in) {
+  Placement pl(net.id_bound());
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+    if (keyword == "die") {
+      Die die;
+      if (!(ls >> die.width >> die.height >> die.num_rows >> die.row_height)) {
+        throw InputError("placement line " + std::to_string(line_no) + ": bad die");
+      }
+      pl.set_die(die);
+    } else if (keyword == "cell") {
+      std::string name;
+      Point p;
+      if (!(ls >> name >> p.x >> p.y)) {
+        throw InputError("placement line " + std::to_string(line_no) + ": bad cell");
+      }
+      const GateId g = net.find(name);
+      if (g == kNullGate) {
+        throw InputError("placement: unknown gate '" + name + "'");
+      }
+      pl.set(g, p);
+    } else {
+      throw InputError("placement line " + std::to_string(line_no) +
+                       ": unknown keyword '" + keyword + "'");
+    }
+  }
+  return pl;
+}
+
+Placement read_placement_file(const Network& net, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open placement file: " + path);
+  return read_placement(net, in);
+}
+
+}  // namespace rapids

@@ -1,0 +1,23 @@
+// Placement save/load: simple text format keyed by gate name.
+//
+//   die <width> <height> <num_rows> <row_height>
+//   cell <gate_name> <x> <y>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/network.hpp"
+#include "place/placement.hpp"
+
+namespace rapids {
+
+void write_placement(const Network& net, const Placement& pl, std::ostream& out);
+void write_placement_file(const Network& net, const Placement& pl,
+                          const std::string& path);
+
+/// Load placement for `net` (names must match). Unknown names error.
+Placement read_placement(const Network& net, std::istream& in);
+Placement read_placement_file(const Network& net, const std::string& path);
+
+}  // namespace rapids

@@ -1,0 +1,84 @@
+// Built-in synthetic 0.35um-class library.
+//
+// Electrical values are representative of a mid-90s 0.35um process:
+//   - X1 inverter: ~10 fF input pin, ~5 kOhm drive, ~40 ps intrinsic;
+//   - doubling drive halves resistance and doubles pin capacitance;
+//   - NOR rise is slower than NAND fall (stacked PMOS);
+//   - XOR/XNOR cost roughly two gate stages internally.
+// Absolute accuracy does not matter for the reproduction; what matters is
+// that wire RC (2 pF/cm, 2.4 kOhm/cm per the paper) dominates at placement
+// scale and that drive choices trade area vs. delay monotonically.
+#include <cmath>
+
+#include "library/cell_library.hpp"
+
+namespace rapids {
+
+namespace {
+
+struct Proto {
+  GateType fn;
+  int inputs;
+  double base_area;      // um^2 at X1
+  double base_cap;       // pF per pin at X1
+  double intr_rise;      // ns at X1
+  double intr_fall;      // ns at X1
+  double base_res_rise;  // kOhm at X1
+  double base_res_fall;  // kOhm at X1
+};
+
+void add_sized(CellLibrary& lib, const Proto& p) {
+  static constexpr double kDriveScale[4] = {1.0, 2.0, 4.0, 8.0};
+  static constexpr double kAreaScale[4] = {1.0, 1.45, 2.4, 4.1};
+  for (int d = 0; d < 4; ++d) {
+    Cell c;
+    c.function = p.fn;
+    c.num_inputs = p.inputs;
+    c.drive_index = d;
+    c.name = std::string(to_string(p.fn)) +
+             (p.inputs >= 2 ? std::to_string(p.inputs) : std::string()) + "_" +
+             drive_suffix(d);
+    c.area = p.base_area * kAreaScale[d];
+    c.input_cap = p.base_cap * kDriveScale[d];
+    // Larger drives have marginally higher intrinsic delay (self-loading).
+    c.intrinsic_rise = p.intr_rise * (1.0 + 0.06 * d);
+    c.intrinsic_fall = p.intr_fall * (1.0 + 0.06 * d);
+    c.res_rise = p.base_res_rise / kDriveScale[d];
+    c.res_fall = p.base_res_fall / kDriveScale[d];
+    // Max load chosen so the load-dependent term stays below ~1.5 ns.
+    c.max_load = 1.5 / std::max(c.res_rise, c.res_fall);
+    lib.add(c);
+  }
+}
+
+}  // namespace
+
+CellLibrary builtin_library_035() {
+  CellLibrary lib;
+  lib.set_name("rapids035");
+  lib.set_wire(WireParams{});  // 2 pF/cm, 2.4 kOhm/cm (paper values)
+
+  //                 fn             in  area   cap     t_r    t_f    R_r   R_f
+  add_sized(lib, Proto{GateType::Inv, 1, 29.0, 0.010, 0.038, 0.030, 5.0, 4.2});
+  add_sized(lib, Proto{GateType::Buf, 1, 44.0, 0.009, 0.085, 0.080, 4.6, 4.0});
+
+  add_sized(lib, Proto{GateType::Nand, 2, 44.0, 0.011, 0.055, 0.048, 5.2, 4.8});
+  add_sized(lib, Proto{GateType::Nand, 3, 58.0, 0.012, 0.072, 0.066, 5.6, 5.6});
+  add_sized(lib, Proto{GateType::Nand, 4, 73.0, 0.013, 0.090, 0.086, 6.0, 6.6});
+
+  add_sized(lib, Proto{GateType::Nor, 2, 44.0, 0.011, 0.065, 0.045, 6.0, 4.4});
+  add_sized(lib, Proto{GateType::Nor, 3, 58.0, 0.012, 0.088, 0.058, 7.0, 4.8});
+  add_sized(lib, Proto{GateType::Nor, 4, 73.0, 0.013, 0.112, 0.072, 8.2, 5.2});
+
+  add_sized(lib, Proto{GateType::Xor, 2, 87.0, 0.018, 0.110, 0.105, 5.6, 5.2});
+  add_sized(lib, Proto{GateType::Xor, 3, 131.0, 0.020, 0.165, 0.160, 6.2, 5.8});
+  add_sized(lib, Proto{GateType::Xor, 4, 175.0, 0.022, 0.220, 0.215, 6.8, 6.4});
+
+  add_sized(lib, Proto{GateType::Xnor, 2, 87.0, 0.018, 0.112, 0.102, 5.6, 5.2});
+  add_sized(lib, Proto{GateType::Xnor, 3, 131.0, 0.020, 0.168, 0.156, 6.2, 5.8});
+  add_sized(lib, Proto{GateType::Xnor, 4, 175.0, 0.022, 0.224, 0.210, 6.8, 6.4});
+
+  return lib;
+}
+
+}  // namespace rapids

@@ -1,0 +1,22 @@
+#include "library/cell.hpp"
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+const char* drive_suffix(int drive_index) {
+  switch (drive_index) {
+    case 0:
+      return "X1";
+    case 1:
+      return "X2";
+    case 2:
+      return "X4";
+    case 3:
+      return "X8";
+    default:
+      RAPIDS_ASSERT_MSG(false, "drive index out of range");
+  }
+}
+
+}  // namespace rapids

@@ -1,0 +1,42 @@
+// Standard-cell model.
+//
+// The paper's experimental setup (§6): "a commercial 0.35um standard cell
+// library consisting of INV, BUF, NAND, NOR, XOR, and XNOR with number of
+// inputs ranging from 2 to 4. Each type has 4 different implementations."
+// and "a pin-to-pin load-dependent model for gate delay with both rise and
+// fall parameters".
+//
+// Units used throughout the timing stack:
+//   capacitance pF, resistance kOhm, time ns, distance um.
+//   (1 kOhm * 1 pF = 1 ns, so Elmore terms compose without conversion.)
+#pragma once
+
+#include <string>
+
+#include "netlist/gate_type.hpp"
+
+namespace rapids {
+
+struct Cell {
+  std::string name;       // e.g. "NAND2_X4"
+  GateType function = GateType::Inv;
+  int num_inputs = 1;
+  int drive_index = 0;    // 0..3 == X1, X2, X4, X8
+  double area = 0.0;      // um^2
+  double input_cap = 0.0; // pF per in-pin
+  double intrinsic_rise = 0.0;  // ns
+  double intrinsic_fall = 0.0;  // ns
+  double res_rise = 0.0;  // kOhm driving resistance for rising output
+  double res_fall = 0.0;  // kOhm driving resistance for falling output
+  double max_load = 0.0;  // pF
+
+  /// Pin-to-pin gate delay for a rising / falling output transition under
+  /// load `cap_load` (pF).
+  double delay_rise(double cap_load) const { return intrinsic_rise + res_rise * cap_load; }
+  double delay_fall(double cap_load) const { return intrinsic_fall + res_fall * cap_load; }
+};
+
+/// Drive-strength names used in cell naming.
+const char* drive_suffix(int drive_index);
+
+}  // namespace rapids

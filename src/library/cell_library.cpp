@@ -1,0 +1,66 @@
+#include "library/cell_library.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+int CellLibrary::add(const Cell& cell) {
+  RAPIDS_ASSERT_MSG(find_by_name(cell.name) < 0, "duplicate cell name: " + cell.name);
+  RAPIDS_ASSERT(cell.num_inputs >= 1);
+  RAPIDS_ASSERT(cell.area > 0.0 && cell.input_cap > 0.0);
+  cells_.push_back(cell);
+  return static_cast<int>(cells_.size()) - 1;
+}
+
+const Cell& CellLibrary::cell(int index) const {
+  RAPIDS_ASSERT(index >= 0 && index < num_cells());
+  return cells_[static_cast<std::size_t>(index)];
+}
+
+int CellLibrary::find(GateType function, int num_inputs, int drive_index) const {
+  for (int i = 0; i < num_cells(); ++i) {
+    const Cell& c = cells_[static_cast<std::size_t>(i)];
+    if (c.function == function && c.num_inputs == num_inputs &&
+        c.drive_index == drive_index) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int CellLibrary::find_by_name(const std::string& name) const {
+  for (int i = 0; i < num_cells(); ++i) {
+    if (cells_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+std::vector<int> CellLibrary::variants(GateType function, int num_inputs) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_cells(); ++i) {
+    const Cell& c = cells_[static_cast<std::size_t>(i)];
+    if (c.function == function && c.num_inputs == num_inputs) out.push_back(i);
+  }
+  std::sort(out.begin(), out.end(), [this](int a, int b) {
+    return cells_[static_cast<std::size_t>(a)].drive_index <
+           cells_[static_cast<std::size_t>(b)].drive_index;
+  });
+  return out;
+}
+
+int CellLibrary::smallest(GateType function, int num_inputs) const {
+  const std::vector<int> v = variants(function, num_inputs);
+  return v.empty() ? -1 : v.front();
+}
+
+int CellLibrary::max_inputs(GateType function) const {
+  int best = 0;
+  for (const Cell& c : cells_) {
+    if (c.function == function) best = std::max(best, c.num_inputs);
+  }
+  return best;
+}
+
+}  // namespace rapids

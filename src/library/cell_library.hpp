@@ -1,0 +1,55 @@
+// Cell library: lookup by (function, fanin count, drive strength).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "library/cell.hpp"
+
+namespace rapids {
+
+/// Wire parasitics. Paper §6: 2 pF/cm and 2.4 kOhm/cm.
+struct WireParams {
+  double cap_per_um = 2.0 / 10000.0;   // pF per um
+  double res_per_um = 2.4 / 10000.0;   // kOhm per um
+};
+
+class CellLibrary {
+ public:
+  /// Register a cell; returns its index. Cell names must be unique.
+  int add(const Cell& cell);
+
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  const Cell& cell(int index) const;
+
+  /// Find cell by exact (function, inputs, drive); -1 if absent.
+  int find(GateType function, int num_inputs, int drive_index) const;
+
+  /// Find by name; -1 if absent.
+  int find_by_name(const std::string& name) const;
+
+  /// All drive variants of (function, inputs), ascending drive.
+  std::vector<int> variants(GateType function, int num_inputs) const;
+
+  /// Smallest (weakest drive) variant; -1 if the type is not in the library.
+  int smallest(GateType function, int num_inputs) const;
+
+  /// Maximum fanin count available for `function` (0 if unsupported).
+  int max_inputs(GateType function) const;
+
+  const WireParams& wire() const { return wire_; }
+  void set_wire(const WireParams& wire) { wire_ = wire; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_ = "unnamed";
+  std::vector<Cell> cells_;
+  WireParams wire_;
+};
+
+/// The built-in 0.35um-class library described in the paper's §6.
+CellLibrary builtin_library_035();
+
+}  // namespace rapids

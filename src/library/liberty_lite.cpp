@@ -1,0 +1,79 @@
+#include "library/liberty_lite.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+CellLibrary read_liberty_lite(std::istream& in) {
+  CellLibrary lib;
+  std::string line;
+  int line_no = 0;
+  auto parse_error = [&line_no](const std::string& msg) {
+    throw InputError("liberty-lite line " + std::to_string(line_no) + ": " + msg);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+    if (keyword == "library") {
+      std::string name;
+      if (!(ls >> name)) parse_error("library needs a name");
+      lib.set_name(name);
+    } else if (keyword == "wire") {
+      double cap_per_cm = 0, res_per_cm = 0;
+      if (!(ls >> cap_per_cm >> res_per_cm)) parse_error("wire needs cap and res");
+      WireParams w;
+      w.cap_per_um = cap_per_cm / 10000.0;
+      w.res_per_um = res_per_cm / 10000.0;
+      lib.set_wire(w);
+    } else if (keyword == "cell") {
+      Cell c;
+      std::string fn;
+      if (!(ls >> c.name >> fn >> c.num_inputs >> c.drive_index >> c.area >>
+            c.input_cap >> c.intrinsic_rise >> c.intrinsic_fall >> c.res_rise >>
+            c.res_fall >> c.max_load)) {
+        parse_error("cell needs 11 fields");
+      }
+      c.function = gate_type_from_string(fn);
+      lib.add(c);
+    } else {
+      parse_error("unknown keyword '" + keyword + "'");
+    }
+  }
+  return lib;
+}
+
+CellLibrary read_liberty_lite_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open library file: " + path);
+  return read_liberty_lite(in);
+}
+
+void write_liberty_lite(const CellLibrary& lib, std::ostream& out) {
+  out.precision(17);  // lossless double round-trip
+  out << "# RAPIDS liberty-lite library\n";
+  out << "library " << lib.name() << "\n";
+  out << "wire " << lib.wire().cap_per_um * 10000.0 << ' ' << lib.wire().res_per_um * 10000.0
+      << "\n";
+  for (int i = 0; i < lib.num_cells(); ++i) {
+    const Cell& c = lib.cell(i);
+    out << "cell " << c.name << ' ' << to_string(c.function) << ' ' << c.num_inputs << ' '
+        << c.drive_index << ' ' << c.area << ' ' << c.input_cap << ' ' << c.intrinsic_rise
+        << ' ' << c.intrinsic_fall << ' ' << c.res_rise << ' ' << c.res_fall << ' '
+        << c.max_load << "\n";
+  }
+}
+
+void write_liberty_lite_file(const CellLibrary& lib, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw InputError("cannot write library file: " + path);
+  write_liberty_lite(lib, out);
+}
+
+}  // namespace rapids

@@ -1,0 +1,26 @@
+// "Liberty-lite": a minimal line-oriented text format for cell libraries, so
+// users can supply their own process data without a full .lib parser.
+//
+//   library <name>
+//   wire <cap_pf_per_cm> <res_kohm_per_cm>
+//   cell <name> <fn> <inputs> <drive> <area> <cap_pf> <t_rise> <t_fall>
+//        <r_rise> <r_fall> <max_load>        (one line per cell)
+//   ...
+//
+// '#' starts a comment; blank lines ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "library/cell_library.hpp"
+
+namespace rapids {
+
+CellLibrary read_liberty_lite(std::istream& in);
+CellLibrary read_liberty_lite_file(const std::string& path);
+
+void write_liberty_lite(const CellLibrary& lib, std::ostream& out);
+void write_liberty_lite_file(const CellLibrary& lib, const std::string& path);
+
+}  // namespace rapids

@@ -1,0 +1,108 @@
+#include "mapping/decompose.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netlist/simplify.hpp"
+#include "netlist/topo.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+
+/// Balanced 2-input tree over `xs` of base type `base`; returns the root.
+GateId build_tree(Network& net, GateType base, std::vector<GateId> xs) {
+  RAPIDS_ASSERT(!xs.empty());
+  while (xs.size() > 1) {
+    std::vector<GateId> next;
+    next.reserve((xs.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const GateId h = net.add_gate(base);
+      net.add_fanin(h, xs[i]);
+      net.add_fanin(h, xs[i + 1]);
+      next.push_back(h);
+    }
+    if (xs.size() % 2 == 1) next.push_back(xs.back());
+    xs = std::move(next);
+  }
+  return xs[0];
+}
+
+}  // namespace
+
+DecomposeStats decompose(Network& net) {
+  DecomposeStats stats;
+  const SimplifyStats s0 = simplify(net);
+  stats.simplified += s0.total();
+
+  // Split wide gates. Topological order is stable against appends (new
+  // gates only feed the gate being rewritten).
+  for (const GateId g : topological_order(net)) {
+    if (net.is_deleted(g)) continue;
+    const GateType t = net.type(g);
+    if (!is_multi_input(t) || net.fanin_count(g) <= 2) continue;
+    const GateType base = base_type(t);
+    // Left subtree over all but the last fanin; g keeps (subtree, last) and
+    // its own (possibly inverted) type, preserving the output polarity.
+    std::vector<GateId> init(net.fanins(g).begin(), net.fanins(g).end());
+    const GateId last = init.back();
+    init.pop_back();
+    const GateId left = build_tree(net, base, std::move(init));
+    while (net.fanin_count(g) > 2) net.remove_fanin(g, net.fanin_count(g) - 1);
+    net.set_fanin(Pin{g, 0}, left);
+    net.set_fanin(Pin{g, 1}, last);
+    ++stats.wide_gates_split;
+  }
+
+  // Normalize inverted types: NAND/NOR/XNOR -> base 2-input gate + INV.
+  for (const GateId g : net.all_gates()) {
+    const GateType t = net.type(g);
+    if (!is_multi_input(t) || !is_output_inverted(t)) continue;
+    net.set_type(g, base_type(t));
+    const GateId inv = net.add_gate(GateType::Inv);
+    net.replace_all_fanouts(g, inv);
+    net.add_fanin(inv, g);
+  }
+
+  stats.gates_shared = share_structural(net);
+  const SimplifyStats s1 = collapse_buffers(net);
+  stats.simplified += s1.total();
+  return stats;
+}
+
+std::size_t share_structural(Network& net) {
+  // Hash key: type + sorted fanin ids (all base types here are commutative;
+  // duplicate fanins are preserved, so AND(x,x) is NOT collapsed — such
+  // redundancies are exactly what the supergate extractor later reports).
+  struct Key {
+    GateType type;
+    std::vector<GateId> fanins;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = static_cast<std::size_t>(k.type) * 0x9e3779b97f4a7c15ULL;
+      for (const GateId f : k.fanins) h = h * 1099511628211ULL ^ f;
+      return h;
+    }
+  };
+  std::unordered_map<Key, GateId, KeyHash> seen;
+  std::size_t merged = 0;
+  for (const GateId g : topological_order(net)) {
+    if (net.is_deleted(g) || !is_logic(net.type(g))) continue;
+    Key key;
+    key.type = net.type(g);
+    key.fanins.assign(net.fanins(g).begin(), net.fanins(g).end());
+    std::sort(key.fanins.begin(), key.fanins.end());
+    auto [it, inserted] = seen.try_emplace(key, g);
+    if (!inserted) {
+      net.replace_all_fanouts(g, it->second);
+      ++merged;
+    }
+  }
+  net.sweep_dangling();
+  return merged;
+}
+
+}  // namespace rapids

@@ -1,0 +1,30 @@
+// Technology-independent decomposition (stand-in for SIS script.rugged).
+//
+// Brings an arbitrary gate network into 2-input base form (AND/OR/XOR/INV)
+// with constants folded, wide gates expanded into balanced trees, and
+// structurally identical gates shared. The subsequent mapper (mapper.hpp)
+// covers this form with library cells.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+struct DecomposeStats {
+  std::size_t wide_gates_split = 0;
+  std::size_t gates_shared = 0;   // structural-hash merges
+  std::size_t simplified = 0;     // constant folds + buffer collapses
+};
+
+/// In-place decomposition: after the call every logic gate is a 2-input
+/// AND/OR/XOR or an INV (inverted wide types are split into base trees with
+/// a final inverted 2-input gate, then normalized).
+DecomposeStats decompose(Network& net);
+
+/// Structural sharing only (commutative-input hashing); callable on any
+/// network. Returns number of gates merged.
+std::size_t share_structural(Network& net);
+
+}  // namespace rapids

@@ -1,0 +1,298 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mapping/decompose.hpp"
+#include "netlist/topo.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+
+/// Builder for the mapped netlist with per-signal polarity tracking.
+class MapperImpl {
+ public:
+  MapperImpl(const Network& src, const CellLibrary& lib, const MapOptions& options)
+      : src_(src), lib_(lib), options_(options) {}
+
+  MapResult run() {
+    Network work = src_.clone();
+    decompose(work);
+
+    for (const GateId g : topological_order(work)) {
+      const GateType t = work.type(g);
+      switch (t) {
+        case GateType::Input:
+          pos_[g] = out_.add_gate(GateType::Input, work.name(g));
+          break;
+        case GateType::Const0:
+          pos_[g] = constant(false);
+          break;
+        case GateType::Const1:
+          pos_[g] = constant(true);
+          break;
+        case GateType::Output:
+          break;  // handled after all logic exists
+        case GateType::Inv:
+          // Pure polarity alias — no cell.
+          alias_inverted(g, work.fanin(g, 0));
+          break;
+        case GateType::Buf:
+          alias(g, work.fanin(g, 0));
+          break;
+        case GateType::And: {
+          const GateId n = make_gate(GateType::Nand,
+                                     {pos(work.fanin(g, 0)), pos(work.fanin(g, 1))});
+          neg_[g] = n;
+          break;
+        }
+        case GateType::Or: {
+          const GateId n = make_gate(GateType::Nor,
+                                     {pos(work.fanin(g, 0)), pos(work.fanin(g, 1))});
+          neg_[g] = n;
+          break;
+        }
+        case GateType::Xor: {
+          const GateId n = make_gate(GateType::Xor,
+                                     {pos(work.fanin(g, 0)), pos(work.fanin(g, 1))});
+          pos_[g] = n;
+          break;
+        }
+        default:
+          RAPIDS_ASSERT_MSG(false, "unexpected type after decomposition");
+      }
+    }
+    for (const GateId po : work.primary_outputs()) {
+      const GateId out_po = out_.add_gate(GateType::Output, work.name(po));
+      out_.add_fanin(out_po, pos(work.fanin(po, 0)));
+    }
+
+    // Polarity borrowing can strand a realization nobody ended up using
+    // (e.g. an XOR whose only consumer switched to the XNOR sibling).
+    out_.sweep_dangling();
+
+    MapResult result;
+    if (options_.merge) result.merges = merge_arity();
+    out_.sweep_dangling();
+    bind_cells();
+    result.cells = out_.num_logic_gates();
+    out_.for_each_gate([&](GateId g) {
+      if (out_.type(g) == GateType::Inv) ++result.inverters;
+    });
+    result.mapped = std::move(out_);
+    return result;
+  }
+
+ private:
+  // --- polarity bookkeeping ---------------------------------------------
+
+  GateId constant(bool value) {
+    GateId& slot = value ? const1_ : const0_;
+    if (slot == kNullGate) {
+      slot = out_.add_gate(value ? GateType::Const1 : GateType::Const0);
+    }
+    return slot;
+  }
+
+  void alias(GateId g, GateId of) {
+    if (auto it = pos_.find(of); it != pos_.end()) pos_[g] = it->second;
+    if (auto it = neg_.find(of); it != neg_.end()) neg_[g] = it->second;
+    src_alias_[g] = of;
+  }
+
+  void alias_inverted(GateId g, GateId of) {
+    if (auto it = pos_.find(of); it != pos_.end()) neg_[g] = it->second;
+    if (auto it = neg_.find(of); it != neg_.end()) pos_[g] = it->second;
+    inv_alias_[g] = of;
+  }
+
+  /// Complement of an already-realized gate: XOR-family gates invert for
+  /// free by swapping to their XNOR/XOR sibling cell; everything else pays
+  /// an inverter.
+  GateId complement_of(GateId realized) {
+    const GateType t = out_.type(realized);
+    if (t == GateType::Xor || t == GateType::Xnor) {
+      std::vector<GateId> fans(out_.fanins(realized).begin(),
+                               out_.fanins(realized).end());
+      return make_gate(inverted_type(t), std::move(fans));
+    }
+    return make_gate(GateType::Inv, {realized});
+  }
+
+  /// Positive-polarity realization of source signal `g`, creating an INV
+  /// (or XOR-sibling) cell on demand.
+  GateId pos(GateId g) {
+    if (auto it = pos_.find(g); it != pos_.end()) return it->second;
+    if (auto it = neg_.find(g); it != neg_.end()) {
+      const GateId inv = complement_of(it->second);
+      pos_[g] = inv;
+      return inv;
+    }
+    // Aliases of signals whose polarities were realized lazily later.
+    if (auto it = src_alias_.find(g); it != src_alias_.end()) {
+      const GateId p = pos(it->second);
+      pos_[g] = p;
+      return p;
+    }
+    if (auto it = inv_alias_.find(g); it != inv_alias_.end()) {
+      const GateId p = neg(it->second);
+      pos_[g] = p;
+      return p;
+    }
+    RAPIDS_ASSERT_MSG(false, "signal has no realization");
+  }
+
+  GateId neg(GateId g) {
+    if (auto it = neg_.find(g); it != neg_.end()) return it->second;
+    if (auto it = pos_.find(g); it != pos_.end()) {
+      const GateId inv = complement_of(it->second);
+      neg_[g] = inv;
+      return inv;
+    }
+    if (auto it = src_alias_.find(g); it != src_alias_.end()) {
+      const GateId n = neg(it->second);
+      neg_[g] = n;
+      return n;
+    }
+    if (auto it = inv_alias_.find(g); it != inv_alias_.end()) {
+      const GateId n = pos(it->second);
+      neg_[g] = n;
+      return n;
+    }
+    RAPIDS_ASSERT_MSG(false, "signal has no realization");
+  }
+
+  /// Structural-hashed gate creation in the output network.
+  GateId make_gate(GateType type, std::vector<GateId> fanins) {
+    std::vector<GateId> key_fanins = fanins;
+    std::sort(key_fanins.begin(), key_fanins.end());
+    const StrashKey key{type, std::move(key_fanins)};
+    if (auto it = strash_.find(key); it != strash_.end()) return it->second;
+    const GateId g = out_.add_gate(type);
+    for (const GateId f : fanins) out_.add_fanin(g, f);
+    strash_.emplace(key, g);
+    return g;
+  }
+
+  // --- arity merge -------------------------------------------------------
+
+  std::size_t merge_arity() {
+    const int max_arity = std::min(options_.max_arity, 4);
+    std::size_t merges = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const GateId g : topological_order(out_)) {
+        if (out_.is_deleted(g)) continue;
+        const GateType t = out_.type(g);
+        if (t == GateType::Nand || t == GateType::Nor) {
+          // NAND(INV(NAND(a,b)), c, ...) == NAND(a, b, c, ...)
+          for (std::uint32_t i = 0; i < out_.fanin_count(g); ++i) {
+            const GateId inv = out_.fanin(g, i);
+            if (out_.type(inv) != GateType::Inv || out_.fanout_count(inv) != 1) continue;
+            const GateId inner = out_.fanin(inv, 0);
+            if (out_.type(inner) != t || out_.fanout_count(inner) != 1) continue;
+            const int new_arity = static_cast<int>(out_.fanin_count(g)) - 1 +
+                                  static_cast<int>(out_.fanin_count(inner));
+            if (new_arity > max_arity) continue;
+            const std::vector<GateId> inner_fanins(out_.fanins(inner).begin(),
+                                                   out_.fanins(inner).end());
+            out_.remove_fanin(g, i);
+            for (const GateId f : inner_fanins) out_.add_fanin(g, f);
+            out_.replace_all_fanouts(inv, inner);  // none left, but keep sane
+            out_.delete_gate(inv);
+            // inner now dangles once its only sink (inv) is gone.
+            for (std::uint32_t k = out_.fanin_count(inner); k > 0; --k) {
+              out_.remove_fanin(inner, k - 1);
+            }
+            out_.delete_gate(inner);
+            ++merges;
+            changed = true;
+            break;
+          }
+        } else if (t == GateType::Xor || t == GateType::Xnor) {
+          // XOR(XOR(a,b), c) == XOR(a,b,c); an inner XNOR flips the type.
+          for (std::uint32_t i = 0; i < out_.fanin_count(g); ++i) {
+            const GateId inner = out_.fanin(g, i);
+            const GateType it = out_.type(inner);
+            if ((it != GateType::Xor && it != GateType::Xnor) ||
+                out_.fanout_count(inner) != 1) {
+              continue;
+            }
+            const int new_arity = static_cast<int>(out_.fanin_count(g)) - 1 +
+                                  static_cast<int>(out_.fanin_count(inner));
+            if (new_arity > max_arity) continue;
+            const std::vector<GateId> inner_fanins(out_.fanins(inner).begin(),
+                                                   out_.fanins(inner).end());
+            out_.remove_fanin(g, i);
+            for (const GateId f : inner_fanins) out_.add_fanin(g, f);
+            if (it == GateType::Xnor) out_.set_type(g, inverted_type(out_.type(g)));
+            for (std::uint32_t k = out_.fanin_count(inner); k > 0; --k) {
+              out_.remove_fanin(inner, k - 1);
+            }
+            out_.delete_gate(inner);
+            ++merges;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return merges;
+  }
+
+  // --- cell binding --------------------------------------------------------
+
+  void bind_cells() {
+    out_.for_each_gate([&](GateId g) {
+      if (!is_logic(out_.type(g))) return;
+      const int inputs = static_cast<int>(out_.fanin_count(g));
+      const std::vector<int> variants = lib_.variants(out_.type(g), inputs);
+      RAPIDS_ASSERT_MSG(!variants.empty(),
+                        std::string("library lacks cell for ") +
+                            to_string(out_.type(g)) + "/" + std::to_string(inputs));
+      // Fanout-based initial drive, mimicking a timing-driven mapper
+      // ("map -n 1 -AFG"): generous sizing so the sizing optimizer mostly
+      // recovers area rather than chasing large upsizing headroom.
+      const std::uint32_t fanout = out_.fanout_count(g);
+      std::size_t pick = fanout <= 1 ? 1 : fanout <= 3 ? 2 : 3;
+      pick = std::min(pick, variants.size() - 1);
+      out_.set_cell(g, variants[pick]);
+    });
+  }
+
+  struct StrashKey {
+    GateType type;
+    std::vector<GateId> fanins;
+    bool operator==(const StrashKey&) const = default;
+  };
+  struct StrashHash {
+    std::size_t operator()(const StrashKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.type) * 0x9e3779b97f4a7c15ULL;
+      for (const GateId f : k.fanins) h = h * 1099511628211ULL ^ f;
+      return h;
+    }
+  };
+
+  const Network& src_;
+  const CellLibrary& lib_;
+  MapOptions options_;
+  Network out_;
+  GateId const0_ = kNullGate;
+  GateId const1_ = kNullGate;
+  std::unordered_map<GateId, GateId> pos_, neg_;        // src signal -> out gate
+  std::unordered_map<GateId, GateId> src_alias_, inv_alias_;
+  std::unordered_map<StrashKey, GateId, StrashHash> strash_;
+};
+
+}  // namespace
+
+MapResult map_network(const Network& src, const CellLibrary& lib,
+                      const MapOptions& options) {
+  MapperImpl impl(src, lib, options);
+  return impl.run();
+}
+
+}  // namespace rapids

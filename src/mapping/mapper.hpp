@@ -1,0 +1,43 @@
+// Technology mapper (stand-in for SIS "map -n 1 -AFG").
+//
+// Covers a decomposed 2-input AND/OR/XOR/INV network with the library's
+// INV/NAND/NOR/XOR/XNOR cells (2..4 inputs):
+//   1. polarity-aware construction: each source signal may be realized in
+//      positive and/or negative polarity; AND becomes NAND (negative out),
+//      OR becomes NOR / NAND-of-complements, XOR yields XOR/XNOR for free,
+//      INV is absorbed as a polarity flip — inverter cells appear only when
+//      a demanded polarity cannot be borrowed;
+//   2. arity merge: NAND(INV(NAND(a,b)), c) -> NAND3(a,b,c) and the NOR /
+//      XOR analogues, up to the library's widest variant;
+//   3. drive binding: initial drive strength by fanout count (the sizing
+//      optimizer refines this later).
+#pragma once
+
+#include <cstddef>
+
+#include "library/cell_library.hpp"
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+struct MapOptions {
+  /// Upper bound on merged gate arity (clamped to the library's widest).
+  int max_arity = 4;
+  /// Skip the arity-merge phase (kept for ablation benches).
+  bool merge = true;
+};
+
+struct MapResult {
+  Network mapped;
+  std::size_t cells = 0;
+  std::size_t inverters = 0;
+  std::size_t merges = 0;
+};
+
+/// Map `src` (any gate network; it is decomposed internally if needed) into
+/// a mapped netlist whose every logic gate carries a library cell binding.
+/// Primary input/output names are preserved.
+MapResult map_network(const Network& src, const CellLibrary& lib,
+                      const MapOptions& options = {});
+
+}  // namespace rapids

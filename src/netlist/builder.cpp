@@ -1,0 +1,87 @@
+#include "netlist/builder.hpp"
+
+#include <algorithm>
+
+namespace rapids {
+
+GateId NetworkBuilder::input(const std::string& name) {
+  return net_.add_gate(GateType::Input, name);
+}
+
+GateId NetworkBuilder::output(const std::string& name, GateId driver) {
+  const GateId po = net_.add_gate(GateType::Output, name);
+  net_.add_fanin(po, driver);
+  return po;
+}
+
+GateId NetworkBuilder::const0() {
+  if (const0_ == kNullGate) const0_ = net_.add_gate(GateType::Const0, "const0");
+  return const0_;
+}
+
+GateId NetworkBuilder::const1() {
+  if (const1_ == kNullGate) const1_ = net_.add_gate(GateType::Const1, "const1");
+  return const1_;
+}
+
+GateId NetworkBuilder::gate(GateType type, const std::vector<GateId>& fanins,
+                            const std::string& name) {
+  RAPIDS_ASSERT_MSG(is_logic(type), "builder.gate requires a logic type");
+  if (is_multi_input(type)) {
+    RAPIDS_ASSERT_MSG(fanins.size() >= 2, "multi-input gate needs >= 2 fanins");
+  } else {
+    RAPIDS_ASSERT_MSG(fanins.size() == 1, "INV/BUF take exactly 1 fanin");
+  }
+  const GateId g = net_.add_gate(type, name);
+  for (const GateId f : fanins) net_.add_fanin(g, f);
+  return g;
+}
+
+GateId NetworkBuilder::buf(GateId x, const std::string& name) {
+  return gate(GateType::Buf, {x}, name);
+}
+GateId NetworkBuilder::inv(GateId x, const std::string& name) {
+  return gate(GateType::Inv, {x}, name);
+}
+GateId NetworkBuilder::and_(const std::vector<GateId>& xs, const std::string& name) {
+  return gate(GateType::And, xs, name);
+}
+GateId NetworkBuilder::nand(const std::vector<GateId>& xs, const std::string& name) {
+  return gate(GateType::Nand, xs, name);
+}
+GateId NetworkBuilder::or_(const std::vector<GateId>& xs, const std::string& name) {
+  return gate(GateType::Or, xs, name);
+}
+GateId NetworkBuilder::nor(const std::vector<GateId>& xs, const std::string& name) {
+  return gate(GateType::Nor, xs, name);
+}
+GateId NetworkBuilder::xor_(const std::vector<GateId>& xs, const std::string& name) {
+  return gate(GateType::Xor, xs, name);
+}
+GateId NetworkBuilder::xnor(const std::vector<GateId>& xs, const std::string& name) {
+  return gate(GateType::Xnor, xs, name);
+}
+
+GateId NetworkBuilder::tree(GateType type, std::vector<GateId> xs, int max_arity) {
+  RAPIDS_ASSERT(!xs.empty());
+  RAPIDS_ASSERT(max_arity >= 2 && max_arity <= 4);
+  RAPIDS_ASSERT_MSG(is_multi_input(type) && !is_output_inverted(type),
+                    "tree() builds AND/OR/XOR trees");
+  if (xs.size() == 1) return xs[0];
+  while (xs.size() > 1) {
+    std::vector<GateId> next;
+    next.reserve((xs.size() + max_arity - 1) / max_arity);
+    for (std::size_t i = 0; i < xs.size(); i += max_arity) {
+      const std::size_t end = std::min(xs.size(), i + max_arity);
+      if (end - i == 1) {
+        next.push_back(xs[i]);
+      } else {
+        next.push_back(gate(type, std::vector<GateId>(xs.begin() + i, xs.begin() + end)));
+      }
+    }
+    xs = std::move(next);
+  }
+  return xs[0];
+}
+
+}  // namespace rapids

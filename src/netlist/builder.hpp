@@ -1,0 +1,57 @@
+// Fluent construction helpers for Networks.
+//
+// Tests, examples and the workload generators all build circuits through
+// this interface, e.g.:
+//
+//   NetworkBuilder b;
+//   auto a = b.input("a"), c = b.input("c");
+//   b.output("f", b.nand({a, b.inv(c)}));
+//   Network net = b.take();
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+class NetworkBuilder {
+ public:
+  NetworkBuilder() = default;
+
+  GateId input(const std::string& name);
+  GateId output(const std::string& name, GateId driver);
+  GateId const0();
+  GateId const1();
+
+  GateId gate(GateType type, const std::vector<GateId>& fanins,
+              const std::string& name = {});
+
+  GateId buf(GateId x, const std::string& name = {});
+  GateId inv(GateId x, const std::string& name = {});
+  GateId and_(const std::vector<GateId>& xs, const std::string& name = {});
+  GateId nand(const std::vector<GateId>& xs, const std::string& name = {});
+  GateId or_(const std::vector<GateId>& xs, const std::string& name = {});
+  GateId nor(const std::vector<GateId>& xs, const std::string& name = {});
+  GateId xor_(const std::vector<GateId>& xs, const std::string& name = {});
+  GateId xnor(const std::vector<GateId>& xs, const std::string& name = {});
+
+  /// Convenience for wide operations built as balanced trees of at most
+  /// `max_arity`-input gates (arity 2..4, matching the cell library).
+  GateId tree(GateType type, std::vector<GateId> xs, int max_arity = 2);
+
+  Network& net() { return net_; }
+  const Network& net() const { return net_; }
+
+  /// Move the finished network out of the builder.
+  Network take() { return std::move(net_); }
+
+ private:
+  Network net_;
+  GateId const0_ = kNullGate;
+  GateId const1_ = kNullGate;
+};
+
+}  // namespace rapids

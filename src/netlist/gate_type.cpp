@@ -1,0 +1,231 @@
+#include "netlist/gate_type.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+const char* to_string(GateType type) {
+  switch (type) {
+    case GateType::Const0:
+      return "CONST0";
+    case GateType::Const1:
+      return "CONST1";
+    case GateType::Input:
+      return "INPUT";
+    case GateType::Output:
+      return "OUTPUT";
+    case GateType::Buf:
+      return "BUF";
+    case GateType::Inv:
+      return "INV";
+    case GateType::And:
+      return "AND";
+    case GateType::Nand:
+      return "NAND";
+    case GateType::Or:
+      return "OR";
+    case GateType::Nor:
+      return "NOR";
+    case GateType::Xor:
+      return "XOR";
+    case GateType::Xnor:
+      return "XNOR";
+  }
+  return "?";
+}
+
+GateType gate_type_from_string(const std::string& name) {
+  std::string up(name);
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  if (up == "CONST0") return GateType::Const0;
+  if (up == "CONST1") return GateType::Const1;
+  if (up == "INPUT") return GateType::Input;
+  if (up == "OUTPUT") return GateType::Output;
+  if (up == "BUF" || up == "BUFF") return GateType::Buf;
+  if (up == "INV" || up == "NOT") return GateType::Inv;
+  if (up == "AND") return GateType::And;
+  if (up == "NAND") return GateType::Nand;
+  if (up == "OR") return GateType::Or;
+  if (up == "NOR") return GateType::Nor;
+  if (up == "XOR") return GateType::Xor;
+  if (up == "XNOR" || up == "NXOR") return GateType::Xnor;
+  throw InputError("unknown gate type: '" + name + "'");
+}
+
+bool is_logic(GateType type) {
+  switch (type) {
+    case GateType::Buf:
+    case GateType::Inv:
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_multi_input(GateType type) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_output_inverted(GateType type) {
+  switch (type) {
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Xnor:
+    case GateType::Inv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+GateType base_type(GateType type) {
+  switch (type) {
+    case GateType::Nand:
+      return GateType::And;
+    case GateType::Nor:
+      return GateType::Or;
+    case GateType::Xnor:
+      return GateType::Xor;
+    case GateType::Inv:
+      return GateType::Buf;
+    default:
+      return type;
+  }
+}
+
+GateType inverted_type(GateType type) {
+  switch (type) {
+    case GateType::And:
+      return GateType::Nand;
+    case GateType::Nand:
+      return GateType::And;
+    case GateType::Or:
+      return GateType::Nor;
+    case GateType::Nor:
+      return GateType::Or;
+    case GateType::Xor:
+      return GateType::Xnor;
+    case GateType::Xnor:
+      return GateType::Xor;
+    case GateType::Buf:
+      return GateType::Inv;
+    case GateType::Inv:
+      return GateType::Buf;
+    case GateType::Const0:
+      return GateType::Const1;
+    case GateType::Const1:
+      return GateType::Const0;
+    default:
+      RAPIDS_ASSERT_MSG(false, "type has no inverted counterpart");
+  }
+}
+
+bool has_controlling_value(GateType type) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int controlling_value(GateType type) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+      return 0;
+    case GateType::Or:
+    case GateType::Nor:
+      return 1;
+    default:
+      RAPIDS_ASSERT_MSG(false, "gate type has no controlling value");
+  }
+}
+
+int non_controlling_value(GateType type) { return 1 - controlling_value(type); }
+
+int implication_trigger_output(GateType type) {
+  // Output value seen when every input carries ncv(g).
+  switch (type) {
+    case GateType::And:
+      return 1;
+    case GateType::Nand:
+      return 0;
+    case GateType::Or:
+      return 0;
+    case GateType::Nor:
+      return 1;
+    default:
+      RAPIDS_ASSERT_MSG(false, "implication trigger defined only for AND/OR families");
+  }
+}
+
+std::uint64_t eval_word(GateType type, const std::uint64_t* fanins, int n) {
+  switch (type) {
+    case GateType::Buf:
+      RAPIDS_ASSERT(n == 1);
+      return fanins[0];
+    case GateType::Inv:
+      RAPIDS_ASSERT(n == 1);
+      return ~fanins[0];
+    case GateType::And:
+    case GateType::Nand: {
+      RAPIDS_ASSERT(n >= 1);
+      std::uint64_t acc = fanins[0];
+      for (int i = 1; i < n; ++i) acc &= fanins[i];
+      return type == GateType::And ? acc : ~acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      RAPIDS_ASSERT(n >= 1);
+      std::uint64_t acc = fanins[0];
+      for (int i = 1; i < n; ++i) acc |= fanins[i];
+      return type == GateType::Or ? acc : ~acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      RAPIDS_ASSERT(n >= 1);
+      std::uint64_t acc = fanins[0];
+      for (int i = 1; i < n; ++i) acc ^= fanins[i];
+      return type == GateType::Xor ? acc : ~acc;
+    }
+    case GateType::Const0:
+      return 0;
+    case GateType::Const1:
+      return ~0ULL;
+    default:
+      RAPIDS_ASSERT_MSG(false, "eval_word on non-logic gate");
+  }
+}
+
+int eval_bit(GateType type, const int* fanins, int n) {
+  std::uint64_t words[32];
+  RAPIDS_ASSERT(n <= 32);
+  for (int i = 0; i < n; ++i) words[i] = fanins[i] ? ~0ULL : 0ULL;
+  return (eval_word(type, words, n) & 1ULL) ? 1 : 0;
+}
+
+}  // namespace rapids

@@ -1,0 +1,80 @@
+// Gate-type algebra for mapped Boolean networks.
+//
+// Following the paper (§2), the theory is developed over
+// {AND, OR, XOR, INV, BUF}; NAND/NOR/XNOR are treated as inverted AND, OR,
+// XOR. Input / Output / Const gates model the network boundary: an Input
+// gate has no fanins and drives one net; an Output gate is a named sink
+// marker with exactly one fanin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rapids {
+
+enum class GateType : std::uint8_t {
+  Const0,
+  Const1,
+  Input,   // primary input (or flip-flop output treated as pseudo-PI)
+  Output,  // primary output marker (or flip-flop input treated as pseudo-PO)
+  Buf,
+  Inv,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+};
+
+/// Number of enumerators, for table-driven code.
+inline constexpr int kNumGateTypes = 12;
+
+/// Printable name ("NAND", "INV", ...).
+const char* to_string(GateType type);
+
+/// Parse a type name (case-insensitive); throws InputError on failure.
+GateType gate_type_from_string(const std::string& name);
+
+/// True for AND/NAND/OR/NOR/XOR/XNOR/BUF/INV — gates that compute logic.
+bool is_logic(GateType type);
+
+/// True for gates that admit >= 2 inputs (AND/NAND/OR/NOR/XOR/XNOR).
+bool is_multi_input(GateType type);
+
+/// True if the gate's output is the complement of its base function
+/// (NAND, NOR, XNOR, INV).
+bool is_output_inverted(GateType type);
+
+/// Base function with the output inversion stripped:
+/// NAND->And, NOR->Or, XNOR->Xor, INV->Buf; others map to themselves.
+GateType base_type(GateType type);
+
+/// Inverted counterpart: And<->Nand, Or<->Nor, Xor<->Xnor, Buf<->Inv.
+/// Const0<->Const1. Input/Output are not invertible (asserts).
+GateType inverted_type(GateType type);
+
+/// Controlling value cv(g) for AND/NAND (0) and OR/NOR (1).
+/// XOR-family, INV and BUF have no controlling value (asserts).
+int controlling_value(GateType type);
+
+/// Non-controlling value ncv(g) — the complement of cv(g).
+int non_controlling_value(GateType type);
+
+/// True if the type has a controlling value (AND/NAND/OR/NOR).
+bool has_controlling_value(GateType type);
+
+/// Output value of g when ALL inputs carry ncv(g): AND->1, NAND->0,
+/// OR->0, NOR->1. This is the value v at the out-pin for which direct
+/// backward implication fires (paper §2). Asserts unless AND-family/OR-family.
+int implication_trigger_output(GateType type);
+
+/// Word-parallel evaluation of a gate over already-evaluated fanin words.
+/// `fanins` points at `n` 64-bit simulation words (one bit per pattern).
+/// Input/Output/Const types are not evaluated here (asserts).
+std::uint64_t eval_word(GateType type, const std::uint64_t* fanins, int n);
+
+/// Scalar evaluation convenience (bits are 0/1).
+int eval_bit(GateType type, const int* fanins, int n);
+
+}  // namespace rapids

@@ -1,0 +1,184 @@
+#include "netlist/network.hpp"
+
+#include <algorithm>
+
+namespace rapids {
+
+GateId Network::add_gate(GateType type, const std::string& name) {
+  const GateId id = static_cast<GateId>(gates_.size());
+  GateData g;
+  g.type = type;
+  g.name = name.empty() ? ("g" + std::to_string(id)) : name;
+  auto [it, inserted] = by_name_.emplace(g.name, id);
+  RAPIDS_ASSERT_MSG(inserted, "duplicate gate name: " + g.name);
+  gates_.push_back(std::move(g));
+  ++live_count_;
+  if (type == GateType::Input) inputs_.push_back(id);
+  if (type == GateType::Output) outputs_.push_back(id);
+  return id;
+}
+
+void Network::add_fanin(GateId gate, GateId driver) {
+  GateData& g = data(gate);
+  RAPIDS_ASSERT(!g.deleted && !data(driver).deleted);
+  RAPIDS_ASSERT_MSG(g.type != GateType::Input && g.type != GateType::Const0 &&
+                        g.type != GateType::Const1,
+                    "boundary gate cannot have fanins");
+  const Pin pin{gate, static_cast<std::uint32_t>(g.fanins.size())};
+  g.fanins.push_back(driver);
+  data(driver).fanouts.push_back(pin);
+}
+
+void Network::remove_fanout_entry(GateId driver, Pin pin) {
+  auto& fo = data(driver).fanouts;
+  auto it = std::find(fo.begin(), fo.end(), pin);
+  RAPIDS_ASSERT_MSG(it != fo.end(), "fanout list inconsistent");
+  *it = fo.back();
+  fo.pop_back();
+}
+
+void Network::set_fanin(Pin pin, GateId new_driver) {
+  GateData& g = data(pin.gate);
+  RAPIDS_ASSERT(pin.index < g.fanins.size());
+  const GateId old_driver = g.fanins[pin.index];
+  if (old_driver == new_driver) return;
+  RAPIDS_ASSERT(!data(new_driver).deleted);
+  remove_fanout_entry(old_driver, pin);
+  g.fanins[pin.index] = new_driver;
+  data(new_driver).fanouts.push_back(pin);
+}
+
+void Network::remove_fanin(GateId gate, std::uint32_t index) {
+  GateData& g = data(gate);
+  RAPIDS_ASSERT(index < g.fanins.size());
+  remove_fanout_entry(g.fanins[index], Pin{gate, index});
+  // Shift the remaining fanins down and re-index their fanout entries.
+  for (std::uint32_t j = index + 1; j < g.fanins.size(); ++j) {
+    const GateId d = g.fanins[j];
+    auto& fo = data(d).fanouts;
+    auto it = std::find(fo.begin(), fo.end(), Pin{gate, j});
+    RAPIDS_ASSERT_MSG(it != fo.end(), "fanout list inconsistent during remove_fanin");
+    it->index = j - 1;
+    g.fanins[j - 1] = d;
+  }
+  g.fanins.pop_back();
+}
+
+void Network::replace_all_fanouts(GateId from, GateId to) {
+  RAPIDS_ASSERT(!data(to).deleted);
+  // set_fanin mutates the fanout list; iterate over a snapshot.
+  const std::vector<Pin> sinks(data(from).fanouts.begin(), data(from).fanouts.end());
+  for (const Pin& pin : sinks) set_fanin(pin, to);
+}
+
+void Network::delete_gate(GateId gate) {
+  GateData& g = data(gate);
+  RAPIDS_ASSERT(!g.deleted);
+  RAPIDS_ASSERT_MSG(g.fanouts.empty(), "cannot delete a gate that still drives pins");
+  for (std::uint32_t i = 0; i < g.fanins.size(); ++i) {
+    remove_fanout_entry(g.fanins[i], Pin{gate, i});
+  }
+  g.fanins.clear();
+  g.deleted = true;
+  --live_count_;
+  by_name_.erase(g.name);
+  if (g.type == GateType::Input) {
+    inputs_.erase(std::remove(inputs_.begin(), inputs_.end(), gate), inputs_.end());
+  }
+  if (g.type == GateType::Output) {
+    outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), gate), outputs_.end());
+  }
+}
+
+void Network::set_type(GateId gate, GateType type) {
+  GateData& g = data(gate);
+  RAPIDS_ASSERT_MSG(is_logic(g.type) && is_logic(type),
+                    "set_type only rewrites logic gates");
+  if (!is_multi_input(type)) {
+    RAPIDS_ASSERT(g.fanins.size() == 1);
+  } else {
+    RAPIDS_ASSERT(g.fanins.size() >= 2);
+  }
+  g.type = type;
+}
+
+GateId Network::fanin(GateId gate, std::uint32_t index) const {
+  const GateData& g = data(gate);
+  RAPIDS_ASSERT(index < g.fanins.size());
+  return g.fanins[index];
+}
+
+GateId Network::po_driver(GateId po) const {
+  RAPIDS_ASSERT(type(po) == GateType::Output);
+  RAPIDS_ASSERT(fanin_count(po) == 1);
+  return fanin(po, 0);
+}
+
+std::size_t Network::num_logic_gates() const {
+  std::size_t n = 0;
+  for (const auto& g : gates_) {
+    if (!g.deleted && is_logic(g.type)) ++n;
+  }
+  return n;
+}
+
+std::vector<GateId> Network::all_gates() const {
+  std::vector<GateId> out;
+  out.reserve(live_count_);
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    if (!gates_[id].deleted) out.push_back(id);
+  }
+  return out;
+}
+
+void Network::for_each_gate(const std::function<void(GateId)>& fn) const {
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    if (!gates_[id].deleted) fn(id);
+  }
+}
+
+GateId Network::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNullGate : it->second;
+}
+
+void Network::rename(GateId gate, const std::string& name) {
+  GateData& g = data(gate);
+  RAPIDS_ASSERT(!name.empty());
+  auto [it, inserted] = by_name_.emplace(name, gate);
+  RAPIDS_ASSERT_MSG(inserted, "duplicate gate name: " + name);
+  by_name_.erase(g.name);
+  g.name = name;
+}
+
+Network Network::clone() const { return *this; }
+
+std::size_t Network::sweep_dangling() {
+  // Iteratively delete logic gates with no fanouts (Outputs keep their cone
+  // alive; Inputs are never deleted so the interface stays stable).
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId id = 0; id < gates_.size(); ++id) {
+      GateData& g = gates_[id];
+      if (g.deleted || !is_logic(g.type)) continue;
+      if (g.fanouts.empty()) {
+        delete_gate(id);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+std::vector<std::size_t> Network::type_histogram() const {
+  std::vector<std::size_t> hist(kNumGateTypes, 0);
+  for (const auto& g : gates_) {
+    if (!g.deleted) ++hist[static_cast<std::size_t>(g.type)];
+  }
+  return hist;
+}
+
+}  // namespace rapids

@@ -1,0 +1,182 @@
+// Mapped Boolean network: a DAG of single-output gates.
+//
+// Vertices are gates, edges are wires (paper §2). Every gate's output is a
+// net identified with the gate itself; a sink of that net is an in-pin
+// (gate, input index). The structure keeps forward (fanin) and reverse
+// (fanout) adjacency consistent under rewiring, which is the fundamental
+// operation of this library.
+//
+// Gate ids are stable: deleting a gate tombstones its slot, it is never
+// reused within a Network's lifetime (compact() remaps explicitly). This
+// lets placements, timing annotations and supergate partitions be stored
+// as plain id-indexed vectors alongside the network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate_type.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNullGate = 0xFFFFFFFFu;
+
+/// An in-pin: input `index` of gate `gate`.
+struct Pin {
+  GateId gate = kNullGate;
+  std::uint32_t index = 0;
+
+  bool valid() const { return gate != kNullGate; }
+  friend bool operator==(const Pin& a, const Pin& b) = default;
+};
+
+struct PinHash {
+  std::size_t operator()(const Pin& p) const {
+    return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(p.gate) << 32) | p.index);
+  }
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  // --- construction -------------------------------------------------------
+
+  /// Create a gate with no connections. Name may be empty (auto-assigned
+  /// "g<id>"); non-empty names must be unique.
+  GateId add_gate(GateType type, const std::string& name = {});
+
+  /// Append `driver` as the next fanin of `gate`.
+  void add_fanin(GateId gate, GateId driver);
+
+  /// Reconnect in-pin `pin` to `new_driver` (the elementary rewiring move).
+  void set_fanin(Pin pin, GateId new_driver);
+
+  /// Remove gate. It must have no remaining fanouts; its in-pins are
+  /// detached first. The id becomes invalid (tombstoned).
+  void delete_gate(GateId gate);
+
+  /// Remove in-pin `index` of `gate`; later pins shift down one slot (their
+  /// drivers' fanout entries are re-indexed). Used by constant folding.
+  void remove_fanin(GateId gate, std::uint32_t index);
+
+  /// Reconnect every sink of `from` onto `to` (from ends up with no
+  /// fanouts, ready for delete_gate).
+  void replace_all_fanouts(GateId from, GateId to);
+
+  /// Change a gate's logic type (used by DeMorgan transforms). The fanin
+  /// count must remain legal for the new type.
+  void set_type(GateId gate, GateType type);
+
+  // --- topology queries ----------------------------------------------------
+
+  bool is_deleted(GateId gate) const { return data(gate).deleted; }
+  GateType type(GateId gate) const { return data(gate).type; }
+  const std::string& name(GateId gate) const { return data(gate).name; }
+
+  std::span<const GateId> fanins(GateId gate) const {
+    const auto& f = data(gate).fanins;
+    return {f.data(), f.size()};
+  }
+  GateId fanin(GateId gate, std::uint32_t index) const;
+  std::uint32_t fanin_count(GateId gate) const {
+    return static_cast<std::uint32_t>(data(gate).fanins.size());
+  }
+
+  /// Sink pins of this gate's output net (order unspecified).
+  std::span<const Pin> fanouts(GateId gate) const {
+    const auto& f = data(gate).fanouts;
+    return {f.data(), f.size()};
+  }
+  std::uint32_t fanout_count(GateId gate) const {
+    return static_cast<std::uint32_t>(data(gate).fanouts.size());
+  }
+
+  /// Driver feeding in-pin `pin`.
+  GateId driver_of(Pin pin) const { return fanin(pin.gate, pin.index); }
+
+  // --- boundary ------------------------------------------------------------
+
+  std::span<const GateId> primary_inputs() const { return {inputs_.data(), inputs_.size()}; }
+  std::span<const GateId> primary_outputs() const { return {outputs_.data(), outputs_.size()}; }
+  /// The gate driving primary output marker `po`.
+  GateId po_driver(GateId po) const;
+
+  // --- ids and iteration -----------------------------------------------
+
+  /// One past the largest id ever allocated — size for id-indexed vectors.
+  std::size_t id_bound() const { return gates_.size(); }
+
+  /// Number of live (non-deleted) gates, including Input/Output/Const.
+  std::size_t num_gates() const { return live_count_; }
+
+  /// Number of live logic gates (excludes Input/Output/Const markers).
+  std::size_t num_logic_gates() const;
+
+  /// All live gate ids, ascending.
+  std::vector<GateId> all_gates() const;
+
+  /// Invoke fn for each live gate id.
+  void for_each_gate(const std::function<void(GateId)>& fn) const;
+
+  // --- names ----------------------------------------------------------
+
+  /// Find a gate by name; returns kNullGate if absent.
+  GateId find(const std::string& name) const;
+
+  /// Rename; new name must be unused.
+  void rename(GateId gate, const std::string& name);
+
+  // --- library binding --------------------------------------------------
+
+  /// Index of the bound library cell, or -1 if unmapped.
+  std::int32_t cell(GateId gate) const { return data(gate).cell; }
+  void set_cell(GateId gate, std::int32_t cell_index) { data(gate).cell = cell_index; }
+
+  // --- whole-network operations -----------------------------------------
+
+  /// Deep copy (ids preserved, including tombstones).
+  Network clone() const;
+
+  /// Remove logic gates with no path to any primary output. Returns the
+  /// number of gates removed. Ids of survivors are unchanged.
+  std::size_t sweep_dangling();
+
+  /// Count of live gates per type.
+  std::vector<std::size_t> type_histogram() const;
+
+ private:
+  struct GateData {
+    GateType type = GateType::Buf;
+    std::string name;
+    std::vector<GateId> fanins;
+    std::vector<Pin> fanouts;
+    std::int32_t cell = -1;
+    bool deleted = false;
+  };
+
+  GateData& data(GateId gate) {
+    RAPIDS_ASSERT_MSG(gate < gates_.size(), "gate id out of range");
+    return gates_[gate];
+  }
+  const GateData& data(GateId gate) const {
+    RAPIDS_ASSERT_MSG(gate < gates_.size(), "gate id out of range");
+    return gates_[gate];
+  }
+
+  void remove_fanout_entry(GateId driver, Pin pin);
+
+  std::vector<GateData> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace rapids

@@ -1,0 +1,148 @@
+#include "netlist/simplify.hpp"
+
+#include "netlist/topo.hpp"
+
+namespace rapids {
+
+GateId get_constant(Network& net, bool value) {
+  const GateType want = value ? GateType::Const1 : GateType::Const0;
+  GateId found = kNullGate;
+  net.for_each_gate([&](GateId g) {
+    if (net.type(g) == want && found == kNullGate) found = g;
+  });
+  if (found != kNullGate) return found;
+  return net.add_gate(want);
+}
+
+namespace {
+
+/// One constant-folding sweep in topological order; returns #rewrites.
+std::size_t fold_once(Network& net, SimplifyStats& stats) {
+  std::size_t rewrites = 0;
+  for (const GateId g : topological_order(net)) {
+    if (net.is_deleted(g) || !is_logic(net.type(g))) continue;
+    // Fanout-less gates are dead: rewriting them again every pass would
+    // keep the fixpoint loop spinning. The trailing sweep removes them.
+    if (net.fanout_count(g) == 0) continue;
+    const GateType t = net.type(g);
+    const GateType base = base_type(t);
+    bool inverted = is_output_inverted(t);
+
+    // Collect constant fanins (positions shift as we remove, so loop).
+    bool became_const = false;
+    for (std::uint32_t i = 0; i < net.fanin_count(g);) {
+      const GateType ft = net.type(net.fanin(g, i));
+      if (ft != GateType::Const0 && ft != GateType::Const1) {
+        ++i;
+        continue;
+      }
+      const int v = ft == GateType::Const1 ? 1 : 0;
+      if (base == GateType::And || base == GateType::Or) {
+        const int cv = controlling_value(base);
+        if (v == cv) {
+          // Controlling constant: whole gate is constant.
+          const int out = (base == GateType::And ? 0 : 1) ^ (inverted ? 1 : 0);
+          net.replace_all_fanouts(g, get_constant(net, out != 0));
+          ++stats.folded_to_const;
+          ++rewrites;
+          became_const = true;
+          break;
+        }
+        net.remove_fanin(g, i);
+        ++stats.inputs_dropped;
+        ++rewrites;
+      } else if (base == GateType::Xor) {
+        if (v == 1) inverted = !inverted;  // x ^ 1 == !x
+        net.remove_fanin(g, i);
+        ++stats.inputs_dropped;
+        ++rewrites;
+      } else {  // BUF / INV of a constant
+        const int out = v ^ (inverted ? 1 : 0);
+        net.replace_all_fanouts(g, get_constant(net, out != 0));
+        ++stats.folded_to_const;
+        ++rewrites;
+        became_const = true;
+        break;
+      }
+    }
+    if (became_const) continue;
+
+    // Dropping a constant-1 XOR input complements the parity: materialize
+    // the tracked inversion back into the gate type (XOR <-> XNOR).
+    if (base == GateType::Xor && is_multi_input(net.type(g)) &&
+        net.fanin_count(g) >= 2 && inverted != is_output_inverted(net.type(g))) {
+      net.set_type(g, inverted ? GateType::Xnor : GateType::Xor);
+      ++rewrites;
+    }
+
+    // Re-type gates left with too few inputs.
+    if (is_multi_input(base) || base == GateType::Buf) {
+      const std::uint32_t n = net.fanin_count(g);
+      if (n == 0) {
+        // All inputs were non-controlling constants: AND()->1, OR()->0,
+        // XOR()->0, then apply inversion.
+        int out = base == GateType::And ? 1 : 0;
+        out ^= inverted ? 1 : 0;
+        net.replace_all_fanouts(g, get_constant(net, out != 0));
+        ++stats.folded_to_const;
+        ++rewrites;
+      } else if (n == 1 && is_multi_input(net.type(g))) {
+        net.set_type(g, inverted ? GateType::Inv : GateType::Buf);
+        ++rewrites;
+      }
+    }
+  }
+  return rewrites;
+}
+
+/// One buffer/inverter collapse sweep; returns #rewrites.
+std::size_t collapse_once(Network& net, SimplifyStats& stats) {
+  std::size_t rewrites = 0;
+  for (const GateId g : topological_order(net)) {
+    if (net.is_deleted(g) || net.fanout_count(g) == 0) continue;
+    const GateType t = net.type(g);
+    if (t == GateType::Buf) {
+      net.replace_all_fanouts(g, net.fanin(g, 0));
+      ++stats.buffers_bypassed;
+      ++rewrites;
+    } else if (t == GateType::Inv) {
+      const GateId d = net.fanin(g, 0);
+      if (!net.is_deleted(d) && net.type(d) == GateType::Inv) {
+        net.replace_all_fanouts(g, net.fanin(d, 0));
+        ++stats.buffers_bypassed;
+        ++rewrites;
+      }
+    }
+  }
+  return rewrites;
+}
+
+}  // namespace
+
+SimplifyStats propagate_constants(Network& net) {
+  SimplifyStats stats;
+  while (fold_once(net, stats) > 0) {
+  }
+  stats.gates_removed += net.sweep_dangling();
+  return stats;
+}
+
+SimplifyStats collapse_buffers(Network& net) {
+  SimplifyStats stats;
+  while (collapse_once(net, stats) > 0) {
+  }
+  stats.gates_removed += net.sweep_dangling();
+  return stats;
+}
+
+SimplifyStats simplify(Network& net) {
+  SimplifyStats stats;
+  for (;;) {
+    const std::size_t changed = fold_once(net, stats) + collapse_once(net, stats);
+    if (changed == 0) break;
+  }
+  stats.gates_removed += net.sweep_dangling();
+  return stats;
+}
+
+}  // namespace rapids

@@ -1,0 +1,43 @@
+// Local netlist simplifications: constant propagation, buffer/inverter
+// chain collapse, dangling sweep.
+//
+// Used after redundancy fixes (tying pins to constants) and after inverting
+// swaps (which insert inverter pairs) to restore a clean mapped netlist.
+// These passes only ever delete or retype gates — they never move a placed
+// cell, preserving the paper's minimum-perturbation property.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+struct SimplifyStats {
+  std::size_t folded_to_const = 0;   // gates replaced by a constant
+  std::size_t inputs_dropped = 0;    // non-controlling constant pins removed
+  std::size_t buffers_bypassed = 0;  // BUF / INV-INV eliminations
+  std::size_t gates_removed = 0;     // total gates deleted (incl. sweep)
+
+  std::size_t total() const {
+    return folded_to_const + inputs_dropped + buffers_bypassed;
+  }
+};
+
+/// Fold constants through logic gates:
+///   controlling constant input -> gate replaced by constant;
+///   non-controlling constant inputs removed (XOR parity tracked);
+///   single remaining input -> BUF/INV.
+/// Runs to fixpoint; finishes with a dangling sweep.
+SimplifyStats propagate_constants(Network& net);
+
+/// Bypass BUF gates and cancel INV-INV pairs; finishes with a sweep.
+SimplifyStats collapse_buffers(Network& net);
+
+/// propagate_constants + collapse_buffers to a joint fixpoint.
+SimplifyStats simplify(Network& net);
+
+/// Get (or create) the constant gate of the requested value.
+GateId get_constant(Network& net, bool value);
+
+}  // namespace rapids

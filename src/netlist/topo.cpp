@@ -1,0 +1,126 @@
+#include "netlist/topo.hpp"
+
+#include <algorithm>
+
+namespace rapids {
+
+std::vector<GateId> topological_order(const Network& net) {
+  const std::size_t n = net.id_bound();
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<GateId> ready;
+  ready.reserve(n);
+  std::size_t live = 0;
+  for (GateId id = 0; id < n; ++id) {
+    if (net.is_deleted(id)) continue;
+    ++live;
+    pending[id] = net.fanin_count(id);
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  std::vector<GateId> order;
+  order.reserve(live);
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const GateId g = ready[head];
+    order.push_back(g);
+    for (const Pin& pin : net.fanouts(g)) {
+      if (--pending[pin.gate] == 0) ready.push_back(pin.gate);
+    }
+  }
+  RAPIDS_ASSERT_MSG(order.size() == live, "combinational cycle detected");
+  return order;
+}
+
+std::vector<GateId> reverse_topological_order(const Network& net) {
+  std::vector<GateId> order = topological_order(net);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+bool is_acyclic(const Network& net) {
+  try {
+    (void)topological_order(net);
+    return true;
+  } catch (const InternalError&) {
+    return false;
+  }
+}
+
+std::vector<int> logic_levels(const Network& net) {
+  std::vector<int> level(net.id_bound(), -1);
+  for (const GateId g : topological_order(net)) {
+    int lvl = 0;
+    for (const GateId f : net.fanins(g)) lvl = std::max(lvl, level[f] + 1);
+    if (net.type(g) == GateType::Output && net.fanin_count(g) == 1) {
+      lvl = level[net.fanin(g, 0)];  // marker, not a logic stage
+    }
+    level[g] = lvl;
+  }
+  return level;
+}
+
+int network_depth(const Network& net) {
+  const std::vector<int> level = logic_levels(net);
+  int depth = 0;
+  for (const GateId po : net.primary_outputs()) depth = std::max(depth, level[po]);
+  return depth;
+}
+
+namespace {
+template <bool Forward>
+std::vector<GateId> cone_impl(const Network& net, GateId root) {
+  std::vector<GateId> stack{root};
+  std::vector<bool> seen(net.id_bound(), false);
+  seen[root] = true;
+  std::vector<GateId> cone;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    cone.push_back(g);
+    if constexpr (Forward) {
+      for (const Pin& pin : net.fanouts(g)) {
+        if (!seen[pin.gate]) {
+          seen[pin.gate] = true;
+          stack.push_back(pin.gate);
+        }
+      }
+    } else {
+      for (const GateId f : net.fanins(g)) {
+        if (!seen[f]) {
+          seen[f] = true;
+          stack.push_back(f);
+        }
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+}  // namespace
+
+std::vector<GateId> fanin_cone(const Network& net, GateId root) {
+  return cone_impl<false>(net, root);
+}
+
+std::vector<GateId> fanout_cone(const Network& net, GateId root) {
+  return cone_impl<true>(net, root);
+}
+
+bool reaches(const Network& net, GateId g, GateId ancestor) {
+  if (g == ancestor) return true;
+  std::vector<GateId> stack{g};
+  std::vector<bool> seen(net.id_bound(), false);
+  seen[g] = true;
+  while (!stack.empty()) {
+    const GateId u = stack.back();
+    stack.pop_back();
+    for (const Pin& pin : net.fanouts(u)) {
+      if (pin.gate == ancestor) return true;
+      if (!seen[pin.gate]) {
+        seen[pin.gate] = true;
+        stack.push_back(pin.gate);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace rapids

@@ -1,0 +1,39 @@
+// Topological utilities over Network DAGs: orders, levels, cones.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+/// Live gates in topological order (fanins before fanouts).
+/// Throws InternalError if the network has a combinational cycle.
+std::vector<GateId> topological_order(const Network& net);
+
+/// Reverse topological order (fanouts before fanins).
+std::vector<GateId> reverse_topological_order(const Network& net);
+
+/// True iff the network is acyclic.
+bool is_acyclic(const Network& net);
+
+/// Logic level of each gate, indexed by GateId (size id_bound()).
+/// Inputs/Consts are level 0; a gate is 1 + max fanin level; Output markers
+/// copy their driver's level. Deleted ids hold -1.
+std::vector<int> logic_levels(const Network& net);
+
+/// Maximum logic level over all primary outputs (network depth).
+int network_depth(const Network& net);
+
+/// Transitive fanin cone of `root` (including root), as a sorted id vector.
+std::vector<GateId> fanin_cone(const Network& net, GateId root);
+
+/// Transitive fanout cone of `root` (including root), as a sorted id vector.
+std::vector<GateId> fanout_cone(const Network& net, GateId root);
+
+/// True if `ancestor` lies in the transitive fanout of `g` (i.e. there is a
+/// directed path g -> ancestor). Used to reject swap pairs that would create
+/// combinational loops.
+bool reaches(const Network& net, GateId g, GateId ancestor);
+
+}  // namespace rapids

@@ -1,0 +1,80 @@
+#include "netlist/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/topo.hpp"
+
+namespace rapids {
+
+std::vector<std::string> validate(const Network& net) {
+  std::vector<std::string> errors;
+  auto fail = [&errors](const std::string& msg) { errors.push_back(msg); };
+
+  for (const GateId g : net.all_gates()) {
+    const GateType t = net.type(g);
+    const std::uint32_t nin = net.fanin_count(g);
+    switch (t) {
+      case GateType::Input:
+      case GateType::Const0:
+      case GateType::Const1:
+        if (nin != 0) fail(net.name(g) + ": boundary gate has fanins");
+        break;
+      case GateType::Output:
+      case GateType::Buf:
+      case GateType::Inv:
+        if (nin != 1) fail(net.name(g) + ": expected exactly 1 fanin");
+        break;
+      default:
+        if (nin < 2) fail(net.name(g) + ": multi-input gate has < 2 fanins");
+        break;
+    }
+    if (t == GateType::Output && net.fanout_count(g) != 0) {
+      fail(net.name(g) + ": Output marker must not drive pins");
+    }
+    // Forward edges must appear in the driver's fanout list.
+    for (std::uint32_t i = 0; i < nin; ++i) {
+      const GateId d = net.fanin(g, i);
+      if (net.is_deleted(d)) {
+        fail(net.name(g) + ": fanin is a deleted gate");
+        continue;
+      }
+      const auto fo = net.fanouts(d);
+      if (std::find(fo.begin(), fo.end(), Pin{g, i}) == fo.end()) {
+        std::ostringstream os;
+        os << net.name(g) << " pin " << i << ": missing fanout entry on driver "
+           << net.name(d);
+        fail(os.str());
+      }
+    }
+    // Reverse edges must match the sink's fanin slot.
+    for (const Pin& pin : net.fanouts(g)) {
+      if (net.is_deleted(pin.gate)) {
+        fail(net.name(g) + ": fanout points at a deleted gate");
+        continue;
+      }
+      if (pin.index >= net.fanin_count(pin.gate) ||
+          net.fanin(pin.gate, pin.index) != g) {
+        std::ostringstream os;
+        os << net.name(g) << ": stale fanout entry to " << net.name(pin.gate) << " pin "
+           << pin.index;
+        fail(os.str());
+      }
+    }
+  }
+
+  if (!is_acyclic(net)) fail("network contains a combinational cycle");
+  return errors;
+}
+
+void validate_or_throw(const Network& net) {
+  const std::vector<std::string> errors = validate(net);
+  if (!errors.empty()) {
+    throw InternalError("network validation failed: " + errors.front() +
+                        (errors.size() > 1 ? " (+" + std::to_string(errors.size() - 1) +
+                                                 " more)"
+                                           : ""));
+  }
+}
+
+}  // namespace rapids

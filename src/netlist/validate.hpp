@@ -1,0 +1,25 @@
+// Structural validation of Networks.
+//
+// Called by tests after every mutating pass (mapping, rewiring, sizing) to
+// guarantee the adjacency lists stayed consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+/// Collect structural violations as human-readable strings (empty = valid):
+///  - fanin/fanout adjacency mirror each other;
+///  - INV/BUF/Output have exactly one fanin, multi-input gates >= 2,
+///    Input/Const have none;
+///  - no edge touches a deleted gate;
+///  - the graph is acyclic.
+std::vector<std::string> validate(const Network& net);
+
+/// Throws InternalError with the first violation if invalid.
+void validate_or_throw(const Network& net);
+
+}  // namespace rapids

@@ -1,0 +1,110 @@
+#include "opt/fanout_opt.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace rapids {
+
+namespace {
+
+/// One candidate insertion: move `moved_pins` from driver's net behind a
+/// new buffer. Returns the buffer id for undo.
+GateId apply_buffer(Network& net, Placement& pl, const CellLibrary& lib, GateId driver,
+                    const std::vector<Pin>& moved_pins) {
+  const GateId buf = net.add_gate(GateType::Buf);
+  net.add_fanin(buf, driver);
+  const int cell = lib.smallest(GateType::Buf, 1);
+  RAPIDS_ASSERT_MSG(cell >= 0, "library has no buffer");
+  net.set_cell(buf, cell);
+  if (pl.id_bound() < net.id_bound()) pl.resize(net.id_bound());
+  // Place at the centroid of the sinks it now shields.
+  double cx = 0, cy = 0;
+  for (const Pin& pin : moved_pins) {
+    cx += pl.at(pin.gate).x;
+    cy += pl.at(pin.gate).y;
+  }
+  const double n = static_cast<double>(moved_pins.size());
+  pl.set(buf, Point{cx / n, cy / n});
+  for (const Pin& pin : moved_pins) net.set_fanin(pin, buf);
+  return buf;
+}
+
+void undo_buffer(Network& net, Placement& pl, GateId driver, GateId buf,
+                 const std::vector<Pin>& moved_pins) {
+  for (const Pin& pin : moved_pins) net.set_fanin(pin, driver);
+  pl.unset(buf);
+  net.delete_gate(buf);
+}
+
+}  // namespace
+
+FanoutOptResult optimize_fanout(Network& net, Placement& placement,
+                                const CellLibrary& lib, Sta& sta,
+                                const FanoutOptOptions& options) {
+  Timer timer;
+  FanoutOptResult result;
+  sta.run_full();
+  sta.refresh_required();
+  result.initial_delay = sta.critical_delay();
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    int committed = 0;
+    // Snapshot candidate drivers and slacks first; committed insertions
+    // mutate fanout lists and invalidate required times mid-pass.
+    std::vector<GateId> drivers;
+    std::vector<double> slack_at(net.id_bound(), 0.0);
+    net.for_each_gate([&](GateId g) {
+      if (net.type(g) != GateType::Output) slack_at[g] = sta.slack(g);
+      if (net.type(g) == GateType::Output) return;
+      if (net.fanout_count(g) >= options.min_fanout) drivers.push_back(g);
+    });
+    for (const GateId driver : drivers) {
+      if (net.is_deleted(driver) || net.fanout_count(driver) < options.min_fanout) {
+        continue;
+      }
+      // Least-critical sinks first (largest slack at the sink gate).
+      std::vector<Pin> sinks(net.fanouts(driver).begin(), net.fanouts(driver).end());
+      std::sort(sinks.begin(), sinks.end(), [&](const Pin& a, const Pin& b) {
+        const double sa = a.gate < slack_at.size() ? slack_at[a.gate] : 0.0;
+        const double sb = b.gate < slack_at.size() ? slack_at[b.gate] : 0.0;
+        return sa > sb;
+      });
+      const std::size_t keep = std::max<std::size_t>(
+          1, sinks.size() - static_cast<std::size_t>(
+                                options.split_fraction *
+                                static_cast<double>(sinks.size())));
+      std::vector<Pin> moved(sinks.begin() + static_cast<std::ptrdiff_t>(keep),
+                             sinks.end());
+      if (moved.size() < 2) continue;
+
+      const double before = sta.critical_delay();
+      sta.begin();
+      const GateId buf = apply_buffer(net, placement, lib, driver, moved);
+      sta.invalidate_net(driver);
+      sta.invalidate_net(buf);
+      sta.propagate();
+      const double after = sta.critical_delay();
+      if (before - after > options.min_gain) {
+        sta.commit();
+        ++result.buffers_inserted;
+        ++committed;
+      } else {
+        undo_buffer(net, placement, driver, buf, moved);
+        sta.rollback();
+      }
+    }
+    // Slacks guide sink ordering; refresh them between passes.
+    sta.refresh_required();
+    log_info() << "fanout-opt pass " << pass << ": " << committed << " buffers";
+    if (committed == 0) break;
+  }
+  sta.run_full();
+  sta.refresh_required();
+  result.final_delay = sta.critical_delay();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace rapids

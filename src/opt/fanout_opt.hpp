@@ -1,0 +1,44 @@
+// Fanout optimization by buffer insertion — the extension the paper's §6-§7
+// calls for: "for some large benchmarks, the SIS mapper often generates very
+// large fanout nets (more than 100 sinks)... In the future, fanout
+// optimization should also be included into our formulation."
+//
+// Moves: for a high-fanout net, split off the sinks with the most slack
+// behind a buffer placed at their centroid. Existing cells never move; only
+// buffers are added (symmetric to rewiring's inverter rule). Every move is
+// evaluated through the same transactional STA as swaps/resizes and only
+// committed when the critical delay improves.
+#pragma once
+
+#include "library/cell_library.hpp"
+#include "netlist/network.hpp"
+#include "place/placement.hpp"
+#include "timing/sta.hpp"
+
+namespace rapids {
+
+struct FanoutOptOptions {
+  /// Only consider nets with at least this many sinks.
+  std::uint32_t min_fanout = 6;
+  /// Fraction of sinks (the least critical ones) moved behind the buffer.
+  double split_fraction = 0.5;
+  /// Minimum critical-delay gain (ns) to commit an insertion.
+  double min_gain = 1e-6;
+  /// Max passes over the netlist.
+  int max_passes = 3;
+};
+
+struct FanoutOptResult {
+  int buffers_inserted = 0;
+  double initial_delay = 0.0;
+  double final_delay = 0.0;
+  double seconds = 0.0;
+};
+
+/// Run buffer insertion on high-fanout nets. `sta` must be bound to
+/// (net, lib, placement); it is left consistent on return.
+FanoutOptResult optimize_fanout(Network& net, Placement& placement,
+                                const CellLibrary& lib, Sta& sta,
+                                const FanoutOptOptions& options = {});
+
+}  // namespace rapids

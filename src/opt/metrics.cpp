@@ -1,0 +1,80 @@
+#include "opt/metrics.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace rapids {
+
+void record_mode(BenchmarkRow& row, OptMode mode, const OptimizerResult& result) {
+  switch (mode) {
+    case OptMode::Gsg:
+      row.gsg_improve_pct = result.improvement_percent();
+      row.gsg_cpu_s = result.seconds;
+      // Coverage / L / redundancies are properties of the netlist; any mode
+      // reports them, gsg is the canonical source.
+      row.coverage_pct = 100.0 * result.coverage;
+      row.max_sg_inputs = result.max_sg_inputs;
+      row.redundancies = result.redundancies_found;
+      break;
+    case OptMode::GateSizing:
+      row.gs_improve_pct = result.improvement_percent();
+      row.gs_cpu_s = result.seconds;
+      row.gs_area_pct = result.area_delta_percent();
+      break;
+    case OptMode::GsgPlusGS:
+      row.gsg_gs_improve_pct = result.improvement_percent();
+      row.gsg_gs_cpu_s = result.seconds;
+      row.gsg_gs_area_pct = result.area_delta_percent();
+      break;
+  }
+}
+
+Table1Averages table1_averages(const std::vector<BenchmarkRow>& rows) {
+  Table1Averages avg;
+  if (rows.empty()) return avg;
+  for (const BenchmarkRow& r : rows) {
+    avg.gsg += r.gsg_improve_pct;
+    avg.gs += r.gs_improve_pct;
+    avg.gsg_gs += r.gsg_gs_improve_pct;
+    avg.gs_area += r.gs_area_pct;
+    avg.gsg_gs_area += r.gsg_gs_area_pct;
+    avg.coverage += r.coverage_pct;
+  }
+  const double n = static_cast<double>(rows.size());
+  avg.gsg /= n;
+  avg.gs /= n;
+  avg.gsg_gs /= n;
+  avg.gs_area /= n;
+  avg.gsg_gs_area /= n;
+  avg.coverage /= n;
+  return avg;
+}
+
+void print_table1(const std::vector<BenchmarkRow>& rows, std::ostream& out) {
+  out << std::fixed;
+  out << std::setw(9) << "ckt" << std::setw(8) << "#gates" << std::setw(8) << "init"
+      << std::setw(7) << "gsg%" << std::setw(7) << "GS%" << std::setw(9) << "gsg+GS%"
+      << std::setw(9) << "gsg cpu" << std::setw(8) << "GS cpu" << std::setw(9)
+      << "g+G cpu" << std::setw(8) << "GS ar%" << std::setw(8) << "g+G ar%"
+      << std::setw(8) << "cov%" << std::setw(4) << "L" << std::setw(7) << "#red"
+      << "\n";
+  for (const BenchmarkRow& r : rows) {
+    out << std::setw(9) << r.name << std::setw(8) << r.num_gates << std::setw(8)
+        << std::setprecision(2) << r.init_delay_ns << std::setw(7)
+        << std::setprecision(1) << r.gsg_improve_pct << std::setw(7) << r.gs_improve_pct
+        << std::setw(9) << r.gsg_gs_improve_pct << std::setw(9) << std::setprecision(2)
+        << r.gsg_cpu_s << std::setw(8) << r.gs_cpu_s << std::setw(9) << r.gsg_gs_cpu_s
+        << std::setw(8) << std::setprecision(1) << r.gs_area_pct << std::setw(8)
+        << r.gsg_gs_area_pct << std::setw(8) << r.coverage_pct << std::setw(4)
+        << r.max_sg_inputs << std::setw(7) << r.redundancies << "\n";
+  }
+  const Table1Averages avg = table1_averages(rows);
+  out << std::setw(9) << "ave." << std::setw(8) << "" << std::setw(8) << ""
+      << std::setw(7) << std::setprecision(1) << avg.gsg << std::setw(7) << avg.gs
+      << std::setw(9) << avg.gsg_gs << std::setw(9) << "" << std::setw(8) << ""
+      << std::setw(9) << "" << std::setw(8) << avg.gs_area << std::setw(8)
+      << avg.gsg_gs_area << std::setw(8) << avg.coverage << std::setw(4) << ""
+      << std::setw(7) << "" << "\n";
+}
+
+}  // namespace rapids

@@ -1,0 +1,48 @@
+// Table 1 row assembly and text rendering.
+//
+// One BenchmarkRow per circuit, with exactly the paper's columns:
+//   ckt, #gates, init (ns), gsg %, GS %, gsg+GS %, gsg cpu, GS cpu,
+//   gsg+GS cpu, GS area %, gsg+GS area %, gsg cov %, L, # of red.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "opt/optimizer.hpp"
+
+namespace rapids {
+
+struct BenchmarkRow {
+  std::string name;
+  std::size_t num_gates = 0;
+  double init_delay_ns = 0.0;
+  double gsg_improve_pct = 0.0;
+  double gs_improve_pct = 0.0;
+  double gsg_gs_improve_pct = 0.0;
+  double gsg_cpu_s = 0.0;
+  double gs_cpu_s = 0.0;
+  double gsg_gs_cpu_s = 0.0;
+  double gs_area_pct = 0.0;       // negative = area reduced
+  double gsg_gs_area_pct = 0.0;
+  double coverage_pct = 0.0;      // gates covered by non-trivial supergates
+  int max_sg_inputs = 0;          // L
+  std::size_t redundancies = 0;
+};
+
+/// Fill the per-mode fields of `row` from an optimizer result.
+void record_mode(BenchmarkRow& row, OptMode mode, const OptimizerResult& result);
+
+/// Render rows as the paper's Table 1 (fixed-width text), with the same
+/// trailing average row over the improvement/area/coverage columns.
+void print_table1(const std::vector<BenchmarkRow>& rows, std::ostream& out);
+
+/// Averages, as in the paper's last row.
+struct Table1Averages {
+  double gsg = 0.0, gs = 0.0, gsg_gs = 0.0;
+  double gs_area = 0.0, gsg_gs_area = 0.0;
+  double coverage = 0.0;
+};
+Table1Averages table1_averages(const std::vector<BenchmarkRow>& rows);
+
+}  // namespace rapids

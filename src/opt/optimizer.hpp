@@ -1,0 +1,77 @@
+// Post-placement performance optimization (paper §5-§6).
+//
+// Three algorithms on one two-phase engine (Coudert-style [2]):
+//   gsg    — supergate-based rewiring only: each supergate's feasible pin
+//            swaps act as alternative "library implementations";
+//   GS     — gate sizing only (drive-strength reassignment);
+//   gsg+GS — rewiring for gates covered by non-trivial supergates, sizing
+//            for the rest (minimum perturbation of the placement).
+//
+// Phase A maximizes the minimum slack (equivalently: minimizes the critical
+// delay against a fixed required time): the best move per group is found,
+// moves are sorted by gain and applied greedily with re-validation.
+// Phase B (relaxation) applies per-group moves that reduce the total
+// arrival at the outputs without degrading the critical delay, to escape
+// local minima. Phases iterate until no improvement.
+//
+// The existing placement is never perturbed: cells keep their exact
+// locations; only inverters can be added or deleted (gsg modes).
+#pragma once
+
+#include <cstdint>
+
+#include "library/cell_library.hpp"
+#include "netlist/network.hpp"
+#include "place/placement.hpp"
+#include "timing/sta.hpp"
+
+namespace rapids {
+
+enum class OptMode : std::uint8_t { Gsg, GateSizing, GsgPlusGS };
+
+const char* to_string(OptMode mode);
+
+struct OptimizerOptions {
+  OptMode mode = OptMode::GsgPlusGS;
+  /// Maximum A+B rounds.
+  int max_iterations = 6;
+  /// Minimum critical-delay gain (ns) for a move / an iteration to count.
+  double min_gain = 1e-6;
+  /// Restrict rewiring to leaf-leaf swaps (pure wire exchanges); internal
+  /// subtree swaps are also tried when false.
+  bool leaves_only_swaps = false;
+  /// Cap on evaluated swap candidates per supergate (largest-gain-estimate
+  /// first); guards against quadratic blowup on very wide supergates.
+  int max_swaps_per_sg = 256;
+};
+
+struct OptimizerResult {
+  double initial_delay = 0.0;
+  double final_delay = 0.0;
+  double initial_area = 0.0;
+  double final_area = 0.0;
+  int swaps_committed = 0;
+  int resizes_committed = 0;
+  int inverters_added = 0;
+  int inverters_removed = 0;
+  int iterations = 0;
+  double seconds = 0.0;
+  // Supergate statistics from the first extraction (Table 1 cols 12-14).
+  double coverage = 0.0;          // fraction of gates in non-trivial SGs
+  int max_sg_inputs = 0;          // L
+  std::size_t redundancies_found = 0;
+
+  double improvement_percent() const {
+    return initial_delay > 0 ? 100.0 * (initial_delay - final_delay) / initial_delay : 0.0;
+  }
+  double area_delta_percent() const {
+    return initial_area > 0 ? 100.0 * (final_area - initial_area) / initial_area : 0.0;
+  }
+};
+
+/// Run the selected optimizer. `sta` must be bound to (net, lib, placement)
+/// and is left consistent (full recompute) on return.
+OptimizerResult optimize(Network& net, Placement& placement, const CellLibrary& lib,
+                         Sta& sta, const OptimizerOptions& options = {});
+
+}  // namespace rapids

@@ -1,0 +1,30 @@
+#include "place/die.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+int Die::nearest_row(double y) const {
+  const int r = static_cast<int>(std::floor(y / row_height));
+  return std::clamp(r, 0, num_rows - 1);
+}
+
+Die make_die(double total_cell_area, const DieSpec& spec) {
+  RAPIDS_ASSERT(total_cell_area > 0.0);
+  RAPIDS_ASSERT(spec.target_utilization > 0.05 && spec.target_utilization <= 1.0);
+  const double core_area = total_cell_area / spec.target_utilization;
+  Die die;
+  die.row_height = spec.row_height;
+  // height = aspect * width, width * height = core_area.
+  const double width = std::sqrt(core_area / spec.aspect_ratio);
+  die.num_rows = std::max(1, static_cast<int>(std::ceil(width * spec.aspect_ratio /
+                                                        spec.row_height)));
+  die.height = die.num_rows * spec.row_height;
+  die.width = core_area / die.height;
+  return die;
+}
+
+}  // namespace rapids

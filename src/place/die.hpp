@@ -1,0 +1,32 @@
+// Die / row geometry for standard-cell placement.
+#pragma once
+
+#include <cstddef>
+
+namespace rapids {
+
+struct DieSpec {
+  double row_height = 13.0;      // um
+  double target_utilization = 0.70;
+  double aspect_ratio = 1.0;     // height / width
+  double io_margin = 5.0;        // pad offset outside the core, um
+};
+
+/// Concrete die computed from total cell area and a DieSpec.
+struct Die {
+  double width = 0.0;   // core width, um
+  double height = 0.0;  // core height, um
+  int num_rows = 0;
+  double row_height = 13.0;
+
+  /// y coordinate of the center of row r.
+  double row_y(int r) const { return (r + 0.5) * row_height; }
+
+  /// Row index nearest to y, clamped to valid rows.
+  int nearest_row(double y) const;
+};
+
+/// Size a die to fit `total_cell_area` at the requested utilization.
+Die make_die(double total_cell_area, const DieSpec& spec = {});
+
+}  // namespace rapids

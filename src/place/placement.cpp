@@ -1,0 +1,11 @@
+#include "place/placement.hpp"
+
+#include <cmath>
+
+namespace rapids {
+
+double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace rapids

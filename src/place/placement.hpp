@@ -1,0 +1,64 @@
+// Cell coordinates for a placed network.
+//
+// Placement is the quantity the paper's rewiring engine must NOT perturb:
+// after `gsg` optimization every placed cell keeps its exact location (only
+// inverters may appear/disappear). Tests assert this invariant through
+// Placement snapshots.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "place/die.hpp"
+
+namespace rapids {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(std::size_t id_bound) : pos_(id_bound), placed_(id_bound, false) {}
+
+  void resize(std::size_t id_bound) {
+    pos_.resize(id_bound);
+    placed_.resize(id_bound, false);
+  }
+
+  std::size_t id_bound() const { return pos_.size(); }
+
+  bool is_placed(GateId g) const { return g < placed_.size() && placed_[g]; }
+
+  const Point& at(GateId g) const {
+    RAPIDS_ASSERT_MSG(is_placed(g), "gate has no placement");
+    return pos_[g];
+  }
+
+  void set(GateId g, Point p) {
+    RAPIDS_ASSERT(g < pos_.size());
+    pos_[g] = p;
+    placed_[g] = true;
+  }
+
+  void unset(GateId g) {
+    RAPIDS_ASSERT(g < placed_.size());
+    placed_[g] = false;
+  }
+
+  const Die& die() const { return die_; }
+  void set_die(const Die& die) { die_ = die; }
+
+ private:
+  std::vector<Point> pos_;
+  std::vector<bool> placed_;
+  Die die_;
+};
+
+/// Manhattan distance.
+double manhattan(const Point& a, const Point& b);
+
+}  // namespace rapids

@@ -1,0 +1,228 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/topo.hpp"
+#include "place/wirelength.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace rapids {
+
+namespace {
+
+double cell_width(const Network& net, const CellLibrary& lib, GateId g, double row_height) {
+  const std::int32_t c = net.cell(g);
+  // Unmapped gates get a nominal footprint so pre-mapping placement works.
+  const double area = c >= 0 ? lib.cell(c).area : 50.0;
+  return area / row_height;
+}
+
+/// Cost of all nets incident to gate g (driver net + each fanin net).
+double incident_cost(const Network& net, const Placement& pl, GateId g,
+                     const std::vector<double>& weights) {
+  auto w = [&weights](GateId driver) {
+    return driver < weights.size() ? weights[driver] : 1.0;
+  };
+  double cost = 0.0;
+  if (net.fanout_count(g) > 0) cost += w(g) * net_hpwl(net, pl, g);
+  for (const GateId f : net.fanins(g)) cost += w(f) * net_hpwl(net, pl, f);
+  return cost;
+}
+
+}  // namespace
+
+Placement place(const Network& net, const CellLibrary& lib, const PlacerOptions& options) {
+  // --- die sizing --------------------------------------------------------
+  std::vector<GateId> cells;  // gates that occupy a row slot
+  double total_area = 0.0;
+  net.for_each_gate([&](GateId g) {
+    const GateType t = net.type(g);
+    if (is_logic(t) || t == GateType::Const0 || t == GateType::Const1) {
+      cells.push_back(g);
+      total_area += cell_width(net, lib, g, options.die.row_height) * options.die.row_height;
+    }
+  });
+  if (cells.empty()) total_area = 100.0;
+  const Die die = make_die(std::max(total_area, 100.0), options.die);
+
+  Placement pl(net.id_bound());
+  pl.set_die(die);
+
+  // --- pads ---------------------------------------------------------------
+  const auto pis = net.primary_inputs();
+  const auto pos = net.primary_outputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const double y = die.height * (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(pis.size());
+    pl.set(pis[i], Point{-options.die.io_margin, y});
+  }
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const double y = die.height * (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(pos.size());
+    pl.set(pos[i], Point{die.width + options.die.io_margin, y});
+  }
+
+  if (cells.empty()) return pl;
+
+  // --- levelized seed -----------------------------------------------------
+  const std::vector<int> level = logic_levels(net);
+  const int depth = std::max(1, network_depth(net));
+  std::vector<std::vector<GateId>> by_level(static_cast<std::size_t>(depth) + 1);
+  for (const GateId g : cells) {
+    const int lvl = std::clamp(level[g], 0, depth);
+    by_level[static_cast<std::size_t>(lvl)].push_back(g);
+  }
+  for (std::size_t lvl = 0; lvl < by_level.size(); ++lvl) {
+    const auto& gs = by_level[lvl];
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      const double x =
+          die.width * (static_cast<double>(lvl) + 0.5) / (static_cast<double>(depth) + 1.0);
+      const double y =
+          die.height * (static_cast<double>(i) + 0.5) / static_cast<double>(gs.size());
+      pl.set(gs[i], Point{x, y});
+    }
+  }
+
+  // --- simulated annealing -------------------------------------------------
+  Rng rng(options.seed);
+  double temp = options.initial_temp_factor * (die.width + die.height);
+  const int moves_per_temp =
+      std::max(64, static_cast<int>(options.effort * static_cast<double>(cells.size())));
+  for (int t = 0; t < options.num_temps; ++t) {
+    // Displacement window shrinks with temperature.
+    const double window =
+        std::max(die.row_height, (die.width + die.height) * 0.5 *
+                                     std::pow(0.9, static_cast<double>(t)));
+    int accepted = 0;
+    for (int m = 0; m < moves_per_temp; ++m) {
+      const GateId g = cells[rng.next_below(cells.size())];
+      const bool do_swap = rng.next_bool(0.35);
+      if (do_swap) {
+        const GateId h = cells[rng.next_below(cells.size())];
+        if (g == h) continue;
+        const double before = incident_cost(net, pl, g, options.net_weights) +
+                              incident_cost(net, pl, h, options.net_weights);
+        const Point pg = pl.at(g), ph = pl.at(h);
+        pl.set(g, ph);
+        pl.set(h, pg);
+        const double after = incident_cost(net, pl, g, options.net_weights) +
+                             incident_cost(net, pl, h, options.net_weights);
+        const double delta = after - before;
+        if (delta <= 0 || rng.next_double() < std::exp(-delta / temp)) {
+          ++accepted;
+        } else {
+          pl.set(g, pg);
+          pl.set(h, ph);
+        }
+      } else {
+        const double before = incident_cost(net, pl, g, options.net_weights);
+        const Point pg = pl.at(g);
+        Point np{pg.x + (rng.next_double() * 2.0 - 1.0) * window,
+                 pg.y + (rng.next_double() * 2.0 - 1.0) * window};
+        np.x = std::clamp(np.x, 0.0, die.width);
+        np.y = std::clamp(np.y, 0.0, die.height);
+        pl.set(g, np);
+        const double after = incident_cost(net, pl, g, options.net_weights);
+        const double delta = after - before;
+        if (delta <= 0 || rng.next_double() < std::exp(-delta / temp)) {
+          ++accepted;
+        } else {
+          pl.set(g, pg);
+        }
+      }
+    }
+    log_debug() << "placer temp " << temp << " accept "
+                << (100.0 * accepted / std::max(1, moves_per_temp)) << "%";
+    temp *= options.cooling;
+  }
+
+  // --- legalization -----------------------------------------------------------
+  // Stage 1: capacity-checked row assignment — each cell takes the closest
+  // row that still has horizontal room (the utilization target guarantees
+  // global capacity). Stage 2: per-row packing with suffix limits, so every
+  // cell sits as close to its desired x as the cells to its right allow;
+  // legality is guaranteed whenever a row's cells fit its width.
+  std::vector<double> remaining(static_cast<std::size_t>(die.num_rows), die.width);
+  std::vector<std::vector<GateId>> rows(static_cast<std::size_t>(die.num_rows));
+  for (const GateId g : cells) {
+    const double w = cell_width(net, lib, g, die.row_height);
+    const int want_row = die.nearest_row(pl.at(g).y);
+    int chosen = -1;
+    for (int delta = 0; delta < die.num_rows && chosen < 0; ++delta) {
+      for (const int r : {want_row - delta, want_row + delta}) {
+        if (r < 0 || r >= die.num_rows) continue;
+        if (remaining[static_cast<std::size_t>(r)] >= w) {
+          chosen = r;
+          break;
+        }
+      }
+    }
+    RAPIDS_ASSERT_MSG(chosen >= 0, "legalization ran out of row capacity");
+    remaining[static_cast<std::size_t>(chosen)] -= w;
+    rows[static_cast<std::size_t>(chosen)].push_back(g);
+  }
+  for (int r = 0; r < die.num_rows; ++r) {
+    auto& row = rows[static_cast<std::size_t>(r)];
+    std::sort(row.begin(), row.end(),
+              [&pl](GateId a, GateId b) { return pl.at(a).x < pl.at(b).x; });
+    // limit[i]: rightmost start for cell i so that cells i..n still fit.
+    std::vector<double> limit(row.size());
+    double suffix = die.width;
+    for (std::size_t i = row.size(); i-- > 0;) {
+      suffix -= cell_width(net, lib, row[i], die.row_height);
+      limit[i] = suffix;
+    }
+    double cursor = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const double w = cell_width(net, lib, row[i], die.row_height);
+      const double x =
+          std::max(cursor, std::min(pl.at(row[i]).x - w / 2.0, limit[i]));
+      pl.set(row[i], Point{x + w / 2.0, die.row_y(r)});
+      cursor = x + w;
+    }
+  }
+  return pl;
+}
+
+std::vector<std::string> check_legal(const Network& net, const CellLibrary& lib,
+                                     const Placement& pl) {
+  std::vector<std::string> errors;
+  const Die& die = pl.die();
+  std::vector<std::vector<std::pair<double, GateId>>> rows(
+      static_cast<std::size_t>(die.num_rows));
+  net.for_each_gate([&](GateId g) {
+    const GateType t = net.type(g);
+    if (!is_logic(t) && t != GateType::Const0 && t != GateType::Const1) return;
+    if (!pl.is_placed(g)) {
+      errors.push_back(net.name(g) + ": not placed");
+      return;
+    }
+    const Point p = pl.at(g);
+    const int r = die.nearest_row(p.y);
+    if (std::abs(die.row_y(r) - p.y) > 1e-6) {
+      errors.push_back(net.name(g) + ": not row-aligned");
+      return;
+    }
+    rows[static_cast<std::size_t>(r)].emplace_back(p.x, g);
+  });
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    double prev_end = -1e18;
+    for (const auto& [x, g] : row) {
+      const double w = cell_width(net, lib, g, die.row_height);
+      const double left = x - w / 2.0;
+      if (left < prev_end - 1e-6) {
+        errors.push_back(net.name(g) + ": overlaps previous cell in row");
+      }
+      if (left < -1e-6 || x + w / 2.0 > die.width + 1e-6) {
+        errors.push_back(net.name(g) + ": outside core");
+      }
+      prev_end = x + w / 2.0;
+    }
+  }
+  return errors;
+}
+
+}  // namespace rapids

@@ -1,0 +1,63 @@
+#include "place/wirelength.hpp"
+
+#include <algorithm>
+
+namespace rapids {
+
+double net_hpwl(const Network& net, const Placement& pl, GateId driver) {
+  const auto sinks = net.fanouts(driver);
+  if (sinks.empty() || !pl.is_placed(driver)) return 0.0;
+  const Point p0 = pl.at(driver);
+  double xmin = p0.x, xmax = p0.x, ymin = p0.y, ymax = p0.y;
+  for (const Pin& pin : sinks) {
+    if (!pl.is_placed(pin.gate)) continue;
+    const Point p = pl.at(pin.gate);
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  return (xmax - xmin) + (ymax - ymin);
+}
+
+double total_hpwl(const Network& net, const Placement& pl) {
+  double total = 0.0;
+  net.for_each_gate([&](GateId g) {
+    if (net.fanout_count(g) > 0) total += net_hpwl(net, pl, g);
+  });
+  return total;
+}
+
+double net_star_length(const Network& net, const Placement& pl, GateId driver) {
+  const auto sinks = net.fanouts(driver);
+  if (sinks.empty() || !pl.is_placed(driver)) return 0.0;
+  const Point p0 = pl.at(driver);
+  double cx = p0.x, cy = p0.y;
+  std::size_t n = 1;
+  for (const Pin& pin : sinks) {
+    if (!pl.is_placed(pin.gate)) continue;
+    const Point p = pl.at(pin.gate);
+    cx += p.x;
+    cy += p.y;
+    ++n;
+  }
+  cx /= static_cast<double>(n);
+  cy /= static_cast<double>(n);
+  const Point center{cx, cy};
+  double len = manhattan(p0, center);
+  for (const Pin& pin : sinks) {
+    if (!pl.is_placed(pin.gate)) continue;
+    len += manhattan(pl.at(pin.gate), center);
+  }
+  return len;
+}
+
+double total_star_length(const Network& net, const Placement& pl) {
+  double total = 0.0;
+  net.for_each_gate([&](GateId g) {
+    if (net.fanout_count(g) > 0) total += net_star_length(net, pl, g);
+  });
+  return total;
+}
+
+}  // namespace rapids

@@ -1,0 +1,25 @@
+// Wirelength metrics: half-perimeter (HPWL) and the star model used for
+// timing (the same star geometry later carries the RC in timing/star_net).
+#pragma once
+
+#include "netlist/network.hpp"
+#include "place/placement.hpp"
+
+namespace rapids {
+
+/// HPWL of the net driven by `driver` (bounding box of driver + sink gates).
+/// Nets with no sinks contribute 0.
+double net_hpwl(const Network& net, const Placement& pl, GateId driver);
+
+/// Total HPWL over all nets.
+double total_hpwl(const Network& net, const Placement& pl);
+
+/// Star wirelength of one net: sum of distances from every terminal to the
+/// terminals' center of gravity (the model of Riess-Ettl [4] used by the
+/// paper's delay calculator).
+double net_star_length(const Network& net, const Placement& pl, GateId driver);
+
+/// Total star wirelength over all nets.
+double total_star_length(const Network& net, const Placement& pl);
+
+}  // namespace rapids

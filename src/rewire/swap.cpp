@@ -1,0 +1,116 @@
+#include "rewire/swap.hpp"
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+
+/// Produce a driver for the complement of `signal`, preferring reuse:
+/// if `signal` is an inverter, its own input is the complement. Otherwise
+/// insert a fresh INV placed on the sink's cell site.
+GateId complement_driver(Network& net, Placement& placement, const CellLibrary& lib,
+                         GateId signal, const Pin& sink, SwapEdit& edit) {
+  if (net.type(signal) == GateType::Inv) {
+    const GateId w = net.fanin(signal, 0);
+    edit.dirty_nets.push_back(w);
+    return w;
+  }
+  const GateId inv = net.add_gate(GateType::Inv);
+  net.add_fanin(inv, signal);
+  const int cell = lib.smallest(GateType::Inv, 1);
+  RAPIDS_ASSERT_MSG(cell >= 0, "library has no inverter");
+  net.set_cell(inv, cell);
+  if (placement.id_bound() < net.id_bound()) placement.resize(net.id_bound());
+  if (placement.is_placed(sink.gate)) {
+    placement.set(inv, placement.at(sink.gate));
+  }
+  edit.added_inverters.push_back(inv);
+  edit.dirty_nets.push_back(inv);
+  return inv;
+}
+
+}  // namespace
+
+SwapEdit apply_swap(Network& net, Placement& placement, const CellLibrary& lib,
+                    const SwapCandidate& swap) {
+  SwapEdit edit;
+  edit.pin_a = swap.pin_a;
+  edit.pin_b = swap.pin_b;
+  edit.old_driver_a = net.driver_of(swap.pin_a);
+  edit.old_driver_b = net.driver_of(swap.pin_b);
+  edit.dirty_nets.push_back(edit.old_driver_a);
+  edit.dirty_nets.push_back(edit.old_driver_b);
+
+  if (swap.polarity == SwapPolarity::NonInverting) {
+    net.set_fanin(swap.pin_a, edit.old_driver_b);
+    net.set_fanin(swap.pin_b, edit.old_driver_a);
+  } else {
+    const GateId inv_b = complement_driver(net, placement, lib, edit.old_driver_b,
+                                           swap.pin_a, edit);
+    const GateId inv_a = complement_driver(net, placement, lib, edit.old_driver_a,
+                                           swap.pin_b, edit);
+    net.set_fanin(swap.pin_a, inv_b);
+    net.set_fanin(swap.pin_b, inv_a);
+  }
+  edit.applied = true;
+  return edit;
+}
+
+void undo_swap(Network& net, Placement& placement, SwapEdit& edit) {
+  RAPIDS_ASSERT(edit.applied);
+  net.set_fanin(edit.pin_a, edit.old_driver_a);
+  net.set_fanin(edit.pin_b, edit.old_driver_b);
+  for (const GateId inv : edit.added_inverters) {
+    RAPIDS_ASSERT_MSG(net.fanout_count(inv) == 0,
+                      "inserted inverter acquired sinks before undo");
+    placement.unset(inv);
+    net.delete_gate(inv);
+  }
+  edit.added_inverters.clear();
+  edit.applied = false;
+}
+
+std::size_t remove_dangling_inverters(Network& net) {
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GateId g : net.all_gates()) {
+      if (net.type(g) == GateType::Inv && net.fanout_count(g) == 0) {
+        net.delete_gate(g);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+std::size_t cleanup_after_swap(Network& net) {
+  // INV(INV(x)) sinks are retargeted to x; dangling inverters removed.
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GateId g : net.all_gates()) {
+      if (net.type(g) != GateType::Inv) continue;
+      if (net.fanout_count(g) == 0) {
+        net.delete_gate(g);
+        ++removed;
+        changed = true;
+        continue;
+      }
+      const GateId d = net.fanin(g, 0);
+      if (net.type(d) == GateType::Inv) {
+        net.replace_all_fanouts(g, net.fanin(d, 0));
+        net.delete_gate(g);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace rapids

@@ -1,0 +1,28 @@
+#include "sizing/sizing.hpp"
+
+namespace rapids {
+
+std::vector<int> resize_candidates(const Network& net, const CellLibrary& lib, GateId g) {
+  std::vector<int> out;
+  const std::int32_t current = net.cell(g);
+  if (current < 0 || !is_logic(net.type(g))) return out;
+  const Cell& c = lib.cell(current);
+  for (const int v : lib.variants(c.function, c.num_inputs)) {
+    if (v != current) out.push_back(v);
+  }
+  return out;
+}
+
+double gate_area(const Network& net, const CellLibrary& lib, GateId g) {
+  const std::int32_t c = net.cell(g);
+  if (c < 0 || !is_logic(net.type(g))) return 0.0;
+  return lib.cell(c).area;
+}
+
+double network_area(const Network& net, const CellLibrary& lib) {
+  double area = 0.0;
+  net.for_each_gate([&](GateId g) { area += gate_area(net, lib, g); });
+  return area;
+}
+
+}  // namespace rapids

@@ -1,0 +1,27 @@
+// Gate-sizing move enumeration and area accounting.
+//
+// The paper's "GS" baseline is the gate-sizing heuristic of Coudert [2]:
+// iterative neighborhood search maximizing the minimum slack plus a
+// relaxation phase maximizing the slack sum. The shared two-phase engine
+// lives in opt/engine; this module provides the sizing-specific pieces:
+// candidate drive variants per gate and area bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "library/cell_library.hpp"
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+/// Alternative cell bindings for `g`: same function and fanin count,
+/// different drive strength (the current binding is excluded).
+std::vector<int> resize_candidates(const Network& net, const CellLibrary& lib, GateId g);
+
+/// Area of one gate (0 for unmapped/boundary gates).
+double gate_area(const Network& net, const CellLibrary& lib, GateId g);
+
+/// Total cell area of the netlist ("We only consider area taken by gates").
+double network_area(const Network& net, const CellLibrary& lib);
+
+}  // namespace rapids

@@ -1,0 +1,130 @@
+#include "sym/atpg_check.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rapids {
+
+SgFunction::SgFunction(const Network& net, const SuperGate& sg) : net_(net), sg_(sg) {
+  for (const CoveredPin& cp : sg.pins) {
+    if (cp.leaf) leaves_.push_back(cp.pin);
+  }
+  // Topological order within the covered set: repeatedly emit gates whose
+  // covered fanins are all emitted. Cone sizes are small; O(n^2) is fine.
+  std::unordered_set<GateId> covered(sg.covered.begin(), sg.covered.end());
+  std::unordered_set<GateId> done;
+  std::vector<GateId> rest(sg.covered.begin(), sg.covered.end());
+  while (!rest.empty()) {
+    bool progress = false;
+    std::vector<GateId> next;
+    for (const GateId g : rest) {
+      bool ready = true;
+      for (std::uint32_t i = 0; i < net.fanin_count(g); ++i) {
+        const Pin pin{g, i};
+        const bool is_leaf = std::find(leaves_.begin(), leaves_.end(), pin) != leaves_.end();
+        if (is_leaf) continue;
+        const GateId d = net.fanin(g, i);
+        if (covered.count(d) != 0 && done.count(d) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order_.push_back(g);
+        done.insert(g);
+        progress = true;
+      } else {
+        next.push_back(g);
+      }
+    }
+    RAPIDS_ASSERT_MSG(progress, "supergate cone is not a DAG over its leaves");
+    rest = std::move(next);
+  }
+}
+
+std::uint64_t SgFunction::eval(const std::vector<std::uint64_t>& leaf_words) const {
+  RAPIDS_ASSERT(leaf_words.size() == leaves_.size());
+  std::unordered_map<GateId, std::uint64_t> value;
+  std::uint64_t fanin_buf[64];
+  for (const GateId g : order_) {
+    const std::uint32_t nin = net_.fanin_count(g);
+    RAPIDS_ASSERT(nin <= 64);
+    for (std::uint32_t i = 0; i < nin; ++i) {
+      const Pin pin{g, i};
+      const auto leaf_it = std::find(leaves_.begin(), leaves_.end(), pin);
+      if (leaf_it != leaves_.end()) {
+        fanin_buf[i] = leaf_words[static_cast<std::size_t>(leaf_it - leaves_.begin())];
+      } else {
+        const GateId d = net_.fanin(g, i);
+        const auto it = value.find(d);
+        RAPIDS_ASSERT_MSG(it != value.end(),
+                          "covered fanin not yet evaluated (pin not a leaf?)");
+        fanin_buf[i] = it->second;
+      }
+    }
+    value[g] = eval_word(net_.type(g), fanin_buf, static_cast<int>(nin));
+  }
+  const auto root_it = value.find(sg_.root);
+  RAPIDS_ASSERT(root_it != value.end());
+  return root_it->second;
+}
+
+PinSymmetry check_leaf_symmetry(const Network& net, const SuperGate& sg, const Pin& a,
+                                const Pin& b, int max_exhaustive_leaves,
+                                int random_batches) {
+  SgFunction fn(net, sg);
+  const auto& leaves = fn.leaves();
+  const auto ia_it = std::find(leaves.begin(), leaves.end(), a);
+  const auto ib_it = std::find(leaves.begin(), leaves.end(), b);
+  RAPIDS_ASSERT_MSG(ia_it != leaves.end() && ib_it != leaves.end(),
+                    "pins are not leaves of this supergate");
+  const std::size_t ia = static_cast<std::size_t>(ia_it - leaves.begin());
+  const std::size_t ib = static_cast<std::size_t>(ib_it - leaves.begin());
+  const std::size_t k = leaves.size();
+
+  PinSymmetry result{true, true};
+  auto check_batch = [&](const std::vector<std::uint64_t>& words) {
+    // NES: exchanging the two leaf stimuli leaves the root unchanged.
+    const std::uint64_t base = fn.eval(words);
+    std::vector<std::uint64_t> swapped = words;
+    std::swap(swapped[ia], swapped[ib]);
+    if (fn.eval(swapped) != base) result.nes = false;
+    // ES: exchanging with complement leaves the root unchanged
+    // (f(...,xi,...,xj,...) == f(...,x̄j,...,x̄i,...)).
+    std::vector<std::uint64_t> inv_swapped = words;
+    inv_swapped[ia] = ~words[ib];
+    inv_swapped[ib] = ~words[ia];
+    if (fn.eval(inv_swapped) != base) result.es = false;
+  };
+
+  if (k <= static_cast<std::size_t>(max_exhaustive_leaves)) {
+    static constexpr std::uint64_t kPattern[6] = {
+        0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+        0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+    const std::uint64_t blocks = k <= 6 ? 1 : (1ULL << (k - 6));
+    std::vector<std::uint64_t> words(k);
+    for (std::uint64_t block = 0; block < blocks; ++block) {
+      for (std::size_t i = 0; i < k; ++i) {
+        words[i] = i < 6 ? kPattern[i] : ((block >> (i - 6)) & 1ULL ? ~0ULL : 0ULL);
+      }
+      check_batch(words);
+      if (!result.nes && !result.es) return result;
+    }
+    return result;
+  }
+
+  Rng rng(0xa7b3c9d1ULL + k);
+  std::vector<std::uint64_t> words(k);
+  for (int batch = 0; batch < random_batches; ++batch) {
+    for (auto& w : words) w = rng.next_u64();
+    check_batch(words);
+    if (!result.nes && !result.es) return result;
+  }
+  return result;
+}
+
+}  // namespace rapids

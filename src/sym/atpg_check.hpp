@@ -1,0 +1,52 @@
+// Independent symmetry oracle (Lemma 1 semantics, Pomeranz-Reddy style).
+//
+// The paper grounds its theory in ATPG: two inputs are NES iff no test sets
+// xi=D, xj=D̄ and propagates a difference to the output; ES likewise with
+// equal D values. For a supergate this is equivalent to checking cofactor
+// equality of the supergate's function over its LEAF pins treated as free
+// cut variables. This module performs that check by exhaustive (or sampled)
+// bit-parallel simulation of the covered cone only — deliberately a
+// completely different mechanism from the linear-time detector in gisg.cpp,
+// so the two can cross-validate each other in tests and benches.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "sym/gisg.hpp"
+
+namespace rapids {
+
+struct PinSymmetry {
+  bool nes = false;  // non-equivalence symmetric  (non-inverting swappable)
+  bool es = false;   // equivalence symmetric      (inverting swappable)
+};
+
+/// Function of a supergate's root over its leaf pins as cut variables.
+class SgFunction {
+ public:
+  SgFunction(const Network& net, const SuperGate& sg);
+
+  std::size_t num_leaves() const { return leaves_.size(); }
+  const std::vector<Pin>& leaves() const { return leaves_; }
+
+  /// Evaluate the root's output word for one 64-pattern batch of leaf
+  /// values (`leaf_words[i]` drives leaves()[i]).
+  std::uint64_t eval(const std::vector<std::uint64_t>& leaf_words) const;
+
+ private:
+  const Network& net_;
+  const SuperGate& sg_;
+  std::vector<Pin> leaves_;
+  std::vector<GateId> order_;  // covered gates, topological within the cone
+};
+
+/// Check NES/ES of two leaf pins with respect to the supergate root.
+/// Exhaustive when the supergate has <= max_exhaustive_leaves leaves,
+/// otherwise `random_batches` sampled batches (sound "asymmetric" verdicts,
+/// probabilistic "symmetric" verdicts — fine for cross-validation).
+PinSymmetry check_leaf_symmetry(const Network& net, const SuperGate& sg, const Pin& a,
+                                const Pin& b, int max_exhaustive_leaves = 16,
+                                int random_batches = 64);
+
+}  // namespace rapids

@@ -1,0 +1,251 @@
+#include "sym/gisg.hpp"
+
+#include <unordered_map>
+
+#include "netlist/topo.hpp"
+#include "sym/implication.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+const char* to_string(SgType type) {
+  switch (type) {
+    case SgType::Trivial:
+      return "TRIVIAL";
+    case SgType::AndOr:
+      return "AND-OR";
+    case SgType::Xor:
+      return "XOR";
+  }
+  return "?";
+}
+
+const SuperGate* GisgPartition::sg_containing(GateId g) const {
+  if (g >= sg_of_gate.size() || sg_of_gate[g] < 0) return nullptr;
+  return &sgs[static_cast<std::size_t>(sg_of_gate[g])];
+}
+
+double GisgPartition::nontrivial_coverage(const Network& net) const {
+  std::size_t covered = 0;
+  for (const SuperGate& sg : sgs) {
+    if (!sg.is_trivial()) covered += sg.covered.size();
+  }
+  const std::size_t total = net.num_logic_gates();
+  return total == 0 ? 0.0 : static_cast<double>(covered) / static_cast<double>(total);
+}
+
+int GisgPartition::max_leaves() const {
+  int best = 0;
+  for (const SuperGate& sg : sgs) {
+    if (!sg.is_trivial() && sg.num_leaves > best) best = sg.num_leaves;
+  }
+  return best;
+}
+
+std::size_t GisgPartition::num_nontrivial() const {
+  std::size_t n = 0;
+  for (const SuperGate& sg : sgs) {
+    if (!sg.is_trivial()) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+class Extractor {
+ public:
+  explicit Extractor(const Network& net) : net_(net), depth_(net.id_bound(), 0) {
+    part_.sg_of_gate.assign(net.id_bound(), -1);
+  }
+
+  GisgPartition run() {
+    // Reverse topological order guarantees a gate is visited only after
+    // every potential absorbing parent; whatever is still uncovered when
+    // visited must start its own supergate.
+    for (const GateId g : reverse_topological_order(net_)) {
+      if (!is_logic(net_.type(g))) continue;
+      if (part_.sg_of_gate[g] >= 0) continue;
+      extract_from(g);
+    }
+    return std::move(part_);
+  }
+
+ private:
+  /// Can `d` be absorbed into the supergate currently being built?
+  bool absorbable(GateId d) const {
+    return is_logic(net_.type(d)) && net_.fanout_count(d) == 1 &&
+           part_.sg_of_gate[d] < 0;
+  }
+
+  void cover(SuperGate& sg, GateId g, Pin parent, int depth) {
+    part_.sg_of_gate[g] = static_cast<std::int32_t>(part_.sgs.size());
+    sg.covered.push_back(g);
+    sg.parent_pin.push_back(parent);
+    depth_[g] = depth;
+  }
+
+  void record_pin(SuperGate& sg, Pin pin, int imp_value, GateId driver, bool leaf) {
+    CoveredPin cp;
+    cp.pin = pin;
+    cp.imp_value = imp_value;
+    cp.driver = driver;
+    cp.leaf = leaf;
+    cp.depth = depth_[pin.gate];
+    sg.pins.push_back(cp);
+    if (leaf) ++sg.num_leaves;
+  }
+
+  /// Reconvergence check for leaf pins: Fig. 1 redundancies.
+  void check_stem(SuperGate& sg, Pin pin, GateId driver, int value) {
+    auto [it, inserted] = stem_seen_.try_emplace(driver, std::make_pair(pin, value));
+    if (inserted) return;
+    const auto& [first_pin, first_value] = it->second;
+    RedundancyRecord rec;
+    rec.sg_root = sg.root;
+    rec.stem = driver;
+    rec.pin_a = first_pin;
+    rec.pin_b = pin;
+    rec.value_a = first_value;
+    rec.value_b = value;
+    if (sg.type == SgType::Xor) {
+      rec.kind = RedundancyRecord::Kind::XorCancel;
+    } else if (first_value != value) {
+      rec.kind = RedundancyRecord::Kind::ConflictConstant;
+    } else {
+      rec.kind = RedundancyRecord::Kind::RedundantBranch;
+    }
+    part_.redundancies.push_back(rec);
+  }
+
+  void extract_from(GateId root) {
+    SuperGate sg;
+    sg.root = root;
+    stem_seen_.clear();
+
+    // Descend through the top INV/BUF chain (absorbed into the supergate)
+    // until the first multi-input gate; it decides the mode. The root's
+    // output value is free, so the chain never blocks implication.
+    cover(sg, root, Pin{}, 1);
+    std::vector<Pin> chain_pins;  // top chain in-pins, shallow to deep
+    GateId cur = root;
+    while (base_type(net_.type(cur)) == GateType::Buf) {
+      const GateId d = net_.fanin(cur, 0);
+      chain_pins.push_back(Pin{cur, 0});
+      if (!absorbable(d)) {
+        // Pure INV/BUF chain supergate: single leaf, nothing swappable.
+        sg.type = SgType::Trivial;
+        sg.root_fn = GateType::Buf;
+        for (const Pin& p : chain_pins) {
+          record_pin(sg, p, -1, net_.driver_of(p), p == chain_pins.back());
+        }
+        finish(std::move(sg));
+        return;
+      }
+      cover(sg, d, Pin{cur, 0}, depth_[cur] + 1);
+      cur = d;
+    }
+
+    const GateType cur_type = net_.type(cur);
+    const GateType base = base_type(cur_type);
+    sg.root_fn = base;
+    if (base == GateType::Xor) {
+      sg.type = SgType::Xor;
+      for (const Pin& p : chain_pins) {
+        record_pin(sg, p, -1, net_.driver_of(p), false);
+      }
+      extract_xor(sg, cur);
+    } else {
+      sg.type = SgType::AndOr;
+      // Implied value at `cur`'s out-pin is its trigger; walk the chain
+      // back up assigning consistent pin values through inversions.
+      int value = *and_or_trigger(cur_type);
+      for (auto it = chain_pins.rbegin(); it != chain_pins.rend(); ++it) {
+        record_pin(sg, *it, value, net_.driver_of(*it), false);
+        if (net_.type(it->gate) == GateType::Inv) value = 1 - value;
+      }
+      extract_and_or(sg, cur, *and_or_trigger(cur_type));
+    }
+    finish(std::move(sg));
+  }
+
+  void extract_and_or(SuperGate& sg, GateId start, int start_value) {
+    // Invariant: every (gate, out_value) on the stack fires backward
+    // implication.
+    std::vector<std::pair<GateId, int>> stack{{start, start_value}};
+    while (!stack.empty()) {
+      const auto [u, vu] = stack.back();
+      stack.pop_back();
+      const BackwardStep step = backward_implication(net_.type(u), vu);
+      RAPIDS_ASSERT(step.fires);
+      const std::uint32_t nin = net_.fanin_count(u);
+      for (std::uint32_t i = 0; i < nin; ++i) {
+        Pin pin{u, i};
+        int value = step.pin_value;
+        GateId d = net_.fanin(u, i);
+        // Absorb the INV/BUF chain hanging below this pin.
+        while (absorbable(d) && base_type(net_.type(d)) == GateType::Buf) {
+          record_pin(sg, pin, value, d, /*leaf=*/false);
+          cover(sg, d, pin, depth_[pin.gate] + 1);
+          if (net_.type(d) == GateType::Inv) value = 1 - value;
+          pin = Pin{d, 0};
+          d = net_.fanin(d, 0);
+        }
+        // Try to keep implying through d.
+        if (absorbable(d) && has_controlling_value(net_.type(d)) &&
+            backward_implication(net_.type(d), value).fires) {
+          record_pin(sg, pin, value, d, /*leaf=*/false);
+          cover(sg, d, pin, depth_[pin.gate] + 1);
+          stack.emplace_back(d, value);
+          continue;
+        }
+        // Propagation stops: `pin` is a supergate fanin.
+        record_pin(sg, pin, value, d, /*leaf=*/true);
+        check_stem(sg, pin, d, value);
+      }
+    }
+  }
+
+  void extract_xor(SuperGate& sg, GateId start) {
+    std::vector<GateId> stack{start};
+    while (!stack.empty()) {
+      const GateId u = stack.back();
+      stack.pop_back();
+      const std::uint32_t nin = net_.fanin_count(u);
+      for (std::uint32_t i = 0; i < nin; ++i) {
+        Pin pin{u, i};
+        GateId d = net_.fanin(u, i);
+        while (absorbable(d) && base_type(net_.type(d)) == GateType::Buf) {
+          record_pin(sg, pin, -1, d, /*leaf=*/false);
+          cover(sg, d, pin, depth_[pin.gate] + 1);
+          pin = Pin{d, 0};
+          d = net_.fanin(d, 0);
+        }
+        if (absorbable(d) && base_type(net_.type(d)) == GateType::Xor) {
+          record_pin(sg, pin, -1, d, /*leaf=*/false);
+          cover(sg, d, pin, depth_[pin.gate] + 1);
+          stack.push_back(d);
+          continue;
+        }
+        record_pin(sg, pin, -1, d, /*leaf=*/true);
+        check_stem(sg, pin, d, -1);
+      }
+    }
+  }
+
+  void finish(SuperGate&& sg) {
+    // Single covered multi-input gate still forms a (trivial) supergate;
+    // classification per the paper counts covered gates only.
+    part_.sgs.push_back(std::move(sg));
+  }
+
+  const Network& net_;
+  GisgPartition part_;
+  std::unordered_map<GateId, std::pair<Pin, int>> stem_seen_;
+  std::vector<int> depth_;  // id-indexed: flat array keeps extraction linear
+};
+
+}  // namespace
+
+GisgPartition extract_gisg(const Network& net) { return Extractor(net).run(); }
+
+}  // namespace rapids

@@ -1,0 +1,113 @@
+// Generalized Implication Supergate (GISG) extraction — the paper's core.
+//
+// Definition 2 (§3.2): a GISG rooted at gate f is the set of gates in a
+// fanout-free region that are either and-or-reachable (direct backward
+// implication from f's trigger value) or xor-reachable (XOR/XNOR/INV/BUF
+// chains) from f. Extraction starts from the primary outputs and processes
+// gates in reverse topological order; multiple-fanout nodes and nodes where
+// backward propagation stops become new roots. The result is a unique
+// partition of the network into AND, OR and XOR supergates with inverters
+// and buffers absorbed at their pins (the "supergate network").
+//
+// The algorithm touches every gate and pin a constant number of times:
+// it is linear in network size (bench/linear_scaling demonstrates this).
+//
+// Reconvergence bookkeeping: when two covered pins inside one supergate are
+// driven by the same stem, the paper's Fig. 1 redundancies are detected for
+// free; records are collected here and acted on in sym/redundancy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+enum class SgType : std::uint8_t {
+  Trivial,  // single covered gate, or a pure INV/BUF chain
+  AndOr,    // computes AND/OR of literals of its leaf pins
+  Xor,      // computes parity (possibly complemented) of its leaf pins
+};
+
+const char* to_string(SgType type);
+
+/// An in-pin covered by a supergate, with the logic value assigned to it by
+/// direct backward implication from the root (imp_value; -1 for XOR mode
+/// where pins carry no implied value).
+struct CoveredPin {
+  Pin pin;
+  int imp_value = -1;
+  /// Driver of the pin at extraction time.
+  GateId driver = kNullGate;
+  /// True if the driver lies outside the supergate (the pin is a supergate
+  /// fanin); false for pins internal to the supergate tree.
+  bool leaf = false;
+  /// Number of covered gates on the path from this pin to the root
+  /// (pin of the root itself has depth 1).
+  int depth = 0;
+};
+
+struct SuperGate {
+  GateId root = kNullGate;
+  SgType type = SgType::Trivial;
+  /// Base function at the region below the root (And / Or / Xor / Buf);
+  /// reported as the supergate "type" in the paper's terms.
+  GateType root_fn = GateType::Buf;
+  /// Covered gates, root first.
+  std::vector<GateId> covered;
+  /// For covered[i], the in-pin (inside this supergate) that its output
+  /// drives; undefined Pin for the root.
+  std::vector<Pin> parent_pin;
+  /// Every covered in-pin (swap candidates live here).
+  std::vector<CoveredPin> pins;
+  /// Number of leaf pins (the supergate's fanin count; Table 1 column L
+  /// reports the maximum over the netlist).
+  int num_leaves = 0;
+
+  /// Paper: "A supergate is trivial if it only covers one gate."
+  bool is_trivial() const { return covered.size() <= 1 || type == SgType::Trivial; }
+};
+
+/// Redundancy discovered during extraction (Fig. 1).
+struct RedundancyRecord {
+  enum class Kind : std::uint8_t {
+    /// Case 1: conflicting implied values at a stem — the root can never
+    /// take its trigger value, so the root's function is constant.
+    ConflictConstant,
+    /// Case 2: equal implied values — one of the stem's branches is
+    /// untestable; the second pin can be tied to its implied value.
+    RedundantBranch,
+    /// XOR extension: duplicate stem in a parity tree — the pair cancels.
+    XorCancel,
+  };
+
+  Kind kind = Kind::RedundantBranch;
+  GateId sg_root = kNullGate;
+  GateId stem = kNullGate;  // the driver reached twice
+  Pin pin_a, pin_b;         // covered pins driven by the stem
+  int value_a = -1, value_b = -1;
+};
+
+struct GisgPartition {
+  std::vector<SuperGate> sgs;
+  /// Supergate index covering each gate; -1 for boundary (Input/Output/
+  /// Const) gates.
+  std::vector<std::int32_t> sg_of_gate;
+  std::vector<RedundancyRecord> redundancies;
+
+  const SuperGate* sg_containing(GateId g) const;
+
+  // --- Table 1 statistics -------------------------------------------------
+  /// Fraction (0..1) of logic gates covered by non-trivial supergates
+  /// (column "gsg cov %").
+  double nontrivial_coverage(const Network& net) const;
+  /// Largest supergate fanin count (column "L").
+  int max_leaves() const;
+  std::size_t num_nontrivial() const;
+};
+
+/// Extract the unique supergate partition of `net`. Linear time.
+GisgPartition extract_gisg(const Network& net);
+
+}  // namespace rapids

@@ -1,0 +1,42 @@
+#include "sym/implication.hpp"
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+BackwardStep backward_implication(GateType type, int out_value) {
+  RAPIDS_ASSERT(out_value == 0 || out_value == 1);
+  switch (type) {
+    case GateType::And:
+      return out_value == 1 ? BackwardStep{true, 1} : BackwardStep{};
+    case GateType::Nand:
+      return out_value == 0 ? BackwardStep{true, 1} : BackwardStep{};
+    case GateType::Or:
+      return out_value == 0 ? BackwardStep{true, 0} : BackwardStep{};
+    case GateType::Nor:
+      return out_value == 1 ? BackwardStep{true, 0} : BackwardStep{};
+    case GateType::Inv:
+      return BackwardStep{true, 1 - out_value};
+    case GateType::Buf:
+      return BackwardStep{true, out_value};
+    default:
+      return BackwardStep{};  // XOR family, boundary gates: never fires
+  }
+}
+
+std::optional<int> and_or_trigger(GateType type) {
+  switch (type) {
+    case GateType::And:
+      return 1;
+    case GateType::Nand:
+      return 0;
+    case GateType::Or:
+      return 0;
+    case GateType::Nor:
+      return 1;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace rapids

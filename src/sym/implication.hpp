@@ -1,0 +1,35 @@
+// Direct backward implication (paper §2).
+//
+// Given a logic value v at the out-pin of gate g, backward implication
+// infers values at g's in-pins when v equals the output produced by an
+// all-non-controlling input assignment:
+//   AND out=1 -> all inputs 1        NAND out=0 -> all inputs 1
+//   OR  out=0 -> all inputs 0        NOR  out=1 -> all inputs 0
+//   INV out=v -> input !v            BUF  out=v -> input v
+// XOR-family gates never imply their inputs (no controlling value).
+#pragma once
+
+#include <optional>
+
+#include "netlist/gate_type.hpp"
+
+namespace rapids {
+
+/// Result of one backward implication step at a gate.
+struct BackwardStep {
+  bool fires = false;  // can the in-pins be inferred?
+  int pin_value = -1;  // value implied at every in-pin when fires
+};
+
+/// Attempt backward implication through a gate of type `type` whose out-pin
+/// carries `out_value` (0/1).
+BackwardStep backward_implication(GateType type, int out_value);
+
+/// The out-pin value for which backward implication fires at this gate:
+/// AND->1, NAND->0, OR->0, NOR->1, INV/BUF->any (returns nullopt to signal
+/// "both values fire"), XOR-family -> nullopt with fires=false semantics.
+/// Use backward_implication() for the general query; this helper exists for
+/// choosing the trigger value at supergate roots.
+std::optional<int> and_or_trigger(GateType type);
+
+}  // namespace rapids

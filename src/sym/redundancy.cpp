@@ -1,0 +1,78 @@
+#include "sym/redundancy.hpp"
+
+#include "netlist/simplify.hpp"
+#include "sym/implication.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+
+/// The gate inside `sg` where and-or implication started: the first
+/// non-INV/BUF covered gate below the root chain.
+GateId implication_base(const Network& net, const SuperGate& sg) {
+  GateId cur = sg.root;
+  while (!net.is_deleted(cur) && base_type(net.type(cur)) == GateType::Buf) {
+    cur = net.fanin(cur, 0);
+  }
+  return cur;
+}
+
+bool pin_intact(const Network& net, const Pin& pin, GateId expected_driver) {
+  return !net.is_deleted(pin.gate) && pin.index < net.fanin_count(pin.gate) &&
+         net.fanin(pin.gate, pin.index) == expected_driver;
+}
+
+}  // namespace
+
+bool apply_redundancy(Network& net, const GisgPartition& part, const RedundancyRecord& rec,
+                      RedundancyFixStats& stats) {
+  (void)part;
+  switch (rec.kind) {
+    case RedundancyRecord::Kind::ConflictConstant: {
+      // The base gate's trigger value is unsatisfiable: its output is the
+      // complement of the trigger, constantly.
+      if (net.is_deleted(rec.sg_root)) return false;
+      const SuperGate* sg = part.sg_containing(rec.sg_root);
+      if (sg == nullptr || sg->root != rec.sg_root) return false;
+      const GateId base = implication_base(net, *sg);
+      if (net.is_deleted(base) || !has_controlling_value(net.type(base))) return false;
+      const int trigger = implication_trigger_output(net.type(base));
+      net.replace_all_fanouts(base, get_constant(net, trigger == 0));
+      ++stats.constants_created;
+      return true;
+    }
+    case RedundancyRecord::Kind::RedundantBranch: {
+      // Second branch is untestable stuck-at its implied value.
+      if (!pin_intact(net, rec.pin_b, rec.stem)) return false;
+      net.set_fanin(rec.pin_b, get_constant(net, rec.value_b == 1));
+      ++stats.branches_tied;
+      return true;
+    }
+    case RedundancyRecord::Kind::XorCancel: {
+      // Both leaves carry the same stem value; their parity contribution
+      // cancels, so both can be tied to logic 0.
+      if (!pin_intact(net, rec.pin_a, rec.stem) || !pin_intact(net, rec.pin_b, rec.stem)) {
+        return false;
+      }
+      const GateId zero = get_constant(net, false);
+      net.set_fanin(rec.pin_a, zero);
+      net.set_fanin(rec.pin_b, zero);
+      ++stats.xor_pairs_cancelled;
+      return true;
+    }
+  }
+  return false;
+}
+
+RedundancyFixStats apply_all_redundancies(Network& net, const GisgPartition& part) {
+  RedundancyFixStats stats;
+  for (const RedundancyRecord& rec : part.redundancies) {
+    apply_redundancy(net, part, rec, stats);
+  }
+  const SimplifyStats s = simplify(net);
+  stats.gates_removed = s.gates_removed;
+  return stats;
+}
+
+}  // namespace rapids

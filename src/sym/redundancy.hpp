@@ -1,0 +1,40 @@
+// Acting on redundancies discovered during GISG extraction (Fig. 1).
+//
+// The paper reports redundancy counts (Table 1, column 14) found for free
+// during supergate extraction. This module also APPLIES them, which the
+// paper leaves implicit:
+//   case 1 (conflicting implied values at a stem): the supergate's base
+//     gate can never reach its implication trigger value, so it computes a
+//     constant — replace it and let constant propagation clean up.
+//   case 2 (equal implied values): the later branch is stuck-at untestable
+//     at its implied value — tie the pin to that constant and fold.
+//   XOR extension: two parity leaves fed by one stem cancel — tie both to 0.
+// Every application is equivalence-checked in tests.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/network.hpp"
+#include "sym/gisg.hpp"
+
+namespace rapids {
+
+struct RedundancyFixStats {
+  std::size_t constants_created = 0;
+  std::size_t branches_tied = 0;
+  std::size_t xor_pairs_cancelled = 0;
+  std::size_t gates_removed = 0;
+};
+
+/// Apply a single redundancy record to the network. The record must have
+/// been produced by extract_gisg on this exact network state. Returns false
+/// if the record no longer applies (e.g. its gates were already rewritten
+/// by an earlier fix in the same batch).
+bool apply_redundancy(Network& net, const GisgPartition& part, const RedundancyRecord& rec,
+                      RedundancyFixStats& stats);
+
+/// Apply all records of a partition, most-derived first, then simplify.
+/// Re-extract the partition afterwards (gate ids may be gone).
+RedundancyFixStats apply_all_redundancies(Network& net, const GisgPartition& part);
+
+}  // namespace rapids

@@ -1,0 +1,55 @@
+#include "timing/delay_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+ArcSense arc_sense(GateType type) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Or:
+    case GateType::Buf:
+      return ArcSense::Positive;
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Inv:
+      return ArcSense::Negative;
+    case GateType::Xor:
+    case GateType::Xnor:
+      return ArcSense::Both;
+    default:
+      RAPIDS_ASSERT_MSG(false, "arc_sense on non-logic gate");
+  }
+}
+
+RiseFall gate_delay(const Cell& cell, double load) {
+  return RiseFall{cell.delay_rise(load), cell.delay_fall(load)};
+}
+
+void accumulate_arc(ArcSense sense, const RiseFall& pin_arrival, const RiseFall& delay,
+                    RiseFall& out) {
+  if (sense == ArcSense::Positive || sense == ArcSense::Both) {
+    out.rise = std::max(out.rise, pin_arrival.rise + delay.rise);
+    out.fall = std::max(out.fall, pin_arrival.fall + delay.fall);
+  }
+  if (sense == ArcSense::Negative || sense == ArcSense::Both) {
+    out.rise = std::max(out.rise, pin_arrival.fall + delay.rise);
+    out.fall = std::max(out.fall, pin_arrival.rise + delay.fall);
+  }
+}
+
+void accumulate_arc_required(ArcSense sense, const RiseFall& out_required,
+                             const RiseFall& delay, RiseFall& pin_required) {
+  if (sense == ArcSense::Positive || sense == ArcSense::Both) {
+    pin_required.rise = std::min(pin_required.rise, out_required.rise - delay.rise);
+    pin_required.fall = std::min(pin_required.fall, out_required.fall - delay.fall);
+  }
+  if (sense == ArcSense::Negative || sense == ArcSense::Both) {
+    pin_required.fall = std::min(pin_required.fall, out_required.rise - delay.rise);
+    pin_required.rise = std::min(pin_required.rise, out_required.fall - delay.fall);
+  }
+}
+
+}  // namespace rapids

@@ -1,0 +1,38 @@
+// Pin-to-pin, load-dependent gate delay with rise/fall (paper §6).
+#pragma once
+
+#include "library/cell.hpp"
+
+namespace rapids {
+
+struct RiseFall {
+  double rise = 0.0;
+  double fall = 0.0;
+
+  double worst() const { return rise > fall ? rise : fall; }
+  friend bool operator==(const RiseFall&, const RiseFall&) = default;
+};
+
+/// Timing sense of a gate's input->output arcs.
+enum class ArcSense {
+  Positive,  // AND/OR/BUF: input rise causes output rise
+  Negative,  // NAND/NOR/INV: input rise causes output fall
+  Both,      // XOR/XNOR: non-unate
+};
+
+ArcSense arc_sense(GateType type);
+
+/// Output transition delays for a cell under `load` (pF).
+RiseFall gate_delay(const Cell& cell, double load);
+
+/// Propagate an input-pin arrival through one gate arc, taking unateness
+/// into account, and fold into `out` (max-accumulate both transitions).
+void accumulate_arc(ArcSense sense, const RiseFall& pin_arrival, const RiseFall& delay,
+                    RiseFall& out);
+
+/// Backward counterpart for required times: given the required time at the
+/// gate output, the bound on this input pin (min-accumulate).
+void accumulate_arc_required(ArcSense sense, const RiseFall& out_required,
+                             const RiseFall& delay, RiseFall& pin_required);
+
+}  // namespace rapids

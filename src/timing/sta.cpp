@@ -1,0 +1,361 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "netlist/topo.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+// Arrival changes below this threshold (ns) do not propagate further; keeps
+// incremental updates local without visible drift versus a full recompute.
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool differs(const RiseFall& a, const RiseFall& b) {
+  return std::abs(a.rise - b.rise) > kEps || std::abs(a.fall - b.fall) > kEps;
+}
+}  // namespace
+
+Sta::Sta(const Network& net, const CellLibrary& lib, const Placement& pl,
+         const StaOptions& options)
+    : net_(net), lib_(lib), pl_(pl), options_(options) {
+  run_full();
+  if (options_.required_time >= 0.0) {
+    required_time_ = options_.required_time;
+  } else {
+    required_time_ = critical_delay_;
+  }
+  refresh_required();
+}
+
+void Sta::rebuild_net(GateId driver) {
+  nets_[driver] = build_star_net(net_, lib_, pl_, driver, options_.pads);
+}
+
+void Sta::recompute_arrival(GateId g, RiseFall& out) const {
+  const GateType t = net_.type(g);
+  out = RiseFall{0.0, 0.0};
+  switch (t) {
+    case GateType::Const0:
+    case GateType::Const1:
+      return;  // constants arrive at time 0
+    case GateType::Input: {
+      // Input pad drives its net with a fixed pad resistance.
+      const double load = nets_[g].total_cap();
+      const double d = options_.pads.pad_drive_res * load;
+      out = RiseFall{d, d};
+      return;
+    }
+    case GateType::Output: {
+      const GateId d = net_.fanin(g, 0);
+      const double wire = nets_[d].delay_to(Pin{g, 0});
+      const RiseFall a = arrival_[d];
+      out = RiseFall{a.rise + wire, a.fall + wire};
+      return;
+    }
+    default: {
+      const std::int32_t ci = net_.cell(g);
+      RAPIDS_ASSERT_MSG(ci >= 0, "STA requires mapped gate: " + net_.name(g));
+      const Cell& cell = lib_.cell(ci);
+      const double load = nets_[g].total_cap();
+      const RiseFall d = gate_delay(cell, load);
+      const ArcSense sense = arc_sense(t);
+      RiseFall acc{-kInf, -kInf};
+      const auto fanins = net_.fanins(g);
+      for (std::uint32_t i = 0; i < fanins.size(); ++i) {
+        const GateId f = fanins[i];
+        const double wire = nets_[f].delay_to(Pin{g, i});
+        const RiseFall pin{arrival_[f].rise + wire, arrival_[f].fall + wire};
+        accumulate_arc(sense, pin, d, acc);
+      }
+      out = acc;
+      return;
+    }
+  }
+}
+
+double Sta::recompute_critical() const {
+  double worst = 0.0;
+  for (const GateId po : net_.primary_outputs()) {
+    worst = std::max(worst, arrival_[po].worst());
+  }
+  return worst;
+}
+
+void Sta::run_full() {
+  const std::size_t n = net_.id_bound();
+  nets_.assign(n, StarNet{});
+  arrival_.assign(n, RiseFall{});
+  required_.assign(n, RiseFall{});
+  net_dirty_.assign(n, false);
+  arrival_saved_.assign(n, false);
+  net_saved_.assign(n, false);
+  net_.for_each_gate([&](GateId g) {
+    if (net_.fanout_count(g) > 0) rebuild_net(g);
+  });
+  for (const GateId g : topological_order(net_)) {
+    recompute_arrival(g, arrival_[g]);
+  }
+  critical_delay_ = recompute_critical();
+  required_valid_ = false;
+}
+
+double Sta::slack(GateId g) const {
+  RAPIDS_ASSERT_MSG(required_valid_, "slacks stale: call refresh_required()");
+  const RiseFall r = required_[g];
+  const RiseFall a = arrival_[g];
+  return std::min(r.rise - a.rise, r.fall - a.fall);
+}
+
+double Sta::worst_slack() const {
+  double worst = kInf;
+  net_.for_each_gate([&](GateId g) {
+    if (is_logic(net_.type(g)) || net_.type(g) == GateType::Output) {
+      worst = std::min(worst, slack(g));
+    }
+  });
+  return worst;
+}
+
+double Sta::total_negative_slack() const {
+  double total = 0.0;
+  for (const GateId po : net_.primary_outputs()) {
+    const double s = slack(po);
+    if (s < 0) total += s;
+  }
+  return total;
+}
+
+double Sta::sum_po_arrival() const {
+  double total = 0.0;
+  for (const GateId po : net_.primary_outputs()) total += arrival_[po].worst();
+  return total;
+}
+
+std::vector<GateId> Sta::critical_path() const {
+  // Transition-aware backtrace: follow, per gate, the (fanin, transition)
+  // whose wire-adjusted arrival plus the gate's arc delay reproduces this
+  // gate's arrival in the traced transition. Greedy max is exact because
+  // arrivals are max-compositions of the same arcs.
+  GateId worst_po = kNullGate;
+  double worst = -kInf;
+  for (const GateId po : net_.primary_outputs()) {
+    if (arrival_[po].worst() > worst) {
+      worst = arrival_[po].worst();
+      worst_po = po;
+    }
+  }
+  std::vector<GateId> path;
+  if (worst_po == kNullGate) return path;
+
+  GateId g = worst_po;
+  bool rising = arrival_[g].rise >= arrival_[g].fall;
+  path.push_back(g);
+  while (net_.fanin_count(g) > 0) {
+    const GateType t = net_.type(g);
+    GateId best = kNullGate;
+    bool best_rising = rising;
+    double best_arrival = -kInf;
+    const auto fanins = net_.fanins(g);
+    if (t == GateType::Output) {
+      best = fanins[0];  // wire-only hop keeps the transition
+    } else {
+      const ArcSense sense = arc_sense(t);
+      for (std::uint32_t i = 0; i < fanins.size(); ++i) {
+        const GateId f = fanins[i];
+        const double wire = nets_[f].delay_to(Pin{g, i});
+        // Input transitions that can produce an output transition `rising`.
+        for (const bool in_rising : {true, false}) {
+          const bool reachable =
+              sense == ArcSense::Both ||
+              (sense == ArcSense::Positive && in_rising == rising) ||
+              (sense == ArcSense::Negative && in_rising != rising);
+          if (!reachable) continue;
+          const double a =
+              (in_rising ? arrival_[f].rise : arrival_[f].fall) + wire;
+          if (a > best_arrival) {
+            best_arrival = a;
+            best = f;
+            best_rising = in_rising;
+          }
+        }
+      }
+    }
+    RAPIDS_ASSERT(best != kNullGate);
+    g = best;
+    rising = best_rising;
+    path.push_back(g);
+    if (net_.type(g) == GateType::Input || net_.type(g) == GateType::Const0 ||
+        net_.type(g) == GateType::Const1) {
+      break;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void Sta::begin() {
+  RAPIDS_ASSERT_MSG(!in_txn_, "nested STA transactions are not supported");
+  in_txn_ = true;
+  saved_critical_ = critical_delay_;
+  saved_arrivals_.clear();
+  saved_nets_.clear();
+  txn_dirty_nets_.clear();
+  seeds_.clear();
+}
+
+void Sta::save_arrival(GateId g) {
+  if (arrival_saved_[g]) return;
+  arrival_saved_[g] = true;
+  saved_arrivals_.emplace_back(g, arrival_[g]);
+}
+
+void Sta::save_net(GateId driver) {
+  if (net_saved_[driver]) return;
+  net_saved_[driver] = true;
+  saved_nets_.emplace_back(driver, nets_[driver]);
+}
+
+void Sta::grow() {
+  const std::size_t n = net_.id_bound();
+  if (nets_.size() >= n) return;
+  nets_.resize(n);
+  arrival_.resize(n);
+  required_.resize(n);
+  net_dirty_.resize(n, false);
+  arrival_saved_.resize(n, false);
+  net_saved_.resize(n, false);
+}
+
+void Sta::invalidate_net(GateId driver) {
+  RAPIDS_ASSERT(in_txn_);
+  grow();
+  save_net(driver);
+  rebuild_net(driver);
+  if (!net_dirty_[driver]) {
+    net_dirty_[driver] = true;
+    txn_dirty_nets_.push_back(driver);
+  }
+  seeds_.push_back(driver);
+}
+
+void Sta::touch_gate(GateId g) {
+  RAPIDS_ASSERT(in_txn_);
+  grow();
+  seeds_.push_back(g);
+}
+
+void Sta::propagate() {
+  RAPIDS_ASSERT(in_txn_);
+  // Worklist relaxation to the fixed point. Seeds are recomputed
+  // unconditionally; a gate's fanouts are pushed when its arrival changed
+  // (or its net RC changed, which shifts wire delay at the sinks).
+  std::deque<GateId> queue;
+  auto push = [&](GateId g) {
+    if (net_.is_deleted(g)) return;
+    queue.push_back(g);
+  };
+  for (const GateId s : seeds_) push(s);
+  seeds_.clear();
+
+  std::size_t iterations = 0;
+  const std::size_t hard_cap = 64 * (net_.num_gates() + 16);
+  while (!queue.empty()) {
+    RAPIDS_ASSERT_MSG(++iterations < hard_cap, "STA propagation did not converge");
+    const GateId g = queue.front();
+    queue.pop_front();
+    RiseFall fresh;
+    recompute_arrival(g, fresh);
+    const bool arrival_changed = differs(fresh, arrival_[g]);
+    const bool force_fanout = net_dirty_[g];
+    if (arrival_changed) {
+      save_arrival(g);
+      arrival_[g] = fresh;
+    }
+    if (arrival_changed || force_fanout) {
+      net_dirty_[g] = false;
+      for (const Pin& pin : net_.fanouts(g)) push(pin.gate);
+    }
+  }
+  critical_delay_ = recompute_critical();
+  required_valid_ = false;
+}
+
+void Sta::rollback() {
+  RAPIDS_ASSERT(in_txn_);
+  for (const auto& [g, a] : saved_arrivals_) {
+    arrival_[g] = a;
+    arrival_saved_[g] = false;
+  }
+  for (const auto& [d, s] : saved_nets_) {
+    nets_[d] = s;
+    net_saved_[d] = false;
+  }
+  for (const GateId d : txn_dirty_nets_) net_dirty_[d] = false;
+  saved_arrivals_.clear();
+  saved_nets_.clear();
+  txn_dirty_nets_.clear();
+  seeds_.clear();
+  critical_delay_ = saved_critical_;
+  in_txn_ = false;
+}
+
+void Sta::commit() {
+  RAPIDS_ASSERT(in_txn_);
+  for (const auto& [g, a] : saved_arrivals_) {
+    (void)a;
+    arrival_saved_[g] = false;
+  }
+  for (const auto& [d, s] : saved_nets_) {
+    (void)s;
+    net_saved_[d] = false;
+  }
+  for (const GateId d : txn_dirty_nets_) net_dirty_[d] = false;
+  saved_arrivals_.clear();
+  saved_nets_.clear();
+  txn_dirty_nets_.clear();
+  seeds_.clear();
+  in_txn_ = false;
+}
+
+void Sta::refresh_required() {
+  required_.assign(net_.id_bound(), RiseFall{kInf, kInf});
+  const std::vector<GateId> order = reverse_topological_order(net_);
+  for (const GateId po : net_.primary_outputs()) {
+    required_[po] = RiseFall{required_time_, required_time_};
+  }
+  for (const GateId g : order) {
+    const GateType t = net_.type(g);
+    if (t == GateType::Output) {
+      // Push through the wire onto the driver below (handled at driver).
+      continue;
+    }
+    // required at g's output = min over sink pins of
+    //   (required at sink output - sink arc delay - wire delay to the pin).
+    RiseFall req = required_[g];  // POs already seeded; others start at +inf
+    for (const Pin& pin : net_.fanouts(g)) {
+      const GateId h = pin.gate;
+      const double wire = nets_[g].delay_to(pin);
+      RiseFall through{kInf, kInf};
+      if (net_.type(h) == GateType::Output) {
+        through = required_[h];
+      } else {
+        const std::int32_t ci = net_.cell(h);
+        RAPIDS_ASSERT(ci >= 0);
+        const RiseFall d = gate_delay(lib_.cell(ci), nets_[h].total_cap());
+        accumulate_arc_required(arc_sense(net_.type(h)), required_[h], d, through);
+      }
+      req.rise = std::min(req.rise, through.rise - wire);
+      req.fall = std::min(req.fall, through.fall - wire);
+    }
+    required_[g] = req;
+  }
+  required_valid_ = true;
+}
+
+}  // namespace rapids

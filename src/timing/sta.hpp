@@ -1,0 +1,116 @@
+// Static timing analysis over a placed, mapped network.
+//
+// Arrival model per the paper §6: gate delay is pin-to-pin and
+// load-dependent with rise/fall; interconnect delay is Elmore over a star
+// RC for every net. Worst-case (max) analysis; required times / slacks
+// against a single required time T (default: the initial critical delay).
+//
+// The optimizers rely on the transactional what-if interface: apply a
+// candidate network edit, propagate(), read the objective, then rollback().
+// Rollback restores arrivals and net caches exactly, so thousands of
+// candidate moves can be probed cheaply without a full recompute.
+#pragma once
+
+#include <vector>
+
+#include "library/cell_library.hpp"
+#include "netlist/network.hpp"
+#include "place/placement.hpp"
+#include "timing/delay_model.hpp"
+#include "timing/star_net.hpp"
+
+namespace rapids {
+
+struct StaOptions {
+  PadParams pads;
+  /// Required time; negative means "use the critical delay of the first
+  /// full run" (zero-slack baseline).
+  double required_time = -1.0;
+};
+
+class Sta {
+ public:
+  /// Network must stay alive; all its logic gates must be mapped & placed.
+  Sta(const Network& net, const CellLibrary& lib, const Placement& pl,
+      const StaOptions& options = {});
+
+  /// Full recompute of net caches, arrivals, required times and slacks.
+  void run_full();
+
+  // --- results ------------------------------------------------------------
+
+  double critical_delay() const { return critical_delay_; }
+  RiseFall arrival_rf(GateId g) const { return arrival_[g]; }
+  double arrival(GateId g) const { return arrival_[g].worst(); }
+  /// Worst slack of gate g's output (valid after run_full / refresh_required).
+  double slack(GateId g) const;
+  double worst_slack() const;
+  double total_negative_slack() const;
+  double required_time() const { return required_time_; }
+  void set_required_time(double t) { required_time_ = t; }
+  /// Sum of arrival times over all primary outputs (relaxation objective).
+  double sum_po_arrival() const;
+  /// Gates on the worst path, from a primary input to the worst output.
+  std::vector<GateId> critical_path() const;
+  /// Cached star net of the net driven by g (valid for fanout_count>0).
+  const StarNet& star(GateId g) const { return nets_[g]; }
+
+  // --- transactional what-if interface -------------------------------------
+
+  /// Begin a what-if transaction; nested transactions are not supported.
+  void begin();
+  /// Mark the net driven by `driver` dirty (sink set / pin caps / geometry
+  /// changed). Call after editing the network, before propagate().
+  void invalidate_net(GateId driver);
+  /// Mark gate `g` dirty (its own cell/drive changed). Implies its output
+  /// net delay changes; fanin nets must be invalidated separately when pin
+  /// caps changed.
+  void touch_gate(GateId g);
+  /// Re-evaluate arrivals from all dirty seeds until the fixed point.
+  /// Updates critical_delay(). Required times/slacks become stale.
+  void propagate();
+  /// Discard the transaction: restore arrivals, net caches, critical delay.
+  void rollback();
+  /// Keep the transaction's results.
+  void commit();
+  bool in_transaction() const { return in_txn_; }
+
+  /// Recompute required times and slacks from current arrivals (backward
+  /// pass); cheap relative to run_full since net caches are reused.
+  void refresh_required();
+
+ private:
+  /// Extend id-indexed state for gates created mid-transaction (inverters
+  /// inserted by rewiring).
+  void grow();
+  void rebuild_net(GateId driver);
+  void recompute_arrival(GateId g, RiseFall& out) const;
+  void save_arrival(GateId g);
+  void save_net(GateId driver);
+  double recompute_critical() const;
+
+  const Network& net_;
+  const CellLibrary& lib_;
+  const Placement& pl_;
+  StaOptions options_;
+
+  std::vector<StarNet> nets_;      // indexed by driver GateId
+  std::vector<RiseFall> arrival_;  // at gate outputs
+  std::vector<RiseFall> required_;
+  std::vector<bool> net_dirty_;    // net delay changed in this txn
+  double critical_delay_ = 0.0;
+  double required_time_ = 0.0;
+  bool required_valid_ = false;
+
+  // transaction journal
+  bool in_txn_ = false;
+  std::vector<std::pair<GateId, RiseFall>> saved_arrivals_;
+  std::vector<std::pair<GateId, StarNet>> saved_nets_;
+  std::vector<GateId> txn_dirty_nets_;
+  std::vector<GateId> seeds_;
+  std::vector<bool> arrival_saved_;  // per-gate flags for O(1) dedup
+  std::vector<bool> net_saved_;
+  double saved_critical_ = 0.0;
+};
+
+}  // namespace rapids

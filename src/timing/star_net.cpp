@@ -1,0 +1,70 @@
+#include "timing/star_net.hpp"
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+double StarNet::delay_to(const Pin& pin) const {
+  for (const StarBranch& b : branches) {
+    if (b.pin == pin) return b.wire_delay;
+  }
+  RAPIDS_ASSERT_MSG(false, "pin is not a sink of this star net");
+}
+
+StarNet build_star_net(const Network& net, const CellLibrary& lib, const Placement& pl,
+                       GateId driver, const PadParams& pads) {
+  StarNet star;
+  star.driver = driver;
+  const auto sinks = net.fanouts(driver);
+  if (sinks.empty()) return star;
+
+  RAPIDS_ASSERT_MSG(pl.is_placed(driver), "driver not placed: " + net.name(driver));
+  const Point src = pl.at(driver);
+
+  // Center of gravity of all terminals (source + sinks).
+  double cx = src.x, cy = src.y;
+  for (const Pin& pin : sinks) {
+    RAPIDS_ASSERT_MSG(pl.is_placed(pin.gate), "sink not placed: " + net.name(pin.gate));
+    const Point p = pl.at(pin.gate);
+    cx += p.x;
+    cy += p.y;
+  }
+  const double terms = static_cast<double>(sinks.size() + 1);
+  const Point center{cx / terms, cy / terms};
+
+  const WireParams& w = lib.wire();
+  const double stem_len = manhattan(src, center);
+  star.stem_res = stem_len * w.res_per_um;
+  star.stem_cap = stem_len * w.cap_per_um;
+  star.wire_cap = star.stem_cap;
+
+  star.branches.reserve(sinks.size());
+  for (const Pin& pin : sinks) {
+    StarBranch b;
+    b.pin = pin;
+    const double len = manhattan(pl.at(pin.gate), center);
+    b.res = len * w.res_per_um;
+    b.cap = len * w.cap_per_um;
+    if (net.type(pin.gate) == GateType::Output) {
+      b.pin_cap = pads.pad_cap;
+    } else {
+      const std::int32_t c = net.cell(pin.gate);
+      RAPIDS_ASSERT_MSG(c >= 0, "sink gate is unmapped: " + net.name(pin.gate));
+      b.pin_cap = lib.cell(c).input_cap;
+    }
+    star.wire_cap += b.cap;
+    star.pin_cap += b.pin_cap;
+    star.branches.push_back(b);
+  }
+
+  // Elmore: the downstream cap charged through the stem is everything past
+  // the source (half of the stem itself plus all branches and pins).
+  const double downstream_of_center = star.wire_cap - star.stem_cap + star.pin_cap;
+  for (StarBranch& b : star.branches) {
+    b.wire_delay = star.stem_res * (star.stem_cap / 2.0 + downstream_of_center) +
+                   b.res * (b.cap / 2.0 + b.pin_cap);
+  }
+  return star;
+}
+
+}  // namespace rapids

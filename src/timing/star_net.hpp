@@ -1,0 +1,53 @@
+// Star interconnect model (Riess-Ettl [4], as adopted by the paper §6).
+//
+// "Each net is modeled as a star: the center of the star is the center of
+//  gravity of all its terminals. A net is divided into several segments:
+//  from source to the star center and from the star center to each sink.
+//  Each segment is modeled by lumped RC and Elmore delay model is used."
+//
+// Since distances from the star center to the sinks differ, each sink sees
+// its own wire delay — exactly what the paper exploits when swapping pins.
+#pragma once
+
+#include <vector>
+
+#include "library/cell_library.hpp"
+#include "netlist/network.hpp"
+#include "place/placement.hpp"
+
+namespace rapids {
+
+struct StarBranch {
+  Pin pin;            // sink in-pin
+  double pin_cap;     // pF presented by the sink pin
+  double res;         // kOhm of the center->sink segment
+  double cap;         // pF of the center->sink segment
+  double wire_delay;  // ns, Elmore from driver output to this pin
+};
+
+struct StarNet {
+  GateId driver = kNullGate;
+  double stem_res = 0.0;  // source->center segment
+  double stem_cap = 0.0;
+  double wire_cap = 0.0;  // all segments
+  double pin_cap = 0.0;   // all sink pins
+  std::vector<StarBranch> branches;
+
+  /// Capacitive load seen by the driving gate.
+  double total_cap() const { return wire_cap + pin_cap; }
+
+  /// Elmore wire delay to a specific sink pin; asserts if absent.
+  double delay_to(const Pin& pin) const;
+};
+
+struct PadParams {
+  double pad_cap = 0.030;       // pF presented by an Output pad pin
+  double pad_drive_res = 2.0;   // kOhm drive of an Input pad
+};
+
+/// Build the star RC for the net driven by `driver` from current placement.
+/// Sink pin caps come from the bound cells (Output markers use pad_cap).
+StarNet build_star_net(const Network& net, const CellLibrary& lib, const Placement& pl,
+                       GateId driver, const PadParams& pads = {});
+
+}  // namespace rapids

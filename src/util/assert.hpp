@@ -1,0 +1,47 @@
+// Lightweight always-on assertion used across RAPIDS.
+//
+// We keep assertions enabled in release builds: the rewiring engine mutates
+// a shared netlist in place, and a silently-corrupted network is far more
+// expensive to debug than the cost of the checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rapids {
+
+/// Error thrown when an internal invariant is violated.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Error thrown when user-facing input (files, parameters) is invalid.
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "RAPIDS_ASSERT failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rapids
+
+#define RAPIDS_ASSERT(expr)                                                   \
+  do {                                                                        \
+    if (!(expr)) ::rapids::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define RAPIDS_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::rapids::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));        \
+  } while (false)

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// All stochastic components of RAPIDS (placer annealing, workload
+// generators, random simulation) take an explicit Rng so whole flows are
+// reproducible from a single seed. We deliberately avoid std::mt19937 /
+// std::uniform_int_distribution because their outputs are not guaranteed
+// identical across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5ULL);
+
+  /// Next raw 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound), bias-free. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw.
+  bool next_bool(double p_true = 0.5);
+
+  /// Uniform int in the closed range [lo, hi].
+  int next_int(int lo, int hi);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    RAPIDS_ASSERT(!v.empty());
+    return v[next_below(v.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rapids

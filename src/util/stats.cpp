@@ -1,0 +1,37 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace rapids {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " min=" << min() << " max=" << max()
+     << " sd=" << stddev();
+  return os.str();
+}
+
+}  // namespace rapids

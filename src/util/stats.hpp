@@ -1,0 +1,36 @@
+// Streaming summary statistics (count / mean / min / max / stddev).
+// Used by benches and reports to summarize distributions (supergate sizes,
+// slack histograms, wirelength deltas) without storing samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rapids {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// "n=5 mean=1.2 min=0 max=3 sd=0.9" — for log lines and bench labels.
+  std::string to_string() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford accumulator
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace rapids

@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only; this TU exists so the target has a concrete object file and
+// the header stays self-contained (include-what-you-use checked here).

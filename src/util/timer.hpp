@@ -1,0 +1,27 @@
+// Wall-clock timer for reporting optimizer CPU columns (Table 1 cols 7-9).
+#pragma once
+
+#include <chrono>
+
+namespace rapids {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rapids

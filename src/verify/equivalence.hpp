@@ -1,0 +1,44 @@
+// Combinational equivalence checking.
+//
+// Rewiring must never change network function; every optimizer in this
+// repository runs through these checks in tests and (optionally) in the
+// flow. Small interfaces are verified exhaustively, larger ones with
+// bit-parallel random vectors — random simulation is a falsifier, not a
+// proof, which is sufficient for regression purposes and mirrors how the
+// original SIS-era flows sanity-checked rewrites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+struct EquivalenceOptions {
+  /// Interfaces up to this many PIs are checked exhaustively.
+  int exhaustive_pi_limit = 14;
+  /// Number of random 64-pattern batches for larger interfaces.
+  int random_batches = 256;
+  std::uint64_t seed = 0xeda00001ULL;
+};
+
+struct EquivalenceResult {
+  bool equivalent = true;
+  /// Name of the first mismatching primary output (empty when equivalent).
+  std::string failing_output;
+  /// Whether the verdict came from exhaustive enumeration.
+  bool exhaustive = false;
+  /// Patterns simulated.
+  std::uint64_t patterns = 0;
+
+  explicit operator bool() const { return equivalent; }
+};
+
+/// Check that `a` and `b` implement the same function. The networks must
+/// have identical PI and PO name sets; inputs/outputs are matched by name,
+/// not by order.
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    const EquivalenceOptions& options = {});
+
+}  // namespace rapids

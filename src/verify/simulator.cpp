@@ -1,0 +1,87 @@
+#include "verify/simulator.hpp"
+
+#include "netlist/topo.hpp"
+
+namespace rapids {
+
+Simulator::Simulator(const Network& net)
+    : net_(net), order_(topological_order(net)), values_(net.id_bound(), 0) {
+  const auto pis = net.primary_inputs();
+  pis_.assign(pis.begin(), pis.end());
+}
+
+void Simulator::run(const std::vector<std::uint64_t>& pi_words) {
+  RAPIDS_ASSERT_MSG(pi_words.size() == pis_.size(), "stimulus width mismatch");
+  for (std::size_t i = 0; i < pis_.size(); ++i) values_[pis_[i]] = pi_words[i];
+  std::uint64_t fanin_buf[64];
+  for (const GateId g : order_) {
+    const GateType t = net_.type(g);
+    switch (t) {
+      case GateType::Input:
+        break;  // already set
+      case GateType::Const0:
+        values_[g] = 0;
+        break;
+      case GateType::Const1:
+        values_[g] = ~0ULL;
+        break;
+      case GateType::Output:
+        values_[g] = values_[net_.fanin(g, 0)];
+        break;
+      default: {
+        const auto fanins = net_.fanins(g);
+        RAPIDS_ASSERT(fanins.size() <= 64);
+        for (std::size_t i = 0; i < fanins.size(); ++i) fanin_buf[i] = values_[fanins[i]];
+        values_[g] = eval_word(t, fanin_buf, static_cast<int>(fanins.size()));
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> Simulator::output_values() const {
+  std::vector<std::uint64_t> out;
+  const auto pos = net_.primary_outputs();
+  out.reserve(pos.size());
+  for (const GateId po : pos) out.push_back(values_[po]);
+  return out;
+}
+
+void Simulator::run_random(Rng& rng) {
+  std::vector<std::uint64_t> words(pis_.size());
+  for (auto& w : words) w = rng.next_u64();
+  run(words);
+}
+
+void Simulator::run_exhaustive_block(std::uint64_t block) {
+  RAPIDS_ASSERT(pis_.size() <= 63);
+  std::vector<std::uint64_t> words(pis_.size());
+  for (std::size_t i = 0; i < pis_.size(); ++i) {
+    if (i < 6) {
+      // Inputs 0..5 alternate within a 64-bit word.
+      static constexpr std::uint64_t kPattern[6] = {
+          0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+          0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+      words[i] = kPattern[i];
+    } else {
+      // Inputs 6+ are constant within a word, taken from the block index.
+      words[i] = (block >> (i - 6)) & 1ULL ? ~0ULL : 0ULL;
+    }
+  }
+  run(words);
+}
+
+std::uint64_t output_signature(const Network& net, std::uint64_t seed, int batches) {
+  Simulator sim(net);
+  Rng rng(seed);
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ seed;
+  for (int b = 0; b < batches; ++b) {
+    sim.run_random(rng);
+    for (const std::uint64_t w : sim.output_values()) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+  }
+  return h;
+}
+
+}  // namespace rapids

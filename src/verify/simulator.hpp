@@ -1,0 +1,55 @@
+// 64-way bit-parallel logic simulator.
+//
+// Each gate's value is one 64-bit word per "slot": bit k of slot s is the
+// gate's value under pattern s*64+k. Used for equivalence checking, output
+// signatures, and the ATPG-style symmetry oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "util/rng.hpp"
+
+namespace rapids {
+
+class Simulator {
+ public:
+  /// Prepares a simulator bound to `net` (topological order is captured;
+  /// re-create the simulator after structural edits).
+  explicit Simulator(const Network& net);
+
+  /// Number of primary inputs.
+  std::size_t num_inputs() const { return pis_.size(); }
+
+  /// Simulate one 64-pattern batch. `pi_words[i]` is the stimulus for the
+  /// i-th primary input (order of Network::primary_inputs()).
+  void run(const std::vector<std::uint64_t>& pi_words);
+
+  /// Value word of any live gate after run().
+  std::uint64_t value(GateId g) const { return values_[g]; }
+
+  /// Values of all primary outputs, in Network::primary_outputs() order.
+  std::vector<std::uint64_t> output_values() const;
+
+  /// Drive all inputs with random words.
+  void run_random(Rng& rng);
+
+  /// Drive inputs with the exhaustive pattern block `block` (patterns
+  /// block*64 .. block*64+63 of the 2^n enumeration): input i carries bit i
+  /// of the pattern index. Requires num_inputs() <= 63.
+  void run_exhaustive_block(std::uint64_t block);
+
+ private:
+  const Network& net_;
+  std::vector<GateId> order_;
+  std::vector<GateId> pis_;
+  std::vector<std::uint64_t> values_;
+};
+
+/// Output signature: hash of PO words over `batches` random batches.
+/// Two equivalent networks with identical PI/PO interfaces have equal
+/// signatures for the same seed.
+std::uint64_t output_signature(const Network& net, std::uint64_t seed, int batches = 8);
+
+}  // namespace rapids

@@ -1,0 +1,63 @@
+// Small truth tables (up to 6 variables in one uint64 word).
+//
+// Used by unit tests and the cofactor-based symmetry oracle to state
+// Lemma-level properties (NES / ES of §2) exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace rapids {
+
+/// Truth table over `n <= 6` variables packed in a 64-bit word; bit m holds
+/// f at the assignment where variable i has value bit i of m.
+class TruthTable6 {
+ public:
+  TruthTable6() = default;
+  TruthTable6(int num_vars, std::uint64_t bits);
+
+  /// Projection table of variable i (the function f = x_i).
+  static TruthTable6 variable(int num_vars, int i);
+  static TruthTable6 constant(int num_vars, bool value);
+
+  int num_vars() const { return num_vars_; }
+  std::uint64_t bits() const { return bits_; }
+
+  bool value_at(std::uint64_t assignment) const;
+
+  /// Positive/negative cofactor with respect to variable i (result keeps the
+  /// same variable count; the cofactored variable becomes vacuous).
+  TruthTable6 cofactor(int var, bool value) const;
+
+  /// Exchange variables i and j.
+  TruthTable6 swap_vars(int i, int j) const;
+
+  /// Non-equivalence symmetry: f_{xi x̄j} == f_{x̄i xj} (exchange invariance).
+  bool nes(int i, int j) const;
+
+  /// Equivalence symmetry: f_{xi xj} == f_{x̄i x̄j} (exchange-with-negation
+  /// invariance: f(...,xi,...,xj,...) = f(...,x̄j,...,x̄i,...)).
+  bool es(int i, int j) const;
+
+  /// Does variable i affect f at all?
+  bool depends_on(int var) const;
+
+  friend bool operator==(const TruthTable6& a, const TruthTable6& b) = default;
+
+  /// Binary string, LSB (assignment 0) first.
+  std::string to_string() const;
+
+ private:
+  std::uint64_t mask() const;
+  int num_vars_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+/// Compute the truth table of gate `root` in `net` as a function of the
+/// primary inputs (requires #PIs <= 6). PIs map to variables in
+/// primary_inputs() order.
+TruthTable6 truth_table_of(const Network& net, GateId root);
+
+}  // namespace rapids

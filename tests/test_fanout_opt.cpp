@@ -1,0 +1,108 @@
+// Fanout optimization (buffer insertion) — the paper's §7 extension.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/validate.hpp"
+#include "opt/fanout_opt.hpp"
+#include "place/placer.hpp"
+#include "test_helpers.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rapids {
+namespace {
+
+using rapids::testing::lib035;
+using rapids::testing::mapped;
+
+/// Network with one pathological high-fanout net: a single driver feeding
+/// many far-away inverter sinks plus one critical chain.
+Network high_fanout_case(int sinks) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y");
+  const GateId driver = b.nand({x, y});
+  for (int i = 0; i < sinks; ++i) {
+    b.output("o" + std::to_string(i), b.inv(driver));
+  }
+  return b.take();
+}
+
+Placement spread_placement(const Network& net) {
+  Placement pl(net.id_bound());
+  Die die;
+  die.width = 4000;
+  die.height = 4000;
+  die.num_rows = 100;
+  pl.set_die(die);
+  Rng rng(3);
+  net.for_each_gate([&](GateId g) {
+    pl.set(g, Point{rng.next_double() * 4000.0, rng.next_double() * 4000.0});
+  });
+  return pl;
+}
+
+TEST(FanoutOpt, InsertsBuffersOnHeavyNet) {
+  Network net = high_fanout_case(24);
+  net.for_each_gate([&](GateId g) {
+    if (is_logic(net.type(g))) {
+      net.set_cell(g, lib035().smallest(net.type(g), static_cast<int>(net.fanin_count(g))));
+    }
+  });
+  const Network golden = net.clone();
+  Placement pl = spread_placement(net);
+  Sta sta(net, lib035(), pl);
+  const FanoutOptResult r = optimize_fanout(net, pl, lib035(), sta);
+  validate_or_throw(net);
+  EXPECT_GT(r.buffers_inserted, 0);
+  EXPECT_LT(r.final_delay, r.initial_delay);
+  EXPECT_TRUE(check_equivalence(golden, net).equivalent);
+}
+
+TEST(FanoutOpt, NeverDegradesDelay) {
+  for (const std::uint64_t seed : {401u, 402u, 403u}) {
+    Network net = mapped(rapids::testing::random_mapped_network(seed, 12, 90, 10));
+    const Network golden = net.clone();
+    PlacerOptions popt;
+    popt.effort = 1.0;
+    popt.num_temps = 4;
+    Placement pl = place(net, lib035(), popt);
+    Sta sta(net, lib035(), pl);
+    const FanoutOptResult r = optimize_fanout(net, pl, lib035(), sta);
+    EXPECT_LE(r.final_delay, r.initial_delay + 1e-6) << seed;
+    EXPECT_TRUE(check_equivalence(golden, net).equivalent) << seed;
+    validate_or_throw(net);
+  }
+}
+
+TEST(FanoutOpt, OriginalCellsNeverMove) {
+  Network net = high_fanout_case(16);
+  net.for_each_gate([&](GateId g) {
+    if (is_logic(net.type(g))) {
+      net.set_cell(g, lib035().smallest(net.type(g), static_cast<int>(net.fanin_count(g))));
+    }
+  });
+  const Network golden = net.clone();
+  Placement pl = spread_placement(net);
+  const Placement before = pl;
+  Sta sta(net, lib035(), pl);
+  optimize_fanout(net, pl, lib035(), sta);
+  golden.for_each_gate([&](GateId g) {
+    EXPECT_EQ(pl.at(g).x, before.at(g).x);
+    EXPECT_EQ(pl.at(g).y, before.at(g).y);
+  });
+}
+
+TEST(FanoutOpt, RespectsMinFanoutThreshold) {
+  Network net = high_fanout_case(4);  // below the default threshold of 6
+  net.for_each_gate([&](GateId g) {
+    if (is_logic(net.type(g))) {
+      net.set_cell(g, lib035().smallest(net.type(g), static_cast<int>(net.fanin_count(g))));
+    }
+  });
+  Placement pl = spread_placement(net);
+  Sta sta(net, lib035(), pl);
+  const FanoutOptResult r = optimize_fanout(net, pl, lib035(), sta);
+  EXPECT_EQ(r.buffers_inserted, 0);
+}
+
+}  // namespace
+}  // namespace rapids

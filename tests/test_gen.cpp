@@ -1,0 +1,288 @@
+// Workload generators: functional correctness (they really add / multiply /
+// correct errors) and structural properties the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <unordered_map>
+
+#include "gen/arith.hpp"
+#include "gen/control.hpp"
+#include "gen/ecc.hpp"
+#include "gen/suite.hpp"
+#include "netlist/validate.hpp"
+#include "sym/gisg.hpp"
+#include "test_helpers.hpp"
+#include "verify/simulator.hpp"
+
+namespace rapids {
+namespace {
+
+/// Drive named inputs from an integer assignment and read named outputs.
+class Harness {
+ public:
+  explicit Harness(const Network& net) : net_(net), sim_(net) {}
+
+  void set_inputs(const std::string& prefix, int width, std::uint64_t value) {
+    for (int i = 0; i < width; ++i) {
+      values_[net_.find(prefix + std::to_string(i))] =
+          (value >> i) & 1 ? ~0ULL : 0ULL;
+    }
+  }
+  void set_input(const std::string& name, bool v) {
+    values_[net_.find(name)] = v ? ~0ULL : 0ULL;
+  }
+
+  void run() {
+    std::vector<std::uint64_t> words;
+    for (const GateId pi : net_.primary_inputs()) {
+      auto it = values_.find(pi);
+      words.push_back(it == values_.end() ? 0 : it->second);
+    }
+    sim_.run(words);
+  }
+
+  std::uint64_t read(const std::string& prefix, int width) const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      const GateId po = net_.find(prefix + std::to_string(i));
+      EXPECT_NE(po, kNullGate) << prefix << i;
+      if (sim_.value(po) & 1ULL) v |= 1ULL << i;
+    }
+    return v;
+  }
+  bool read_bit(const std::string& name) const {
+    return sim_.value(net_.find(name)) & 1ULL;
+  }
+
+ private:
+  const Network& net_;
+  Simulator sim_;
+  std::unordered_map<GateId, std::uint64_t> values_;
+};
+
+TEST(Gen, MultiplierComputesProducts) {
+  const Network net = make_array_multiplier(4);
+  validate_or_throw(net);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      Harness h(net);
+      h.set_inputs("a", 4, a);
+      h.set_inputs("b", 4, b);
+      h.run();
+      EXPECT_EQ(h.read("p", 8), a * b) << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gen, AdderComparatorAddsAndCompares) {
+  const Network net = make_adder_comparator(6, true);
+  validate_or_throw(net);
+  Rng rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.next_below(64), b = rng.next_below(64);
+    const bool cin = rng.next_bool();
+    Harness h(net);
+    h.set_inputs("a", 6, a);
+    h.set_inputs("b", 6, b);
+    h.set_input("cin", cin);
+    h.run();
+    const std::uint64_t total = a + b + (cin ? 1 : 0);
+    EXPECT_EQ(h.read("s", 6) | (static_cast<std::uint64_t>(h.read_bit("cout")) << 6),
+              total);
+    EXPECT_EQ(h.read_bit("gt"), a > b);
+    EXPECT_EQ(h.read_bit("eq"), a == b);
+    EXPECT_EQ(h.read_bit("par_a"), __builtin_parityll(a) != 0);
+  }
+}
+
+TEST(Gen, SecCorrectorFixesSingleBitErrors) {
+  const int kData = 8;
+  const Network net = make_sec_corrector(kData);
+  validate_or_throw(net);
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    const std::uint64_t data = rng.next_below(1ULL << kData);
+
+    // First find the check bits for this word: feed zeros, read syndrome.
+    Harness probe(net);
+    probe.set_inputs("d", kData, data);
+    probe.set_inputs("c", 4, 0);
+    probe.run();
+    std::uint64_t check = probe.read("syn", 4);  // syndrome == parity of data
+
+    // Clean word: syndrome zero, data passes through.
+    Harness clean(net);
+    clean.set_inputs("d", kData, data);
+    clean.set_inputs("c", 4, check);
+    clean.run();
+    EXPECT_EQ(clean.read("syn", 4), 0u);
+    EXPECT_EQ(clean.read("q", kData), data);
+
+    // Flip one data bit: corrector must restore the original word.
+    const int flip = static_cast<int>(rng.next_below(kData));
+    Harness bad(net);
+    bad.set_inputs("d", kData, data ^ (1ULL << flip));
+    bad.set_inputs("c", 4, check);
+    bad.run();
+    EXPECT_EQ(bad.read("q", kData), data) << "flip bit " << flip;
+  }
+}
+
+TEST(Gen, SecdedDetectsDoubleErrors) {
+  const int kData = 8;
+  const Network net = make_secded_corrector(kData);
+  validate_or_throw(net);
+  // Establish clean encoding.
+  Rng rng(9);
+  const std::uint64_t data = rng.next_below(1ULL << kData);
+  // Find check bits + overall parity by probing with zeros:
+  Harness probe(net);
+  probe.set_inputs("d", kData, data);
+  probe.set_inputs("c", 4, 0);
+  probe.set_input("pov", false);
+  probe.run();
+  // With zero checks, sec/ded flags depend on syndrome; we only verify the
+  // structural claim on known-clean encodings below.
+
+  // Find the clean EVEN-PARITY encoding by brute force: syndrome zero
+  // (sec == ded == 0 on the clean word) AND a single-bit flip classified as
+  // a correctable single error (that pins down the overall-parity input).
+  for (std::uint64_t c = 0; c < 16; ++c) {
+    for (int pov = 0; pov < 2; ++pov) {
+      Harness h(net);
+      h.set_inputs("d", kData, data);
+      h.set_inputs("c", 4, c);
+      h.set_input("pov", pov != 0);
+      h.run();
+      if (h.read_bit("sec") || h.read_bit("ded")) continue;
+      Harness single(net);
+      single.set_inputs("d", kData, data ^ 0b1);
+      single.set_inputs("c", 4, c);
+      single.set_input("pov", pov != 0);
+      single.run();
+      if (!single.read_bit("sec")) continue;  // odd-parity twin; skip
+      EXPECT_FALSE(single.read_bit("ded"));
+
+      // Double error: syndrome nonzero but parity clean -> detected only.
+      Harness dbl(net);
+      dbl.set_inputs("d", kData, data ^ 0b11);  // flip two data bits
+      dbl.set_inputs("c", 4, c);
+      dbl.set_input("pov", pov != 0);
+      dbl.run();
+      EXPECT_TRUE(dbl.read_bit("ded")) << "double error undetected";
+      EXPECT_FALSE(dbl.read_bit("sec"));
+      return;
+    }
+  }
+  FAIL() << "no clean encoding found";
+}
+
+TEST(Gen, PriorityControllerGrantsHighestPriority) {
+  const Network net = make_priority_controller(8);
+  validate_or_throw(net);
+  Rng rng(11);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t req = rng.next_below(256);
+    const std::uint64_t mask = rng.next_below(256);
+    Harness h(net);
+    h.set_inputs("req", 8, req);
+    h.set_inputs("mask", 8, mask);
+    h.run();
+    const std::uint64_t enabled = req & ~mask;
+    const int expect_winner = enabled == 0 ? -1 : __builtin_ctzll(enabled);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(h.read_bit("grant" + std::to_string(i)), i == expect_winner);
+    }
+    EXPECT_EQ(h.read_bit("any"), enabled != 0);
+    if (expect_winner >= 0) {
+      EXPECT_EQ(h.read("idx", 3), static_cast<std::uint64_t>(expect_winner));
+    }
+  }
+}
+
+TEST(Gen, AluAddAndLogicOps) {
+  const Network net = make_alu(4, 1, "t");
+  validate_or_throw(net);
+  Rng rng(13);
+  struct Op {
+    int code;
+    std::function<std::uint64_t(std::uint64_t, std::uint64_t)> fn;
+  };
+  // sel decode uses op bits: code 2=AND, 3=OR, 4=XOR per make_alu.
+  const std::vector<Op> ops = {
+      {2, [](std::uint64_t a, std::uint64_t b) { return a & b; }},
+      {3, [](std::uint64_t a, std::uint64_t b) { return a | b; }},
+      {4, [](std::uint64_t a, std::uint64_t b) { return a ^ b; }},
+      {5, [](std::uint64_t a, std::uint64_t b) { (void)b; return a; }},
+  };
+  for (int t = 0; t < 60; ++t) {
+    const std::uint64_t a = rng.next_below(16), b = rng.next_below(16);
+    for (const Op& op : ops) {
+      Harness h(net);
+      h.set_inputs("t0_a", 4, a);
+      h.set_inputs("t0_b", 4, b);
+      h.set_inputs("t_op", 3, static_cast<std::uint64_t>(op.code));
+      h.set_input("t_cin", false);
+      h.run();
+      EXPECT_EQ(h.read("t0_y", 4), op.fn(a, b) & 0xF) << "op " << op.code;
+    }
+    // Addition (code 0).
+    Harness h(net);
+    h.set_inputs("t0_a", 4, a);
+    h.set_inputs("t0_b", 4, b);
+    h.set_inputs("t_op", 3, 0);
+    h.set_input("t_cin", false);
+    h.run();
+    EXPECT_EQ(h.read("t0_y", 4) | (static_cast<std::uint64_t>(h.read_bit("t0_cout")) << 4),
+              a + b);
+    EXPECT_EQ(h.read_bit("t0_gt"), a > b);
+    EXPECT_EQ(h.read_bit("t0_eq"), a == b);
+  }
+}
+
+TEST(Gen, PlaIsTwoLevelWithWideSupergates) {
+  PlaSpec spec;
+  spec.num_inputs = 30;
+  spec.num_outputs = 10;
+  spec.num_products = 40;
+  spec.min_literals = 10;
+  spec.max_literals = 20;
+  spec.seed = 3;
+  const Network net = make_pla(spec);
+  validate_or_throw(net);
+  const GisgPartition part = extract_gisg(net);
+  EXPECT_GE(part.max_leaves(), 10);
+}
+
+TEST(Gen, ControlMixHasManyPseudoIos) {
+  ControlMixSpec spec;
+  spec.num_blocks = 4;
+  spec.seed = 4;
+  const Network net = make_control_mix(spec);
+  validate_or_throw(net);
+  EXPECT_GE(net.primary_inputs().size(), 4u * 12u);
+  EXPECT_GE(net.primary_outputs().size(), 4u * 6u);
+}
+
+TEST(Gen, SuiteHasNineteenCircuits) {
+  EXPECT_EQ(benchmark_suite().size(), 19u);
+  EXPECT_THROW(make_benchmark("bogus"), InputError);
+}
+
+TEST(Gen, SuiteCircuitsBuildAndValidate) {
+  for (const BenchmarkInfo& info : benchmark_suite()) {
+    if (info.paper_gates > 2000) continue;  // big ones exercised in benches
+    const Network net = make_benchmark(info.name);
+    validate_or_throw(net);
+    EXPECT_GT(net.num_logic_gates(), 50u) << info.name;
+  }
+}
+
+TEST(Gen, GeneratorsAreDeterministic) {
+  const Network a = make_benchmark("x3");
+  const Network b = make_benchmark("x3");
+  EXPECT_EQ(output_signature(a, 1), output_signature(b, 1));
+}
+
+}  // namespace
+}  // namespace rapids

@@ -1,0 +1,81 @@
+// Shared helpers for the RAPIDS test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "library/cell_library.hpp"
+#include "mapping/mapper.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/network.hpp"
+#include "util/rng.hpp"
+
+namespace rapids::testing {
+
+/// Random fanout-free tree over fresh primary inputs.
+/// Gates are drawn from AND/NAND/OR/NOR/XOR/XNOR/INV/BUF; every internal
+/// node has a single fanout by construction. Returns the root gate.
+inline GateId random_tree(NetworkBuilder& b, Rng& rng, int depth, int max_fanin,
+                          std::string prefix = "t") {
+  if (depth == 0) {
+    return b.input(prefix);
+  }
+  const double roll = rng.next_double();
+  if (roll < 0.15) {
+    const GateId child = random_tree(b, rng, depth - 1, max_fanin, prefix + "i");
+    return rng.next_bool() ? b.inv(child) : b.buf(child);
+  }
+  static constexpr GateType kTypes[6] = {GateType::And, GateType::Nand, GateType::Or,
+                                         GateType::Nor, GateType::Xor, GateType::Xnor};
+  const GateType type = kTypes[rng.next_below(6)];
+  const int fanins = rng.next_int(2, max_fanin);
+  std::vector<GateId> kids;
+  for (int i = 0; i < fanins; ++i) {
+    kids.push_back(random_tree(b, rng, depth - 1, max_fanin,
+                               prefix + std::to_string(i)));
+  }
+  return b.gate(type, kids);
+}
+
+/// Random multi-output DAG with reconvergence (mapped-network shaped after
+/// map_network). `seed` controls everything.
+inline Network random_mapped_network(std::uint64_t seed, int num_inputs = 12,
+                                     int num_gates = 60, int num_outputs = 6) {
+  NetworkBuilder b;
+  Rng rng(seed);
+  std::vector<GateId> pool;
+  for (int i = 0; i < num_inputs; ++i) pool.push_back(b.input("x" + std::to_string(i)));
+  static constexpr GateType kTypes[8] = {GateType::And,  GateType::Nand, GateType::Or,
+                                         GateType::Nor,  GateType::Xor,  GateType::Xnor,
+                                         GateType::Inv,  GateType::Buf};
+  for (int i = 0; i < num_gates; ++i) {
+    const GateType type = kTypes[rng.next_below(8)];
+    if (is_multi_input(type)) {
+      const int fanins = rng.next_int(2, 4);
+      std::vector<GateId> kids;
+      for (int k = 0; k < fanins; ++k) kids.push_back(pool[rng.next_below(pool.size())]);
+      pool.push_back(b.gate(type, kids));
+    } else {
+      pool.push_back(b.gate(type, {pool[rng.next_below(pool.size())]}));
+    }
+  }
+  for (int o = 0; o < num_outputs; ++o) {
+    b.output("y" + std::to_string(o), pool[pool.size() - 1 - static_cast<std::size_t>(o)]);
+  }
+  Network net = b.take();
+  net.sweep_dangling();
+  return net;
+}
+
+/// Shared built-in library instance for tests.
+inline const CellLibrary& lib035() {
+  static const CellLibrary lib = builtin_library_035();
+  return lib;
+}
+
+/// Map a source network with default options.
+inline Network mapped(const Network& src) {
+  return map_network(src, lib035()).mapped;
+}
+
+}  // namespace rapids::testing

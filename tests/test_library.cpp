@@ -1,0 +1,137 @@
+// Cell library: contents, lookup, delay model, liberty-lite round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "library/cell_library.hpp"
+#include "library/liberty_lite.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+namespace {
+
+TEST(Library, BuiltinMatchesPaperDescription) {
+  // "INV, BUF, NAND, NOR, XOR, and XNOR with number of inputs ranging from
+  //  2 to 4. Each type has 4 different implementations."
+  const CellLibrary lib = builtin_library_035();
+  EXPECT_EQ(lib.variants(GateType::Inv, 1).size(), 4u);
+  EXPECT_EQ(lib.variants(GateType::Buf, 1).size(), 4u);
+  for (const GateType t : {GateType::Nand, GateType::Nor, GateType::Xor, GateType::Xnor}) {
+    for (int n = 2; n <= 4; ++n) {
+      EXPECT_EQ(lib.variants(t, n).size(), 4u) << to_string(t) << n;
+    }
+    EXPECT_EQ(lib.max_inputs(t), 4);
+  }
+  // 2 single-input types * 4 + 4 types * 3 arities * 4 = 56 cells.
+  EXPECT_EQ(lib.num_cells(), 56);
+}
+
+TEST(Library, WireParamsArePaperValues) {
+  const CellLibrary lib = builtin_library_035();
+  EXPECT_NEAR(lib.wire().cap_per_um * 10000.0, 2.0, 1e-12);   // 2 pF/cm
+  EXPECT_NEAR(lib.wire().res_per_um * 10000.0, 2.4, 1e-12);   // 2.4 kOhm/cm
+}
+
+TEST(Library, DriveMonotonicity) {
+  // Larger drive: lower resistance, higher pin cap and area.
+  const CellLibrary lib = builtin_library_035();
+  const std::vector<int> v = lib.variants(GateType::Nand, 2);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const Cell& prev = lib.cell(v[i - 1]);
+    const Cell& cur = lib.cell(v[i]);
+    EXPECT_LT(cur.res_rise, prev.res_rise);
+    EXPECT_LT(cur.res_fall, prev.res_fall);
+    EXPECT_GT(cur.input_cap, prev.input_cap);
+    EXPECT_GT(cur.area, prev.area);
+  }
+}
+
+TEST(Library, DelayIsAffineInLoad) {
+  const CellLibrary lib = builtin_library_035();
+  const Cell& c = lib.cell(lib.find(GateType::Nand, 2, 0));
+  const double d0 = c.delay_rise(0.0);
+  const double d1 = c.delay_rise(0.1);
+  const double d2 = c.delay_rise(0.2);
+  EXPECT_NEAR(d2 - d1, d1 - d0, 1e-12);
+  EXPECT_GT(d1, d0);
+  EXPECT_EQ(d0, c.intrinsic_rise);
+}
+
+TEST(Library, NorRiseSlowerThanNandRise) {
+  // Stacked PMOS: NOR rise resistance exceeds NAND's at equal drive.
+  const CellLibrary lib = builtin_library_035();
+  const Cell& nand = lib.cell(lib.find(GateType::Nand, 2, 0));
+  const Cell& nor = lib.cell(lib.find(GateType::Nor, 2, 0));
+  EXPECT_GT(nor.res_rise, nand.res_rise);
+}
+
+TEST(Library, FindAndNames) {
+  const CellLibrary lib = builtin_library_035();
+  const int idx = lib.find(GateType::Xor, 3, 2);
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(lib.cell(idx).name, "XOR3_X4");
+  EXPECT_EQ(lib.find_by_name("XOR3_X4"), idx);
+  EXPECT_EQ(lib.find(GateType::Xor, 5, 0), -1);
+  EXPECT_EQ(lib.find_by_name("nope"), -1);
+}
+
+TEST(Library, SmallestVariant) {
+  const CellLibrary lib = builtin_library_035();
+  const int s = lib.smallest(GateType::Inv, 1);
+  ASSERT_GE(s, 0);
+  EXPECT_EQ(lib.cell(s).drive_index, 0);
+}
+
+TEST(Library, DuplicateCellRejected) {
+  CellLibrary lib;
+  Cell c;
+  c.name = "X";
+  c.function = GateType::Inv;
+  c.num_inputs = 1;
+  c.area = 1;
+  c.input_cap = 0.01;
+  lib.add(c);
+  EXPECT_THROW(lib.add(c), InternalError);
+}
+
+TEST(LibertyLite, RoundTrip) {
+  const CellLibrary lib = builtin_library_035();
+  std::stringstream ss;
+  write_liberty_lite(lib, ss);
+  const CellLibrary back = read_liberty_lite(ss);
+  ASSERT_EQ(back.num_cells(), lib.num_cells());
+  EXPECT_EQ(back.name(), lib.name());
+  EXPECT_NEAR(back.wire().cap_per_um, lib.wire().cap_per_um, 1e-15);
+  for (int i = 0; i < lib.num_cells(); ++i) {
+    const Cell& a = lib.cell(i);
+    const int j = back.find_by_name(a.name);
+    ASSERT_GE(j, 0) << a.name;
+    const Cell& b = back.cell(j);
+    EXPECT_EQ(a.function, b.function);
+    EXPECT_EQ(a.num_inputs, b.num_inputs);
+    EXPECT_EQ(a.drive_index, b.drive_index);
+    EXPECT_NEAR(a.area, b.area, 1e-9);
+    EXPECT_NEAR(a.input_cap, b.input_cap, 1e-12);
+    EXPECT_NEAR(a.res_rise, b.res_rise, 1e-9);
+  }
+}
+
+TEST(LibertyLite, RejectsGarbage) {
+  std::stringstream ss("frobnicate 1 2 3\n");
+  EXPECT_THROW((void)read_liberty_lite(ss), InputError);
+}
+
+TEST(LibertyLite, CommentsAndBlanksIgnored) {
+  std::stringstream ss(
+      "# comment\n"
+      "library demo\n"
+      "\n"
+      "wire 2.0 2.4\n"
+      "cell INV_X1 INV 1 0 29 0.01 0.04 0.03 5.0 4.2 0.3  # trailing\n");
+  const CellLibrary lib = read_liberty_lite(ss);
+  EXPECT_EQ(lib.num_cells(), 1);
+  EXPECT_EQ(lib.name(), "demo");
+}
+
+}  // namespace
+}  // namespace rapids

@@ -1,0 +1,161 @@
+// Decomposition and technology mapping: equivalence + structural contracts.
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "mapping/decompose.hpp"
+#include "mapping/mapper.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/validate.hpp"
+#include "test_helpers.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rapids {
+namespace {
+
+using rapids::testing::lib035;
+using rapids::testing::random_mapped_network;
+
+TEST(Decompose, SplitsWideGates) {
+  NetworkBuilder b;
+  std::vector<GateId> xs;
+  for (int i = 0; i < 9; ++i) xs.push_back(b.input("x" + std::to_string(i)));
+  b.output("f", b.gate(GateType::Nand, xs));
+  Network net = b.take();
+  const Network golden = net.clone();
+
+  const DecomposeStats stats = decompose(net);
+  validate_or_throw(net);
+  EXPECT_GT(stats.wide_gates_split, 0u);
+  net.for_each_gate([&](GateId g) {
+    if (is_multi_input(net.type(g))) {
+      EXPECT_LE(net.fanin_count(g), 2u);
+      EXPECT_FALSE(is_output_inverted(net.type(g)));  // normalized to base
+    }
+  });
+  EXPECT_TRUE(check_equivalence(golden, net).equivalent);
+}
+
+TEST(Decompose, SharesCommonSubexpressions) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y");
+  b.output("f", b.and_({x, y}));
+  b.output("g", b.and_({x, y}));  // identical gate
+  Network net = b.take();
+  const std::size_t merged = share_structural(net);
+  EXPECT_EQ(merged, 1u);
+  EXPECT_EQ(net.num_logic_gates(), 1u);
+}
+
+TEST(Decompose, SharingKeepsDuplicateFanins) {
+  // AND(x,x) must NOT be collapsed: it is a redundancy the supergate
+  // extractor is supposed to find later.
+  NetworkBuilder b;
+  const GateId x = b.input("x");
+  b.output("f", b.and_({x, x}));
+  Network net = b.take();
+  share_structural(net);
+  const GateId d = net.po_driver(net.primary_outputs()[0]);
+  EXPECT_EQ(net.fanin_count(d), 2u);
+}
+
+class MapperEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperEquivalence, RandomNetworksMapEquivalently) {
+  const Network src = random_mapped_network(GetParam());
+  const MapResult r = map_network(src, lib035());
+  validate_or_throw(r.mapped);
+  EXPECT_TRUE(check_equivalence(src, r.mapped).equivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperEquivalence,
+                         ::testing::Values(301, 302, 303, 304, 305, 306, 307, 308));
+
+TEST(Mapper, OutputUsesOnlyLibraryTypes) {
+  const Network src = random_mapped_network(310);
+  const MapResult r = map_network(src, lib035());
+  r.mapped.for_each_gate([&](GateId g) {
+    const GateType t = r.mapped.type(g);
+    if (!is_logic(t)) return;
+    EXPECT_TRUE(t == GateType::Inv || t == GateType::Buf || t == GateType::Nand ||
+                t == GateType::Nor || t == GateType::Xor || t == GateType::Xnor)
+        << to_string(t);
+    EXPECT_GE(r.mapped.cell(g), 0) << "gate missing cell binding";
+    const Cell& cell = lib035().cell(r.mapped.cell(g));
+    EXPECT_EQ(cell.function, t);
+    EXPECT_EQ(cell.num_inputs, static_cast<int>(r.mapped.fanin_count(g)));
+  });
+}
+
+TEST(Mapper, ArityMergeProducesWideCells) {
+  // A 4-input AND should map into fewer than 3 NAND2s thanks to merging.
+  NetworkBuilder b;
+  std::vector<GateId> xs;
+  for (int i = 0; i < 4; ++i) xs.push_back(b.input("x" + std::to_string(i)));
+  b.output("f", b.gate(GateType::And, xs));
+  const Network src = b.take();
+
+  const MapResult merged = map_network(src, lib035());
+  MapOptions no_merge;
+  no_merge.merge = false;
+  const MapResult flat = map_network(src, lib035(), no_merge);
+  EXPECT_LT(merged.mapped.num_logic_gates(), flat.mapped.num_logic_gates());
+  EXPECT_TRUE(check_equivalence(src, merged.mapped).equivalent);
+  EXPECT_TRUE(check_equivalence(src, flat.mapped).equivalent);
+
+  bool has_wide = false;
+  merged.mapped.for_each_gate([&](GateId g) {
+    if (is_logic(merged.mapped.type(g)) && merged.mapped.fanin_count(g) >= 3) {
+      has_wide = true;
+    }
+  });
+  EXPECT_TRUE(has_wide);
+}
+
+TEST(Mapper, XorChainsMergeWithPolarity) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  b.output("f", b.xnor({b.xor_({x, y}), z}));
+  const Network src = b.take();
+  const MapResult r = map_network(src, lib035());
+  EXPECT_TRUE(check_equivalence(src, r.mapped).equivalent);
+  // Expect a single XNOR3 cell.
+  EXPECT_EQ(r.mapped.num_logic_gates(), 1u);
+}
+
+TEST(Mapper, InverterAbsorption) {
+  // f = INV(AND(x, y)) should map to exactly one NAND2, no inverters.
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y");
+  b.output("f", b.inv(b.and_({x, y})));
+  const Network src = b.take();
+  const MapResult r = map_network(src, lib035());
+  EXPECT_TRUE(check_equivalence(src, r.mapped).equivalent);
+  EXPECT_EQ(r.mapped.num_logic_gates(), 1u);
+  EXPECT_EQ(r.inverters, 0u);
+}
+
+TEST(Mapper, SuiteCircuitsMapEquivalently) {
+  // Keep runtime modest: check the small/medium generators end to end.
+  for (const std::string name : {"alu2", "c432", "c499"}) {
+    const Network src = make_benchmark(name);
+    const MapResult r = map_network(src, lib035());
+    validate_or_throw(r.mapped);
+    const EquivalenceResult eq = check_equivalence(src, r.mapped);
+    EXPECT_TRUE(eq.equivalent) << name << " differs at " << eq.failing_output;
+  }
+}
+
+TEST(Mapper, DriveBindingFollowsFanout) {
+  const Network src = random_mapped_network(312, 10, 80, 8);
+  const MapResult r = map_network(src, lib035());
+  r.mapped.for_each_gate([&](GateId g) {
+    if (!is_logic(r.mapped.type(g)) || r.mapped.cell(g) < 0) return;
+    const Cell& cell = lib035().cell(r.mapped.cell(g));
+    if (r.mapped.fanout_count(g) >= 8) {
+      EXPECT_GE(cell.drive_index, 3);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace rapids

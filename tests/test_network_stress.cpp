@@ -1,0 +1,122 @@
+// Randomized edit-sequence stress: arbitrary interleavings of the Network
+// mutators must keep the adjacency invariants (validated after every step
+// batch) and the simulator/equivalence machinery functional.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/simplify.hpp"
+#include "netlist/topo.hpp"
+#include "netlist/validate.hpp"
+#include "test_helpers.hpp"
+#include "verify/simulator.hpp"
+
+namespace rapids {
+namespace {
+
+using rapids::testing::random_mapped_network;
+
+class NetworkStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkStress, RandomEditSequencesKeepInvariants) {
+  Network net = random_mapped_network(GetParam(), 10, 60, 6);
+  Rng rng(GetParam() ^ 0xfeedULL);
+
+  auto random_live_gate = [&](auto pred) -> GateId {
+    const std::vector<GateId> all = net.all_gates();
+    for (int tries = 0; tries < 64; ++tries) {
+      const GateId g = all[rng.next_below(all.size())];
+      if (!net.is_deleted(g) && pred(g)) return g;
+    }
+    return kNullGate;
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const int op = rng.next_int(0, 4);
+    switch (op) {
+      case 0: {  // rewire a random pin to a random non-descendant driver
+        const GateId g = random_live_gate(
+            [&](GateId x) { return is_logic(net.type(x)) && net.fanin_count(x) > 0; });
+        if (g == kNullGate) break;
+        const std::uint32_t pin = static_cast<std::uint32_t>(
+            rng.next_below(net.fanin_count(g)));
+        const GateId d = random_live_gate([&](GateId x) {
+          return x != g && net.type(x) != GateType::Output && !reaches(net, g, x);
+        });
+        if (d == kNullGate) break;
+        net.set_fanin(Pin{g, pin}, d);
+        break;
+      }
+      case 1: {  // add an inverter on a random net
+        const GateId d = random_live_gate(
+            [&](GateId x) { return net.type(x) != GateType::Output; });
+        if (d == kNullGate) break;
+        const GateId inv = net.add_gate(GateType::Inv);
+        net.add_fanin(inv, d);
+        break;
+      }
+      case 2: {  // grow a random AND/OR gate by a duplicate fanin
+        const GateId g = random_live_gate([&](GateId x) {
+          const GateType t = net.type(x);
+          return (base_type(t) == GateType::And || base_type(t) == GateType::Or) &&
+                 net.fanin_count(x) >= 2 && net.fanin_count(x) < 8;
+        });
+        if (g == kNullGate) break;
+        net.add_fanin(g, net.fanin(g, 0));
+        break;
+      }
+      case 3: {  // shrink a wide gate
+        const GateId g = random_live_gate([&](GateId x) {
+          return is_multi_input(net.type(x)) && net.fanin_count(x) > 2;
+        });
+        if (g == kNullGate) break;
+        net.remove_fanin(g, static_cast<std::uint32_t>(
+                                rng.next_below(net.fanin_count(g))));
+        break;
+      }
+      case 4: {  // delete a dangling gate if one exists
+        const GateId g = random_live_gate([&](GateId x) {
+          return is_logic(net.type(x)) && net.fanout_count(x) == 0;
+        });
+        if (g == kNullGate) break;
+        net.delete_gate(g);
+        break;
+      }
+    }
+    if (step % 20 == 19) {
+      const auto errors = validate(net);
+      ASSERT_TRUE(errors.empty()) << "step " << step << ": " << errors.front();
+    }
+  }
+
+  // The network must still be simulatable and sweep/simplify-safe.
+  validate_or_throw(net);
+  Simulator sim(net);
+  Rng stim(1);
+  sim.run_random(stim);
+  net.sweep_dangling();
+  simplify(net);
+  validate_or_throw(net);
+  EXPECT_TRUE(is_acyclic(net));
+}
+
+TEST_P(NetworkStress, TopoOrderStableUnderEdits) {
+  Network net = random_mapped_network(GetParam() + 1000, 8, 40, 4);
+  Rng rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    // Rewire pins randomly (acyclically), re-derive topo order each time.
+    const std::vector<GateId> all = net.all_gates();
+    const GateId g = all[rng.next_below(all.size())];
+    if (!is_logic(net.type(g)) || net.fanin_count(g) == 0) continue;
+    const GateId d = all[rng.next_below(all.size())];
+    if (net.type(d) == GateType::Output || d == g || reaches(net, g, d)) continue;
+    net.set_fanin(Pin{g, 0}, d);
+    const std::vector<GateId> order = topological_order(net);
+    EXPECT_EQ(order.size(), net.num_gates());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkStress,
+                         ::testing::Values(901, 902, 903, 904, 905, 906, 907, 908));
+
+}  // namespace
+}  // namespace rapids

@@ -1,0 +1,151 @@
+// Placer: legality, determinism, wirelength behavior, die sizing.
+#include <gtest/gtest.h>
+
+#include "place/placer.hpp"
+#include "place/wirelength.hpp"
+#include "test_helpers.hpp"
+
+namespace rapids {
+namespace {
+
+using rapids::testing::lib035;
+using rapids::testing::mapped;
+using rapids::testing::random_mapped_network;
+
+PlacerOptions fast_options(std::uint64_t seed = 1) {
+  PlacerOptions o;
+  o.seed = seed;
+  o.effort = 2.0;
+  o.num_temps = 8;
+  return o;
+}
+
+TEST(Die, SizedForUtilization) {
+  DieSpec spec;
+  spec.target_utilization = 0.5;
+  const Die die = make_die(10000.0, spec);
+  EXPECT_NEAR(die.width * die.height, 10000.0 / 0.5, die.width * spec.row_height);
+  EXPECT_GT(die.num_rows, 0);
+}
+
+TEST(Die, NearestRowClamped) {
+  Die die;
+  die.num_rows = 10;
+  die.row_height = 10.0;
+  die.height = 100.0;
+  EXPECT_EQ(die.nearest_row(-5.0), 0);
+  EXPECT_EQ(die.nearest_row(999.0), 9);
+  EXPECT_EQ(die.nearest_row(35.0), 3);
+}
+
+TEST(Placement, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan(Point{0, 0}, Point{3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan(Point{-1, 2}, Point{1, -2}), 6.0);
+}
+
+TEST(Placer, ResultIsLegal) {
+  const Network net = mapped(random_mapped_network(11));
+  const Placement pl = place(net, lib035(), fast_options());
+  const auto errors = check_legal(net, lib035(), pl);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+TEST(Placer, AllGatesPlaced) {
+  const Network net = mapped(random_mapped_network(12));
+  const Placement pl = place(net, lib035(), fast_options());
+  net.for_each_gate([&](GateId g) { EXPECT_TRUE(pl.is_placed(g)) << net.name(g); });
+}
+
+TEST(Placer, DeterministicPerSeed) {
+  const Network net = mapped(random_mapped_network(13));
+  const Placement a = place(net, lib035(), fast_options(7));
+  const Placement b = place(net, lib035(), fast_options(7));
+  net.for_each_gate([&](GateId g) {
+    EXPECT_DOUBLE_EQ(a.at(g).x, b.at(g).x);
+    EXPECT_DOUBLE_EQ(a.at(g).y, b.at(g).y);
+  });
+}
+
+TEST(Placer, SeedsProduceDifferentLayouts) {
+  const Network net = mapped(random_mapped_network(14));
+  const Placement a = place(net, lib035(), fast_options(1));
+  const Placement b = place(net, lib035(), fast_options(2));
+  bool any_diff = false;
+  net.for_each_gate([&](GateId g) {
+    if (is_logic(net.type(g)) &&
+        (a.at(g).x != b.at(g).x || a.at(g).y != b.at(g).y)) {
+      any_diff = true;
+    }
+  });
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Placer, AnnealImprovesOverSeedPlacement) {
+  const Network net = mapped(random_mapped_network(15, 16, 120, 10));
+  PlacerOptions no_anneal = fast_options();
+  no_anneal.num_temps = 0;
+  const Placement rough = place(net, lib035(), no_anneal);
+  const Placement tuned = place(net, lib035(), fast_options());
+  EXPECT_LT(total_hpwl(net, tuned), total_hpwl(net, rough));
+}
+
+TEST(Placer, PadsOnBoundary) {
+  const Network net = mapped(random_mapped_network(16));
+  const Placement pl = place(net, lib035(), fast_options());
+  for (const GateId pi : net.primary_inputs()) {
+    EXPECT_LT(pl.at(pi).x, 0.0);  // left of core
+  }
+  for (const GateId po : net.primary_outputs()) {
+    EXPECT_GT(pl.at(po).x, pl.die().width);  // right of core
+  }
+}
+
+TEST(Wirelength, StarAtLeastHalfHpwlScale) {
+  // Sanity relation on a simple 2-terminal net: star == manhattan == HPWL.
+  NetworkBuilder b;
+  const GateId x = b.input("x");
+  const GateId g = b.net().add_gate(GateType::Inv);
+  b.net().add_fanin(g, x);
+  b.output("f", g);
+  Network net = b.take();
+  Placement pl(net.id_bound());
+  net.for_each_gate([&](GateId gg) { pl.set(gg, Point{0, 0}); });
+  pl.set(x, Point{0, 0});
+  pl.set(g, Point{30, 40});
+  EXPECT_DOUBLE_EQ(net_hpwl(net, pl, x), 70.0);
+  EXPECT_DOUBLE_EQ(net_star_length(net, pl, x), 70.0);
+}
+
+TEST(Wirelength, EmptyNetContributesZero) {
+  NetworkBuilder b;
+  const GateId x = b.input("x");
+  b.output("f", b.inv(x));
+  const Network net = b.take();
+  Placement pl(net.id_bound());
+  net.for_each_gate([&](GateId g) { pl.set(g, Point{1, 1}); });
+  const GateId po = net.primary_outputs()[0];
+  EXPECT_DOUBLE_EQ(net_hpwl(net, pl, po), 0.0);  // Output marker drives nothing
+}
+
+TEST(Placer, NetWeightsBiasPlacement) {
+  // Heavily weighting one net should pull its terminals closer together.
+  const Network net = mapped(random_mapped_network(17, 12, 80, 8));
+  GateId heavy = kNullGate;
+  net.for_each_gate([&](GateId g) {
+    if (heavy == kNullGate && is_logic(net.type(g)) && net.fanout_count(g) >= 2) {
+      heavy = g;
+    }
+  });
+  ASSERT_NE(heavy, kNullGate);
+
+  PlacerOptions uniform = fast_options(5);
+  PlacerOptions weighted = fast_options(5);
+  weighted.net_weights.assign(net.id_bound(), 1.0);
+  weighted.net_weights[heavy] = 50.0;
+  const Placement pu = place(net, lib035(), uniform);
+  const Placement pw = place(net, lib035(), weighted);
+  EXPECT_LE(net_hpwl(net, pw, heavy), net_hpwl(net, pu, heavy) + 1e-9);
+}
+
+}  // namespace
+}  // namespace rapids

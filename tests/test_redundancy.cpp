@@ -1,0 +1,184 @@
+// Fig. 1 redundancy detection and (equivalence-verified) removal.
+#include <gtest/gtest.h>
+
+#include "gen/control.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/validate.hpp"
+#include "sym/gisg.hpp"
+#include "sym/redundancy.hpp"
+#include "test_helpers.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rapids {
+namespace {
+
+TEST(Redundancy, Case2DuplicateLeafDetected) {
+  // f = AND(x, g, g) with a multi-fanout stem g: two leaves with equal
+  // implied values -> RedundantBranch.
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  const GateId g = b.or_({y, z});
+  const GateId f = b.and_({x, g, g});
+  b.output("f", f);
+  const Network net = b.take();
+
+  const GisgPartition part = extract_gisg(net);
+  ASSERT_EQ(part.redundancies.size(), 1u);
+  const RedundancyRecord& rec = part.redundancies[0];
+  EXPECT_EQ(rec.kind, RedundancyRecord::Kind::RedundantBranch);
+  EXPECT_EQ(rec.stem, g);
+  EXPECT_EQ(rec.value_a, rec.value_b);
+}
+
+TEST(Redundancy, Case1ConflictDetected) {
+  // f = AND(x, g, INV(g)): implied values conflict at stem g -> the AND can
+  // never be 1 -> constant.
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  const GateId g = b.or_({y, z});
+  const GateId f = b.and_({x, g, b.inv(g)});
+  b.output("f", f);
+  const Network net = b.take();
+
+  const GisgPartition part = extract_gisg(net);
+  ASSERT_EQ(part.redundancies.size(), 1u);
+  EXPECT_EQ(part.redundancies[0].kind, RedundancyRecord::Kind::ConflictConstant);
+}
+
+TEST(Redundancy, XorCancelDetected) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  const GateId g = b.and_({y, z});
+  const GateId f = b.xor_({x, g, g});
+  b.output("f", f);
+  const Network net = b.take();
+
+  const GisgPartition part = extract_gisg(net);
+  ASSERT_EQ(part.redundancies.size(), 1u);
+  EXPECT_EQ(part.redundancies[0].kind, RedundancyRecord::Kind::XorCancel);
+}
+
+TEST(Redundancy, NoFalsePositivesOnCleanTree) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  b.output("f", b.and_({x, b.or_({y, z})}));
+  const Network net = b.take();
+  EXPECT_TRUE(extract_gisg(net).redundancies.empty());
+}
+
+TEST(Redundancy, ApplyCase2PreservesFunction) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  const GateId g = b.or_({y, z});
+  const GateId f = b.and_({x, g, g});
+  b.output("f", f);
+  Network net = b.take();
+  const Network golden = net.clone();
+
+  const GisgPartition part = extract_gisg(net);
+  const RedundancyFixStats stats = apply_all_redundancies(net, part);
+  validate_or_throw(net);
+  EXPECT_EQ(stats.branches_tied, 1u);
+  EXPECT_TRUE(check_equivalence(golden, net).equivalent);
+  // The duplicated connection must be gone after constant folding.
+  const GateId d = net.po_driver(net.primary_outputs()[0]);
+  EXPECT_LE(net.fanin_count(d), 2u);
+}
+
+TEST(Redundancy, ApplyCase1PreservesFunction) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  const GateId g = b.or_({y, z});
+  const GateId f = b.and_({x, g, b.inv(g)});
+  b.output("f", f);
+  b.output("keep", g);  // keep the stem observable
+  Network net = b.take();
+  const Network golden = net.clone();
+
+  const GisgPartition part = extract_gisg(net);
+  const RedundancyFixStats stats = apply_all_redundancies(net, part);
+  validate_or_throw(net);
+  EXPECT_EQ(stats.constants_created, 1u);
+  EXPECT_TRUE(check_equivalence(golden, net).equivalent);
+  // f is now a constant 0 (AND could never trigger).
+  EXPECT_EQ(net.type(net.po_driver(net.primary_outputs()[0])), GateType::Const0);
+}
+
+TEST(Redundancy, ApplyXorCancelPreservesFunction) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  const GateId g = b.and_({y, z});
+  const GateId f = b.xor_({x, g, g});
+  b.output("f", f);
+  b.output("keep", g);
+  Network net = b.take();
+  const Network golden = net.clone();
+
+  const GisgPartition part = extract_gisg(net);
+  const RedundancyFixStats stats = apply_all_redundancies(net, part);
+  validate_or_throw(net);
+  EXPECT_EQ(stats.xor_pairs_cancelled, 1u);
+  EXPECT_TRUE(check_equivalence(golden, net).equivalent);
+}
+
+TEST(Redundancy, DeepReconvergenceThroughDeMorganChain) {
+  // Conflict buried below an absorbed NOR: AND(x, NOR(g, y), g).
+  // Implication: AND=1 -> NOR out 1 -> its inputs 0 -> g=0; but also the
+  // direct leaf g=1. Conflict -> constant.
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), w = b.input("w");
+  const GateId g = b.and_({w, y});
+  const GateId nor = b.nor({g, y});
+  const GateId f = b.and_({x, nor, g});
+  b.output("f", f);
+  b.output("keep", g);
+  Network net = b.take();
+  const Network golden = net.clone();
+
+  const GisgPartition part = extract_gisg(net);
+  ASSERT_FALSE(part.redundancies.empty());
+  EXPECT_EQ(part.redundancies[0].kind, RedundancyRecord::Kind::ConflictConstant);
+  apply_all_redundancies(net, part);
+  EXPECT_TRUE(check_equivalence(golden, net).equivalent);
+}
+
+class RedundancyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RedundancyProperty, PlaInjectedRedundanciesAreFoundAndFixable) {
+  PlaSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 10;
+  spec.num_products = 40;
+  spec.dup_literal_rate = 0.5;
+  spec.conflict_literal_rate = 0.2;
+  spec.seed = GetParam();
+  Network net = make_pla(spec);
+  const Network golden = net.clone();
+
+  const GisgPartition part = extract_gisg(net);
+  EXPECT_FALSE(part.redundancies.empty()) << "injection produced no redundancies";
+  apply_all_redundancies(net, part);
+  validate_or_throw(net);
+  const EquivalenceResult eq = check_equivalence(golden, net);
+  EXPECT_TRUE(eq.equivalent) << "fix broke " << eq.failing_output;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedundancyProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(Redundancy, CountSurvivesMapping) {
+  // Redundancy found on the mapped netlist (as in the paper's flow).
+  PlaSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 8;
+  spec.num_products = 30;
+  spec.dup_literal_rate = 0.6;
+  spec.seed = 99;
+  const Network src = make_pla(spec);
+  const Network net = rapids::testing::mapped(src);
+  const GisgPartition part = extract_gisg(net);
+  EXPECT_FALSE(part.redundancies.empty());
+}
+
+}  // namespace
+}  // namespace rapids

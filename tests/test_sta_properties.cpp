@@ -1,0 +1,150 @@
+// Physical sanity properties of the timing stack, swept over seeds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/builder.hpp"
+#include "place/placer.hpp"
+#include "rewire/swap.hpp"
+#include "sym/gisg.hpp"
+#include "sym/symmetry.hpp"
+#include "test_helpers.hpp"
+#include "timing/sta.hpp"
+
+namespace rapids {
+namespace {
+
+using rapids::testing::lib035;
+using rapids::testing::mapped;
+using rapids::testing::random_mapped_network;
+
+class StaProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    net_ = mapped(random_mapped_network(GetParam(), 12, 80, 8));
+    PlacerOptions popt;
+    popt.effort = 1.5;
+    popt.num_temps = 6;
+    popt.seed = GetParam();
+    pl_ = place(net_, lib035(), popt);
+  }
+  Network net_;
+  Placement pl_;
+};
+
+TEST_P(StaProperty, ArrivalsNonNegativeAndFinite) {
+  Sta sta(net_, lib035(), pl_);
+  net_.for_each_gate([&](GateId g) {
+    const RiseFall a = sta.arrival_rf(g);
+    EXPECT_GE(a.rise, 0.0) << net_.name(g);
+    EXPECT_GE(a.fall, 0.0) << net_.name(g);
+    EXPECT_LT(a.worst(), 1e6) << net_.name(g);
+  });
+}
+
+TEST_P(StaProperty, ArrivalMonotoneAlongCriticalPath) {
+  Sta sta(net_, lib035(), pl_);
+  const auto path = sta.critical_path();
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_LE(sta.arrival(path[i - 1]), sta.arrival(path[i]) + 1e-9)
+        << "at step " << i;
+  }
+}
+
+TEST_P(StaProperty, UpsizingCriticalGateNeverSlowsItself) {
+  // A gate's own pin->out delay strictly decreases with drive (same load);
+  // total critical delay may vary (input caps grow), but the resized gate's
+  // delay contribution at fixed load must not increase.
+  Sta sta(net_, lib035(), pl_);
+  const auto path = sta.critical_path();
+  for (const GateId g : path) {
+    if (!is_logic(net_.type(g)) || net_.cell(g) < 0) continue;
+    const Cell& cur = lib035().cell(net_.cell(g));
+    const int bigger = lib035().find(cur.function, cur.num_inputs, 3);
+    if (bigger < 0 || bigger == net_.cell(g)) continue;
+    const double load = sta.star(g).total_cap();
+    const RiseFall before = gate_delay(cur, load);
+    const RiseFall after = gate_delay(lib035().cell(bigger), load);
+    EXPECT_LE(after.rise, before.rise + 0.05);  // intrinsic penalty is small
+    break;
+  }
+}
+
+TEST_P(StaProperty, SlacksConsistentWithArrivalsAndRequired) {
+  Sta sta(net_, lib035(), pl_);
+  sta.set_required_time(sta.critical_delay());
+  sta.refresh_required();
+  // No gate on the critical path has positive slack beyond tolerance.
+  const auto path = sta.critical_path();
+  for (const GateId g : path) {
+    EXPECT_LE(sta.slack(g), 1e-6) << net_.name(g);
+  }
+  // Worst slack over the whole design is ~0 (the critical path itself).
+  EXPECT_NEAR(sta.worst_slack(), 0.0, 1e-6);
+}
+
+TEST_P(StaProperty, TransactionChainsStayConsistent) {
+  // Interleave committed and rolled-back swaps; end state must equal a
+  // fresh STA on the final network. STA and swaps share one placement so
+  // inserted inverters are visible to both.
+  Placement pl = pl_;
+  Sta sta(net_, lib035(), pl);
+  const GisgPartition part = extract_gisg(net_);
+  const auto swaps = enumerate_all_swaps(part, net_);
+  if (swaps.empty()) {
+    SUCCEED();
+    return;
+  }
+  // Contract (same as the optimizer's): candidates come from one
+  // extraction, so at most one COMMIT per supergate — a second swap in a
+  // restructured supergate could close a combinational loop.
+  std::set<int> committed_sgs;
+  int applied = 0;
+  for (std::size_t i = 0; i < swaps.size() && applied < 8; ++i) {
+    // Never touch (even as a probe) a supergate already restructured by a
+    // committed swap: its remaining candidates are stale.
+    if (committed_sgs.count(swaps[i].sg_index) != 0) continue;
+    const bool commit = (i % 2 == 0);
+    sta.begin();
+    SwapEdit edit = apply_swap(net_, pl, lib035(), swaps[i]);
+    for (const GateId d : edit.dirty_nets) sta.invalidate_net(d);
+    sta.propagate();
+    if (commit) {
+      sta.commit();
+      committed_sgs.insert(swaps[i].sg_index);
+      ++applied;
+    } else {
+      undo_swap(net_, pl, edit);
+      sta.rollback();
+    }
+  }
+  Sta fresh(net_, lib035(), pl);
+  EXPECT_NEAR(sta.critical_delay(), fresh.critical_delay(), 1e-5);
+  net_.for_each_gate([&](GateId g) {
+    EXPECT_NEAR(sta.arrival(g), fresh.arrival(g), 1e-5) << net_.name(g);
+  });
+}
+
+TEST_P(StaProperty, RequiredTimesDecreaseTowardInputs) {
+  Sta sta(net_, lib035(), pl_);
+  sta.refresh_required();
+  // For any driver, its required time is no later than (sink required -
+  // wire). Spot-check via slack non-negativity relation along fanins of the
+  // worst PO.
+  const auto path = sta.critical_path();
+  ASSERT_FALSE(path.empty());
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    // required is monotone along the path as well.
+    const double slack_prev = sta.slack(path[i - 1]);
+    const double slack_next = sta.slack(path[i]);
+    EXPECT_NEAR(slack_prev, slack_next, 0.5)
+        << "slack discontinuity along the critical path";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaProperty,
+                         ::testing::Values(501, 502, 503, 504, 505, 506, 507, 508, 509,
+                                           510));
+
+}  // namespace
+}  // namespace rapids

@@ -1,0 +1,205 @@
+// Swappable-pin classification (paper §4) cross-validated against the
+// ATPG-style cofactor oracle (Lemma 1) and truth-table NES/ES.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "sym/atpg_check.hpp"
+#include "sym/gisg.hpp"
+#include "sym/symmetry.hpp"
+#include "test_helpers.hpp"
+#include "verify/truth_table.hpp"
+
+namespace rapids {
+namespace {
+
+using testing::random_tree;
+
+/// Find the covered pin record for a leaf driven by `driver`.
+Pin leaf_pin_driven_by(const SuperGate& sg, GateId driver) {
+  for (const CoveredPin& cp : sg.pins) {
+    if (cp.leaf && cp.driver == driver) return cp.pin;
+  }
+  ADD_FAILURE() << "no leaf driven by requested gate";
+  return Pin{};
+}
+
+TEST(Symmetry, AndPinsNonInvertingSwappable) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y");
+  const GateId root = b.and_({x, y});
+  b.output("f", root);
+  const Network net = b.take();
+  const GisgPartition part = extract_gisg(net);
+  ASSERT_EQ(part.sgs.size(), 1u);
+  const SuperGate& sg = part.sgs[0];
+
+  SwapPolarity pol;
+  ASSERT_TRUE(classify_swap(sg, net, leaf_pin_driven_by(sg, x),
+                            leaf_pin_driven_by(sg, y), pol));
+  EXPECT_EQ(pol, SwapPolarity::NonInverting);
+}
+
+TEST(Symmetry, MixedPolarityPinsInvertingSwappable) {
+  // f = AND(x, INV(y)): x and y are ES (inverting swappable), not NES.
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y");
+  const GateId root = b.and_({x, b.inv(y)});
+  b.output("f", root);
+  const Network net = b.take();
+  const GisgPartition part = extract_gisg(net);
+  ASSERT_EQ(part.sgs.size(), 1u);
+  const SuperGate& sg = part.sgs[0];
+
+  SwapPolarity pol;
+  ASSERT_TRUE(classify_swap(sg, net, leaf_pin_driven_by(sg, x),
+                            leaf_pin_driven_by(sg, y), pol));
+  EXPECT_EQ(pol, SwapPolarity::Inverting);
+
+  // Truth-table ground truth: variables 0(x),1(y) of f = x & !y.
+  const TruthTable6 tt = truth_table_of(net, root);
+  EXPECT_FALSE(tt.nes(0, 1));
+  EXPECT_TRUE(tt.es(0, 1));
+}
+
+TEST(Symmetry, XorPinsBothPolarity) {
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  const GateId root = b.xor_({x, y, z});
+  b.output("f", root);
+  const Network net = b.take();
+  const GisgPartition part = extract_gisg(net);
+  const SuperGate& sg = part.sgs[0];
+
+  const TruthTable6 tt = truth_table_of(net, root);
+  EXPECT_TRUE(tt.nes(0, 1));
+  EXPECT_TRUE(tt.es(0, 1));
+
+  SwapPolarity pol;
+  EXPECT_TRUE(classify_swap(sg, net, leaf_pin_driven_by(sg, x),
+                            leaf_pin_driven_by(sg, y), pol));
+}
+
+TEST(Symmetry, AncestorPinExcluded) {
+  // f = AND(x, AND(y, z)). The inner AND's output feeds pin (root,1); a
+  // covered pin of the inner gate must not swap with its own ancestor pin.
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y"), z = b.input("z");
+  const GateId inner = b.and_({y, z});
+  const GateId root = b.and_({x, inner});
+  b.output("f", root);
+  const Network net = b.take();
+  const GisgPartition part = extract_gisg(net);
+  const SuperGate& sg = part.sgs[0];
+
+  const Pin ancestor{root, 1};  // fed by inner
+  const Pin inner_pin{inner, 0};
+  SwapPolarity pol;
+  EXPECT_FALSE(classify_swap(sg, net, ancestor, inner_pin, pol));
+  EXPECT_TRUE(path_contains(sg, net, inner_pin, ancestor));
+  // Non-ancestor internal pair is allowed: (root,0) vs (inner,0).
+  EXPECT_TRUE(classify_swap(sg, net, Pin{root, 0}, inner_pin, pol));
+}
+
+TEST(Symmetry, LeafSymmetryClassesAndOr) {
+  // AND(a, b, NOR(c, d)) -> classes {a,b} (imp 1) and {c,d} (imp 0).
+  NetworkBuilder b;
+  const GateId a = b.input("a"), bb = b.input("b"), c = b.input("c"), d = b.input("d");
+  const GateId nor = b.nor({c, d});
+  const GateId root = b.and_({a, bb, nor});
+  b.output("f", root);
+  const Network net = b.take();
+  const GisgPartition part = extract_gisg(net);
+  const auto classes = leaf_symmetry_classes(part.sgs[0]);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].size() + classes[1].size(), 4u);
+}
+
+TEST(Symmetry, TrivialSupergateYieldsNoSwaps) {
+  NetworkBuilder b;
+  const GateId x = b.input("x");
+  b.output("f", b.inv(x));
+  const Network net = b.take();
+  const GisgPartition part = extract_gisg(net);
+  EXPECT_TRUE(enumerate_all_swaps(part, net).empty());
+}
+
+// --- property: detector agrees with the ATPG-style oracle ------------------
+
+class DetectorVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectorVsOracle, LeafPairsMatchOracleOnRandomTrees) {
+  NetworkBuilder b;
+  Rng rng(GetParam());
+  const GateId root = random_tree(b, rng, 3, 3);
+  b.output("f", root);
+  const Network net = b.take();
+
+  const GisgPartition part = extract_gisg(net);
+  for (std::size_t s = 0; s < part.sgs.size(); ++s) {
+    const SuperGate& sg = part.sgs[s];
+    if (sg.type == SgType::Trivial) continue;
+    std::vector<const CoveredPin*> leaves;
+    for (const CoveredPin& cp : sg.pins) {
+      if (cp.leaf) leaves.push_back(&cp);
+    }
+    if (leaves.size() > 10) continue;  // keep the oracle exhaustive
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      for (std::size_t j = i + 1; j < leaves.size(); ++j) {
+        const PinSymmetry oracle =
+            check_leaf_symmetry(net, sg, leaves[i]->pin, leaves[j]->pin);
+        SwapPolarity pol;
+        const bool detected =
+            classify_swap(sg, net, leaves[i]->pin, leaves[j]->pin, pol);
+        ASSERT_TRUE(detected);
+        if (sg.type == SgType::Xor) {
+          EXPECT_TRUE(oracle.nes) << "XOR leaves must be NES";
+          EXPECT_TRUE(oracle.es) << "XOR leaves must be ES";
+        } else if (pol == SwapPolarity::NonInverting) {
+          EXPECT_TRUE(oracle.nes)
+              << "detector claims NES for supergate " << s << " pins " << i << "," << j;
+        } else {
+          EXPECT_TRUE(oracle.es)
+              << "detector claims ES for supergate " << s << " pins " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorVsOracle,
+                         ::testing::Values(7, 11, 17, 23, 29, 31, 37, 41, 47, 53, 59,
+                                           61, 67, 71, 79, 83));
+
+// --- whole-network PI symmetry against truth tables -------------------------
+
+TEST(Symmetry, TruthTableNesEsDefinitions) {
+  // f = majority(x0,x1,x2) is totally symmetric: all pairs NES, no pair ES.
+  NetworkBuilder b;
+  const GateId x0 = b.input("x0"), x1 = b.input("x1"), x2 = b.input("x2");
+  const GateId maj =
+      b.or_({b.and_({x0, x1}), b.and_({x0, x2}), b.and_({x1, x2})});
+  b.output("f", maj);
+  const Network net = b.take();
+  const TruthTable6 tt = truth_table_of(net, maj);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i + 1; j < 3; ++j) {
+      EXPECT_TRUE(tt.nes(i, j));
+      EXPECT_FALSE(tt.es(i, j));
+    }
+  }
+}
+
+TEST(Symmetry, EsExampleFromPaperDefinition) {
+  // x XOR y: both NES and ES (exchange and inverted exchange both hold).
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y");
+  const GateId f = b.xor_({x, y});
+  b.output("f", f);
+  const Network net = b.take();
+  const TruthTable6 tt = truth_table_of(net, f);
+  EXPECT_TRUE(tt.nes(0, 1));
+  EXPECT_TRUE(tt.es(0, 1));
+}
+
+}  // namespace
+}  // namespace rapids

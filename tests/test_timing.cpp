@@ -1,0 +1,262 @@
+// Timing stack: star RC / Elmore analytics, STA, incremental transactions.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "place/placer.hpp"
+#include "rewire/swap.hpp"
+#include "sym/gisg.hpp"
+#include "sym/symmetry.hpp"
+#include "test_helpers.hpp"
+#include "timing/sta.hpp"
+
+namespace rapids {
+namespace {
+
+using rapids::testing::lib035;
+using rapids::testing::mapped;
+using rapids::testing::random_mapped_network;
+
+Placement grid_placement(const Network& net, double pitch = 40.0) {
+  Placement pl(net.id_bound());
+  Die die;
+  die.width = 2000;
+  die.height = 2000;
+  die.num_rows = 100;
+  pl.set_die(die);
+  std::size_t i = 0;
+  net.for_each_gate([&](GateId g) {
+    pl.set(g, Point{static_cast<double>(i % 40) * pitch,
+                    static_cast<double>(i / 40) * pitch});
+    ++i;
+  });
+  return pl;
+}
+
+TEST(StarNet, TwoTerminalAnalytic) {
+  // Driver at (0,0), one sink at (1000,0) with pin cap 0.01 pF.
+  // Center of gravity at (500,0): stem 500um, branch 500um.
+  NetworkBuilder b;
+  const GateId x = b.input("x");
+  const GateId g = b.net().add_gate(GateType::Inv);
+  b.net().add_fanin(g, x);
+  b.output("f", g);
+  Network net = b.take();
+  net.set_cell(g, lib035().find(GateType::Inv, 1, 0));
+
+  Placement pl(net.id_bound());
+  pl.set(x, Point{0, 0});
+  pl.set(g, Point{1000, 0});
+  pl.set(net.primary_outputs()[0], Point{1000, 0});
+
+  const StarNet star = build_star_net(net, lib035(), pl, x);
+  const double r_per_um = lib035().wire().res_per_um;
+  const double c_per_um = lib035().wire().cap_per_um;
+  const double pin_cap = lib035().cell(net.cell(g)).input_cap;
+
+  EXPECT_NEAR(star.stem_res, 500 * r_per_um, 1e-12);
+  EXPECT_NEAR(star.stem_cap, 500 * c_per_um, 1e-12);
+  EXPECT_NEAR(star.wire_cap, 1000 * c_per_um, 1e-12);
+  EXPECT_NEAR(star.pin_cap, pin_cap, 1e-12);
+  ASSERT_EQ(star.branches.size(), 1u);
+  // Elmore: Rstem*(Cstem/2 + Cbranch + Cpin) + Rbranch*(Cbranch/2 + Cpin).
+  const double rs = 500 * r_per_um, cs = 500 * c_per_um;
+  const double expect = rs * (cs / 2 + cs + pin_cap) + rs * (cs / 2 + pin_cap);
+  EXPECT_NEAR(star.branches[0].wire_delay, expect, 1e-12);
+  EXPECT_NEAR(star.delay_to(star.branches[0].pin), expect, 1e-15);
+}
+
+TEST(StarNet, SinksAtDifferentDistancesDifferentDelays) {
+  // The paper's point: star sinks see different delays -> swapping helps.
+  NetworkBuilder b;
+  const GateId x = b.input("x");
+  const GateId g1 = b.net().add_gate(GateType::Inv);
+  b.net().add_fanin(g1, x);
+  const GateId g2 = b.net().add_gate(GateType::Inv);
+  b.net().add_fanin(g2, x);
+  b.output("f1", g1);
+  b.output("f2", g2);
+  Network net = b.take();
+  net.set_cell(g1, lib035().find(GateType::Inv, 1, 0));
+  net.set_cell(g2, lib035().find(GateType::Inv, 1, 0));
+
+  Placement pl(net.id_bound());
+  pl.set(x, Point{0, 0});
+  pl.set(g1, Point{200, 0});
+  pl.set(g2, Point{2000, 0});
+  pl.set(net.primary_outputs()[0], Point{200, 0});
+  pl.set(net.primary_outputs()[1], Point{2000, 0});
+
+  const StarNet star = build_star_net(net, lib035(), pl, x);
+  ASSERT_EQ(star.branches.size(), 2u);
+  EXPECT_NE(star.delay_to(Pin{g1, 0}), star.delay_to(Pin{g2, 0}));
+}
+
+TEST(DelayModel, ArcSenses) {
+  EXPECT_EQ(arc_sense(GateType::Nand), ArcSense::Negative);
+  EXPECT_EQ(arc_sense(GateType::Or), ArcSense::Positive);
+  EXPECT_EQ(arc_sense(GateType::Xnor), ArcSense::Both);
+}
+
+TEST(DelayModel, NegativeUnateCrossesTransitions) {
+  RiseFall out{-1e9, -1e9};
+  accumulate_arc(ArcSense::Negative, RiseFall{1.0, 2.0}, RiseFall{0.1, 0.2}, out);
+  // Output rise comes from input fall and vice versa.
+  EXPECT_NEAR(out.rise, 2.0 + 0.1, 1e-12);
+  EXPECT_NEAR(out.fall, 1.0 + 0.2, 1e-12);
+}
+
+TEST(Sta, ChainDelayComposition) {
+  // INV chain: critical delay strictly increases with each stage.
+  NetworkBuilder b;
+  const GateId x = b.input("x");
+  GateId cur = x;
+  std::vector<GateId> invs;
+  for (int i = 0; i < 5; ++i) {
+    const GateId inv = b.net().add_gate(GateType::Inv);
+    b.net().add_fanin(inv, cur);
+    invs.push_back(inv);
+    cur = inv;
+  }
+  b.output("f", cur);
+  Network net = b.take();
+  for (const GateId g : invs) net.set_cell(g, lib035().find(GateType::Inv, 1, 1));
+
+  const Placement pl = grid_placement(net);
+  Sta sta(net, lib035(), pl);
+  double prev = 0.0;
+  for (const GateId g : invs) {
+    EXPECT_GT(sta.arrival(g), prev);
+    prev = sta.arrival(g);
+  }
+  EXPECT_GE(sta.critical_delay(), prev);
+}
+
+TEST(Sta, CriticalPathEndsAtWorstPo) {
+  const Network net = mapped(random_mapped_network(201));
+  const Placement pl = grid_placement(net);
+  Sta sta(net, lib035(), pl);
+  const auto path = sta.critical_path();
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_NEAR(sta.arrival(path.back()), sta.critical_delay(), 1e-9);
+  const GateType front_type = net.type(path.front());
+  EXPECT_TRUE(front_type == GateType::Input || front_type == GateType::Const0 ||
+              front_type == GateType::Const1);
+}
+
+TEST(Sta, SlackSignsAgainstRequiredTime) {
+  const Network net = mapped(random_mapped_network(202));
+  const Placement pl = grid_placement(net);
+  Sta sta(net, lib035(), pl);
+  sta.refresh_required();
+  // Required defaults to the critical delay: worst slack ~ 0, none negative
+  // beyond rounding.
+  EXPECT_NEAR(sta.worst_slack(), 0.0, 1e-6);
+  sta.set_required_time(sta.critical_delay() + 1.0);
+  sta.refresh_required();
+  EXPECT_NEAR(sta.worst_slack(), 1.0, 1e-6);
+  EXPECT_NEAR(sta.total_negative_slack(), 0.0, 1e-9);
+}
+
+TEST(Sta, IncrementalResizeMatchesFullRecompute) {
+  Network net = mapped(random_mapped_network(203, 14, 90, 8));
+  const Placement pl = grid_placement(net);
+  Sta sta(net, lib035(), pl);
+
+  // Upsize a mid-network gate inside a transaction, then compare against a
+  // from-scratch STA on the modified network.
+  GateId victim = kNullGate;
+  net.for_each_gate([&](GateId g) {
+    if (victim == kNullGate && is_logic(net.type(g)) && net.cell(g) >= 0 &&
+        net.fanout_count(g) >= 2) {
+      victim = g;
+    }
+  });
+  ASSERT_NE(victim, kNullGate);
+  const Cell& cell = lib035().cell(net.cell(victim));
+  const int other = lib035().find(cell.function, cell.num_inputs,
+                                  cell.drive_index == 0 ? 3 : 0);
+  ASSERT_GE(other, 0);
+
+  sta.begin();
+  net.set_cell(victim, other);
+  for (const GateId f : net.fanins(victim)) sta.invalidate_net(f);
+  sta.touch_gate(victim);
+  sta.propagate();
+  sta.commit();
+
+  Sta fresh(net, lib035(), pl);
+  net.for_each_gate([&](GateId g) {
+    EXPECT_NEAR(sta.arrival(g), fresh.arrival(g), 1e-6) << net.name(g);
+  });
+  EXPECT_NEAR(sta.critical_delay(), fresh.critical_delay(), 1e-6);
+}
+
+TEST(Sta, RollbackRestoresExactState) {
+  Network net = mapped(random_mapped_network(204, 14, 90, 8));
+  Placement pl = grid_placement(net);
+  Sta sta(net, lib035(), pl);
+  const double before = sta.critical_delay();
+  std::vector<RiseFall> arr_before;
+  net.for_each_gate([&](GateId g) { arr_before.push_back(sta.arrival_rf(g)); });
+
+  // Apply a swap transactionally, then roll back.
+  const GisgPartition part = extract_gisg(net);
+  const auto swaps = enumerate_all_swaps(part, net);
+  ASSERT_FALSE(swaps.empty());
+  sta.begin();
+  SwapEdit edit = apply_swap(net, pl, lib035(), swaps[0]);
+  for (const GateId d : edit.dirty_nets) sta.invalidate_net(d);
+  sta.propagate();
+  undo_swap(net, pl, edit);
+  sta.rollback();
+
+  EXPECT_DOUBLE_EQ(sta.critical_delay(), before);
+  std::size_t i = 0;
+  net.for_each_gate([&](GateId g) {
+    EXPECT_EQ(sta.arrival_rf(g), arr_before[i]) << net.name(g);
+    ++i;
+  });
+}
+
+TEST(Sta, SwapCommitMatchesFullRecompute) {
+  Network net = mapped(random_mapped_network(205, 14, 90, 8));
+  Placement pl = grid_placement(net);
+  Sta sta(net, lib035(), pl);
+
+  const GisgPartition part = extract_gisg(net);
+  const auto swaps = enumerate_all_swaps(part, net);
+  ASSERT_FALSE(swaps.empty());
+  std::size_t applied = 0;
+  for (const SwapCandidate& cand : swaps) {
+    sta.begin();
+    SwapEdit edit = apply_swap(net, pl, lib035(), cand);
+    for (const GateId d : edit.dirty_nets) sta.invalidate_net(d);
+    sta.propagate();
+    sta.commit();
+    if (++applied >= 5) break;
+  }
+  Sta fresh(net, lib035(), pl);
+  EXPECT_NEAR(sta.critical_delay(), fresh.critical_delay(), 1e-5);
+}
+
+TEST(Sta, SumPoArrivalConsistent) {
+  const Network net = mapped(random_mapped_network(206));
+  const Placement pl = grid_placement(net);
+  Sta sta(net, lib035(), pl);
+  double manual = 0;
+  for (const GateId po : net.primary_outputs()) manual += sta.arrival(po);
+  EXPECT_NEAR(sta.sum_po_arrival(), manual, 1e-9);
+}
+
+TEST(Sta, LongerWiresIncreaseDelay) {
+  // Same netlist, stretched placement => larger critical delay.
+  const Network net = mapped(random_mapped_network(207));
+  const Placement tight = grid_placement(net, 20.0);
+  const Placement loose = grid_placement(net, 200.0);
+  Sta sta_tight(net, lib035(), tight);
+  Sta sta_loose(net, lib035(), loose);
+  EXPECT_GT(sta_loose.critical_delay(), sta_tight.critical_delay());
+}
+
+}  // namespace
+}  // namespace rapids

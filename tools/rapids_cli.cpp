@@ -1,0 +1,221 @@
+// rapids — command-line driver for the RAPIDS rewiring flow.
+//
+//   rapids flow <circuit|file.blif|file.bench> [--mode gsg|gs|gsg+gs]
+//          [--seed N] [--effort F] [--iters N] [--buffers] [--out out.blif]
+//          [--place-out placement.txt] [--no-verify]
+//       Map, place, optimize and report; optionally write results.
+//
+//   rapids symmetry <circuit|file.blif|file.bench>
+//       Supergate / symmetry / redundancy report for a mapped circuit.
+//
+//   rapids table1 [--full|--quick] [circuit...]
+//       The Table 1 harness (same engine as bench/table1_rapids).
+//
+//   rapids list
+//       Show the built-in benchmark suite.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "gen/suite.hpp"
+#include "io/bench_reader.hpp"
+#include "io/blif_reader.hpp"
+#include "io/blif_writer.hpp"
+#include "io/placement_io.hpp"
+#include "library/cell_library.hpp"
+#include "mapping/mapper.hpp"
+#include "opt/fanout_opt.hpp"
+#include "sym/gisg.hpp"
+#include "sym/symmetry.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace rapids;
+
+Network load_circuit(const std::string& arg) {
+  auto ends_with = [&arg](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return arg.size() >= n && arg.compare(arg.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".blif")) return read_blif_file(arg);
+  if (ends_with(".bench")) return read_bench_file(arg);
+  return make_benchmark(arg);
+}
+
+int cmd_list() {
+  std::cout << "built-in benchmark suite (regenerated Table 1 circuits):\n";
+  for (const BenchmarkInfo& info : benchmark_suite()) {
+    std::cout << "  " << info.name << "  (" << info.family << ", ~" << info.paper_gates
+              << " gates in the paper)\n";
+  }
+  return 0;
+}
+
+int cmd_symmetry(const std::string& target) {
+  const CellLibrary lib = builtin_library_035();
+  const Network src = load_circuit(target);
+  const Network net = map_network(src, lib).mapped;
+  const GisgPartition part = extract_gisg(net);
+  const auto swaps = enumerate_all_swaps(part, net);
+  std::size_t noninv = 0;
+  for (const SwapCandidate& c : swaps) {
+    if (c.polarity == SwapPolarity::NonInverting) ++noninv;
+  }
+  std::cout << target << ": " << net.num_logic_gates() << " mapped cells\n"
+            << "  supergates:        " << part.sgs.size() << " (" << part.num_nontrivial()
+            << " non-trivial)\n"
+            << "  coverage:          " << 100.0 * part.nontrivial_coverage(net) << "%\n"
+            << "  largest supergate: " << part.max_leaves() << " inputs\n"
+            << "  redundancies:      " << part.redundancies.size() << "\n"
+            << "  swappable pairs:   " << swaps.size() << " (" << noninv
+            << " non-inverting, " << swaps.size() - noninv << " inverting)\n";
+  return 0;
+}
+
+int cmd_flow(const std::vector<std::string>& args) {
+  std::string target;
+  OptMode mode = OptMode::GsgPlusGS;
+  FlowOptions options;
+  bool buffers = false;
+  std::string out_blif, out_place;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) throw InputError("missing value after " + a);
+      return args[++i];
+    };
+    if (a == "--mode") {
+      const std::string m = next();
+      if (m == "gsg") {
+        mode = OptMode::Gsg;
+      } else if (m == "gs" || m == "GS") {
+        mode = OptMode::GateSizing;
+      } else if (m == "gsg+gs" || m == "gsg+GS") {
+        mode = OptMode::GsgPlusGS;
+      } else {
+        throw InputError("unknown mode: " + m);
+      }
+    } else if (a == "--seed") {
+      options.placer.seed = std::stoull(next());
+    } else if (a == "--effort") {
+      options.placer.effort = std::stod(next());
+    } else if (a == "--iters") {
+      options.opt.max_iterations = std::stoi(next());
+    } else if (a == "--buffers") {
+      buffers = true;
+    } else if (a == "--out") {
+      out_blif = next();
+    } else if (a == "--place-out") {
+      out_place = next();
+    } else if (a == "--no-verify") {
+      options.verify = false;
+    } else if (!a.empty() && a[0] == '-') {
+      throw InputError("unknown flag: " + a);
+    } else {
+      target = a;
+    }
+  }
+  if (target.empty()) throw InputError("flow: no circuit given");
+
+  const CellLibrary lib = builtin_library_035();
+  const Network src = load_circuit(target);
+  const PreparedCircuit prepared = prepare_circuit(target, src, lib, options);
+  std::cout << target << ": " << prepared.mapped.num_logic_gates()
+            << " cells placed, initial delay " << prepared.initial_delay << " ns\n";
+
+  ModeRun run = run_mode(prepared, lib, mode, options);
+  const OptimizerResult& r = run.result;
+  std::cout << to_string(mode) << ": delay " << r.initial_delay << " -> "
+            << r.final_delay << " ns (" << r.improvement_percent() << "%), area "
+            << r.area_delta_percent() << "%, " << r.swaps_committed << " swaps / "
+            << r.resizes_committed << " resizes, " << r.seconds << " s"
+            << (options.verify ? (run.verified ? ", verified" : ", VERIFY FAILED")
+                               : "")
+            << "\n";
+
+  if (buffers) {
+    Placement pl = prepared.placement;
+    Sta sta(run.optimized, lib, pl);
+    const FanoutOptResult fr = optimize_fanout(run.optimized, pl, lib, sta);
+    std::cout << "fanout-opt: " << fr.buffers_inserted << " buffers, delay "
+              << fr.initial_delay << " -> " << fr.final_delay << " ns\n";
+  }
+  if (!out_blif.empty()) {
+    write_blif_file(run.optimized, out_blif, target);
+    std::cout << "wrote " << out_blif << "\n";
+  }
+  if (!out_place.empty()) {
+    write_placement_file(prepared.mapped, prepared.placement, out_place);
+    std::cout << "wrote " << out_place << "\n";
+  }
+  return run.verified ? 0 : 1;
+}
+
+int cmd_table1(const std::vector<std::string>& args) {
+  bool quick = false, full = false;
+  std::vector<std::string> names;
+  for (const std::string& a : args) {
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--full") {
+      full = true;
+    } else {
+      names.push_back(a);
+    }
+  }
+  if (names.empty()) {
+    if (quick) {
+      names = {"alu2", "c432", "c499"};
+    } else {
+      for (const BenchmarkInfo& info : benchmark_suite()) {
+        if (!full && info.paper_gates > 3000) continue;
+        names.push_back(info.name);
+      }
+    }
+  }
+  const CellLibrary lib = builtin_library_035();
+  FlowOptions options;
+  options.placer.effort = 4.0;
+  options.opt.max_iterations = 4;
+  std::vector<BenchmarkRow> rows;
+  for (const std::string& name : names) {
+    std::cerr << "[table1] " << name << "\n";
+    const PreparedCircuit prepared = prepare_benchmark(name, lib, options);
+    rows.push_back(produce_table1_row(prepared, lib, options));
+  }
+  print_table1(rows, std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: rapids <flow|symmetry|table1|list> [args]\n"
+               "  rapids flow c432 --mode gsg+gs --buffers --out c432_opt.blif\n"
+               "  rapids symmetry k2\n"
+               "  rapids table1 --quick\n"
+               "  rapids list\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "symmetry") {
+      if (args.empty()) return usage();
+      return cmd_symmetry(args[0]);
+    }
+    if (cmd == "flow") return cmd_flow(args);
+    if (cmd == "table1") return cmd_table1(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
