@@ -1,114 +1,211 @@
-// Engine micro-benchmarks: incremental vs full STA, swap apply/undo cost,
-// swap enumeration, equivalence checking throughput. These quantify why the
-// optimizer can probe thousands of candidate moves ("very computationally
-// efficient", §1).
-#include <benchmark/benchmark.h>
+// Engine regression gauge: probe / commit throughput of the transactional
+// rewiring path, per circuit, emitted as machine-readable JSON so the perf
+// trajectory is tracked across PRs ("very computationally efficient", §1).
+//
+// One probe  = evaluate one swap candidate against the incremental STA and
+//              roll the network and timing state back exactly.
+// One commit = apply a swap candidate and keep it (the matching measurement
+//              commits each swap and then commits its exact inverse, so the
+//              circuit is back in its initial state when the clock stops).
+//
+// Usage: micro_engine [--out BENCH_engine.json] [--circuits a,b,c]
+//                     [--min-time SECONDS] [--baseline FILE]
+//   --baseline merges "probes_per_sec" of a previous run into the report as
+//   "baseline_probes_per_sec" (the pre-refactor anchor in acceptance gates).
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "engine/rewire_engine.hpp"
 #include "gen/suite.hpp"
 #include "library/cell_library.hpp"
 #include "mapping/mapper.hpp"
 #include "place/placer.hpp"
-#include "rewire/swap.hpp"
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
 #include "timing/sta.hpp"
-#include "verify/equivalence.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace rapids;
 
-struct Fixture {
-  CellLibrary lib = builtin_library_035();
-  Network net;
-  Placement pl;
-  std::vector<SwapCandidate> swaps;
-
-  explicit Fixture(const std::string& name) {
-    const Network src = make_benchmark(name);
-    net = map_network(src, lib).mapped;
-    PlacerOptions popt;
-    popt.effort = 2.0;
-    popt.num_temps = 8;
-    pl = place(net, lib, popt);
-    const GisgPartition part = extract_gisg(net);
-    swaps = enumerate_all_swaps(part, net);
-  }
+struct CircuitReport {
+  std::string name;
+  std::size_t cells = 0;
+  std::size_t candidates = 0;
+  double probes_per_sec = 0.0;
+  double commits_per_sec = 0.0;
 };
 
-Fixture& alu4_fixture() {
-  static Fixture f("alu4");
-  return f;
+CircuitReport measure(const std::string& name, const CellLibrary& lib,
+                      double min_time) {
+  CircuitReport rep;
+  rep.name = name;
+
+  Network net = map_network(make_benchmark(name), lib).mapped;
+  PlacerOptions popt;
+  popt.effort = 2.0;
+  popt.num_temps = 8;
+  Placement pl = place(net, lib, popt);
+  Sta sta(net, lib, pl);
+  RewireEngine engine(net, pl, lib, sta);
+
+  rep.cells = net.num_logic_gates();
+  const std::vector<SwapCandidate> swaps = enumerate_all_swaps(engine.partition(), net);
+  rep.candidates = swaps.size();
+  if (swaps.empty()) return rep;
+
+  // Probe throughput: evaluate-and-rollback over the candidate list.
+  {
+    Timer t;
+    std::size_t probes = 0, i = 0;
+    do {
+      engine.probe(EngineMove::swap(swaps[i++ % swaps.size()]));
+      ++probes;
+    } while (t.seconds() < min_time);
+    rep.probes_per_sec = static_cast<double>(probes) / t.seconds();
+  }
+
+  // Commit throughput: commit each candidate, then commit its exact undo.
+  // Re-extraction is not needed because the state returns to the baseline
+  // after every pair (the stale-candidate contract stays satisfied).
+  {
+    Timer t;
+    std::size_t commits = 0, i = 0;
+    do {
+      engine.commit_and_revert(EngineMove::swap(swaps[i++ % swaps.size()]));
+      commits += 2;
+    } while (t.seconds() < min_time);
+    rep.commits_per_sec = static_cast<double>(commits) / t.seconds();
+  }
+  return rep;
 }
 
-void BM_StaFullRun(benchmark::State& state) {
-  Fixture& f = alu4_fixture();
-  Sta sta(f.net, f.lib, f.pl);
-  for (auto _ : state) {
-    sta.run_full();
-    benchmark::DoNotOptimize(sta.critical_delay());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(f.net.num_logic_gates()));
-}
-
-void BM_StaIncrementalSwapProbe(benchmark::State& state) {
-  Fixture& f = alu4_fixture();
-  Sta sta(f.net, f.lib, f.pl);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const SwapCandidate& cand = f.swaps[i++ % f.swaps.size()];
-    sta.begin();
-    SwapEdit edit = apply_swap(f.net, f.pl, f.lib, cand);
-    for (const GateId d : edit.dirty_nets) sta.invalidate_net(d);
-    sta.propagate();
-    benchmark::DoNotOptimize(sta.critical_delay());
-    undo_swap(f.net, f.pl, edit);
-    sta.rollback();
-  }
-}
-
-void BM_SwapApplyUndo(benchmark::State& state) {
-  Fixture& f = alu4_fixture();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const SwapCandidate& cand = f.swaps[i++ % f.swaps.size()];
-    SwapEdit edit = apply_swap(f.net, f.pl, f.lib, cand);
-    undo_swap(f.net, f.pl, edit);
-  }
-}
-
-void BM_EnumerateSwaps(benchmark::State& state) {
-  Fixture& f = alu4_fixture();
-  const GisgPartition part = extract_gisg(f.net);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(enumerate_all_swaps(part, f.net));
-  }
-}
-
-void BM_ExtractionOnMapped(benchmark::State& state) {
-  Fixture& f = alu4_fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(extract_gisg(f.net));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(f.net.num_logic_gates()));
-}
-
-void BM_EquivalenceCheck(benchmark::State& state) {
-  Fixture& f = alu4_fixture();
-  const Network copy = f.net.clone();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(check_equivalence(f.net, copy));
-  }
+/// Extract `"probes_per_sec": <num>` values of a previous report, keyed by
+/// the preceding `"name": "<circuit>"`. Tiny fixed-shape scan, not a JSON
+/// parser; good enough for our own output format.
+double parse_probes(const std::string& text, const std::string& circuit) {
+  const std::string key = "\"name\": \"" + circuit + "\"";
+  std::size_t at = text.find(key);
+  if (at == std::string::npos) return 0.0;
+  at = text.find("\"probes_per_sec\":", at);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + at + std::strlen("\"probes_per_sec\":"), nullptr);
 }
 
 }  // namespace
 
-BENCHMARK(BM_StaFullRun);
-BENCHMARK(BM_StaIncrementalSwapProbe);
-BENCHMARK(BM_SwapApplyUndo);
-BENCHMARK(BM_EnumerateSwaps);
-BENCHMARK(BM_ExtractionOnMapped);
-BENCHMARK(BM_EquivalenceCheck);
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_engine.json";
+  std::string baseline_path;
+  std::vector<std::string> circuits = {"alu2", "alu4", "c432", "c1908"};
+  double min_time = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value after " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--out") {
+      out_path = next();
+    } else if (a == "--baseline") {
+      baseline_path = next();
+    } else if (a == "--min-time") {
+      const std::string v = next();
+      char* end = nullptr;
+      min_time = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || min_time <= 0.0) {
+        std::cerr << "invalid --min-time value: " << v << "\n";
+        return 2;
+      }
+    } else if (a == "--circuits") {
+      circuits.clear();
+      std::stringstream ss(next());
+      std::string tok;
+      while (std::getline(ss, tok, ',')) circuits.push_back(tok);
+    } else {
+      std::cerr << "usage: micro_engine [--out FILE] [--circuits a,b,c]"
+                   " [--min-time SECONDS] [--baseline FILE]\n";
+      return 2;
+    }
+  }
+
+  std::string baseline_text;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "error: cannot open baseline file " << baseline_path << "\n";
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    baseline_text = ss.str();
+  }
+
+  const CellLibrary lib = builtin_library_035();
+  std::vector<CircuitReport> reports;
+  for (const std::string& name : circuits) {
+    std::cerr << "[micro_engine] " << name << "\n";
+    try {
+      reports.push_back(measure(name, lib, min_time));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"micro_engine\",\n  \"unit\": \"ops/sec\",\n"
+       << "  \"circuits\": [\n";
+  double geo_probe = 1.0, geo_ratio = 1.0;
+  int n_ratio = 0, n_probe = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const CircuitReport& r = reports[i];
+    json << "    {\"name\": \"" << r.name << "\", \"cells\": " << r.cells
+         << ", \"candidates\": " << r.candidates << ", \"probes_per_sec\": "
+         << static_cast<long long>(r.probes_per_sec) << ", \"commits_per_sec\": "
+         << static_cast<long long>(r.commits_per_sec);
+    if (!baseline_text.empty()) {
+      const double base = parse_probes(baseline_text, r.name);
+      if (base > 0.0) {
+        json << ", \"baseline_probes_per_sec\": " << static_cast<long long>(base)
+             << ", \"speedup\": " << r.probes_per_sec / base;
+        geo_ratio *= r.probes_per_sec / base;
+        ++n_ratio;
+      }
+    }
+    json << "}" << (i + 1 < reports.size() ? "," : "") << "\n";
+    if (r.probes_per_sec > 0) {
+      geo_probe *= r.probes_per_sec;
+      ++n_probe;
+    } else {
+      std::cerr << "note: " << r.name
+                << " had zero probe throughput; excluded from geomean\n";
+    }
+  }
+  json << "  ],\n  \"geomean_probes_per_sec\": "
+       << static_cast<long long>(n_probe > 0 ? std::pow(geo_probe, 1.0 / n_probe) : 0);
+  if (n_ratio > 0) {
+    json << ",\n  \"geomean_speedup\": " << std::pow(geo_ratio, 1.0 / n_ratio);
+  }
+  json << "\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  out.flush();
+  std::cout << json.str();
+  if (!out) {
+    std::cerr << "error: failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "engine/rewire_engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+RewireEngine::RewireEngine(Network& net, Placement& placement, const CellLibrary& lib,
+                           Sta& sta)
+    : net_(net), placement_(placement), lib_(lib), sta_(sta),
+      prev_recycling_(net.id_recycling()) {
+  // Probe loops insert and delete inverters at megahertz rates; recycling
+  // tombstoned ids keeps id_bound() — and every id-indexed STA/placement
+  // array — at a fixed size for the engine's lifetime.
+  net_.set_id_recycling(true);
+}
+
+RewireEngine::~RewireEngine() { net_.set_id_recycling(prev_recycling_); }
+
+const GisgPartition& RewireEngine::partition() {
+  if (!partition_valid_) {
+    partition_ = extract_gisg(net_);
+    partition_valid_ = true;
+  }
+  return partition_;
+}
+
+void RewireEngine::invalidate_dirty(std::span<const GateId> dirty) {
+  // Deduplicate into the reusable scratch without sorting: dirty sets are
+  // tiny (2-6 entries for swaps), a linear containment check beats
+  // sort+unique and allocates nothing.
+  dirty_scratch_.clear();
+  for (const GateId d : dirty) {
+    if (std::find(dirty_scratch_.begin(), dirty_scratch_.end(), d) ==
+        dirty_scratch_.end()) {
+      dirty_scratch_.push_back(d);
+    }
+  }
+  for (const GateId d : dirty_scratch_) sta_.invalidate_net(d);
+}
+
+void RewireEngine::apply_and_invalidate(const EngineMove& move) {
+  switch (move.kind) {
+    case EngineMove::Kind::Swap: {
+      apply_swap_into(net_, placement_, lib_, move.swap_cand, swap_edit_);
+      invalidate_dirty(swap_edit_.dirty_nets);
+      break;
+    }
+    case EngineMove::Kind::Resize: {
+      saved_cell_ = net_.cell(move.gate);
+      net_.set_cell(move.gate, move.new_cell);
+      // Input pin caps changed: every fanin net sees a new load; the gate's
+      // own drive changed as well.
+      invalidate_dirty(net_.fanins(move.gate));
+      sta_.touch_gate(move.gate);
+      break;
+    }
+    case EngineMove::Kind::CrossSg: {
+      const GisgPartition& part = partition();
+      // CrossSg candidates hold supergate INDICES into the partition they
+      // were extracted from; unlike swap/resize moves they are not even
+      // probe-safe across epochs. Catch stale indices before they read out
+      // of bounds (in-range-but-stale candidates are the caller's contract).
+      RAPIDS_ASSERT_MSG(
+          static_cast<std::size_t>(move.cross_cand.enclosing_sg) < part.sgs.size() &&
+              static_cast<std::size_t>(move.cross_cand.sg_a) < part.sgs.size() &&
+              static_cast<std::size_t>(move.cross_cand.sg_b) < part.sgs.size(),
+          "cross-sg candidate references a stale partition");
+      apply_cross_sg_swap_into(net_, placement_, lib_, part, move.cross_cand,
+                               cross_edit_);
+      for (const GateId d : cross_edit_.dirty_nets) sta_.invalidate_net(d);
+      for (const CrossSgEdit::Retype& r : cross_edit_.retyped) {
+        sta_.touch_gate(r.gate);
+      }
+      break;
+    }
+  }
+}
+
+void RewireEngine::undo_network_edit(const EngineMove& move) {
+  switch (move.kind) {
+    case EngineMove::Kind::Swap:
+      undo_swap(net_, placement_, swap_edit_);
+      break;
+    case EngineMove::Kind::Resize:
+      net_.set_cell(move.gate, saved_cell_);
+      break;
+    case EngineMove::Kind::CrossSg:
+      undo_cross_sg_swap(net_, placement_, cross_edit_);
+      break;
+  }
+}
+
+EngineObjective RewireEngine::probe(const EngineMove& move) {
+  ++stats_.probes;
+  sta_.begin();
+  apply_and_invalidate(move);
+  sta_.propagate();
+  const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
+  undo_network_edit(move);
+  sta_.rollback();
+  return obj;
+}
+
+void RewireEngine::count_commit(const EngineMove& move) {
+  switch (move.kind) {
+    case EngineMove::Kind::Swap:
+      ++stats_.swaps_committed;
+      stats_.inverters_added += static_cast<int>(swap_edit_.added_inverters.size());
+      // The edit record now owns committed gates; detach it so the next
+      // apply_swap_into does not trip the "still applied" guard.
+      swap_edit_.added_inverters.clear();
+      swap_edit_.applied = false;
+      break;
+    case EngineMove::Kind::Resize:
+      ++stats_.resizes_committed;
+      break;
+    case EngineMove::Kind::CrossSg:
+      ++stats_.cross_sg_committed;
+      stats_.inverters_added += cross_edit_.inverters_added;
+      // Committed gates now belong to the network; detach the record so the
+      // next apply_cross_sg_swap_into does not trip the "still applied" guard.
+      cross_edit_.moved_pins.clear();
+      cross_edit_.added_inverters.clear();
+      cross_edit_.retyped.clear();
+      cross_edit_.applied = false;
+      break;
+  }
+}
+
+EngineObjective RewireEngine::commit(const EngineMove& move) {
+  sta_.begin();
+  apply_and_invalidate(move);
+  sta_.propagate();
+  const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
+  sta_.commit();
+  count_commit(move);
+  ++epoch_;
+  partition_valid_ = false;
+  return obj;
+}
+
+void RewireEngine::commit_and_revert(const EngineMove& move) {
+  RAPIDS_ASSERT_MSG(move.kind == EngineMove::Kind::Swap,
+                    "commit_and_revert supports swap moves");
+  sta_.begin();
+  apply_swap_into(net_, placement_, lib_, move.swap_cand, swap_edit_);
+  invalidate_dirty(swap_edit_.dirty_nets);
+  sta_.propagate();
+  sta_.commit();
+
+  sta_.begin();
+  // The undo touches the same nets (plus nothing else): reuse the dirty
+  // set recorded at apply time, then roll the netlist back and keep THAT.
+  // invalidate_net is idempotent within a transaction, so duplicates in the
+  // recorded set are harmless.
+  dirty_scratch_.assign(swap_edit_.dirty_nets.begin(), swap_edit_.dirty_nets.end());
+  undo_swap(net_, placement_, swap_edit_);
+  for (const GateId d : dirty_scratch_) sta_.invalidate_net(d);
+  sta_.propagate();
+  sta_.commit();
+}
+
+int RewireEngine::commit_best(std::vector<RankedMove>& ranked, double min_gain) {
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedMove& a, const RankedMove& b) { return a.gain > b.gain; });
+  int committed = 0;
+  const std::uint64_t entry_epoch = epoch_;
+  for (const RankedMove& rm : ranked) {
+    // CrossSg moves index the partition they were extracted from; once any
+    // commit in this batch bumps the epoch they are unusable (not even
+    // probe-safe) and must be re-extracted by the caller.
+    if (rm.move.kind == EngineMove::Kind::CrossSg && epoch_ != entry_epoch) {
+      continue;
+    }
+    // Re-validate against the current state: earlier commits may have
+    // absorbed or invalidated this gain.
+    const double before = sta_.critical_delay();
+    const EngineObjective obj = probe(rm.move);
+    if (before - obj.critical > min_gain) {
+      commit(rm.move);
+      ++committed;
+    }
+  }
+  return committed;
+}
+
+}  // namespace rapids

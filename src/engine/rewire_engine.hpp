@@ -1,0 +1,187 @@
+// RewireEngine — the one transactional probe/commit/rollback surface for
+// post-placement moves (paper §5's inner loop).
+//
+// The paper's pitch is that symmetry-based rewiring is FAST: thousands of
+// candidate moves are evaluated per circuit by applying a move, incrementally
+// re-timing, reading the objective and rolling back exactly. The seed
+// repository re-implemented that choreography in every caller (optimizer
+// phases, sizing, benches); this engine owns it once, over all three move
+// kinds:
+//
+//   Swap    — pin swap inside one supergate (rewire/swap)
+//   Resize  — drive-strength reassignment    (sizing)
+//   CrossSg — cross-supergate group exchange (rewire/cross_sg, Theorem 2)
+//
+// The engine also owns the GisgPartition lifecycle: committing a swap
+// restructures its supergate, so candidates extracted before the commit are
+// stale (see rewire/swap.hpp's contract). Every commit bumps an epoch;
+// batch helpers re-extract between commits, and probe loops can run
+// unrestricted against one epoch.
+//
+// Probing is allocation-free after warm-up: the swap edit record, the
+// dirty-net scratch and the STA journal all reuse their storage, which is
+// what bench/micro_engine gauges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "library/cell_library.hpp"
+#include "netlist/network.hpp"
+#include "place/placement.hpp"
+#include "rewire/cross_sg.hpp"
+#include "rewire/swap.hpp"
+#include "sym/gisg.hpp"
+#include "sym/symmetry.hpp"
+#include "timing/sta.hpp"
+
+namespace rapids {
+
+/// The two timing objectives every probe reports (phase A optimizes
+/// `critical`, phase B the relaxation objective `sum_po`).
+struct EngineObjective {
+  double critical = 0.0;
+  double sum_po = 0.0;
+};
+
+/// One candidate transformation, uniformly over all move kinds.
+struct EngineMove {
+  enum class Kind : std::uint8_t { Swap, Resize, CrossSg };
+  Kind kind = Kind::Swap;
+  SwapCandidate swap_cand;     // Kind::Swap
+  GateId gate = kNullGate;     // Kind::Resize
+  int new_cell = -1;           // Kind::Resize
+  CrossSgCandidate cross_cand; // Kind::CrossSg
+
+  static EngineMove swap(const SwapCandidate& c) {
+    EngineMove m;
+    m.kind = Kind::Swap;
+    m.swap_cand = c;
+    return m;
+  }
+  static EngineMove resize(GateId g, int cell) {
+    EngineMove m;
+    m.kind = Kind::Resize;
+    m.gate = g;
+    m.new_cell = cell;
+    return m;
+  }
+  static EngineMove cross_sg(const CrossSgCandidate& c) {
+    EngineMove m;
+    m.kind = Kind::CrossSg;
+    m.cross_cand = c;
+    return m;
+  }
+};
+
+/// Commit counters, accumulated across the engine's lifetime (the optimizer
+/// copies them into OptimizerResult).
+struct EngineStats {
+  int swaps_committed = 0;
+  int resizes_committed = 0;
+  int cross_sg_committed = 0;
+  int inverters_added = 0;
+  std::uint64_t probes = 0;
+};
+
+/// A gain-ranked move for batch commit (gain measured against the batch's
+/// common baseline).
+struct RankedMove {
+  EngineMove move;
+  double gain = 0.0;
+};
+
+class RewireEngine {
+ public:
+  /// All references must outlive the engine. `sta` must be bound to
+  /// (net, lib, placement). Gate-id recycling is enabled on `net` for the
+  /// engine's lifetime (restored on destruction).
+  RewireEngine(Network& net, Placement& placement, const CellLibrary& lib, Sta& sta);
+  ~RewireEngine();
+  RewireEngine(const RewireEngine&) = delete;
+  RewireEngine& operator=(const RewireEngine&) = delete;
+
+  Network& net() { return net_; }
+  Placement& placement() { return placement_; }
+  Sta& sta() { return sta_; }
+  const CellLibrary& lib() const { return lib_; }
+
+  // --- partition lifecycle -------------------------------------------------
+
+  /// Current supergate partition, extracted lazily. Valid for the current
+  /// epoch only: any commit invalidates it.
+  const GisgPartition& partition();
+
+  /// Force full re-extraction on the next partition() call. Commits do
+  /// this automatically; call it only after mutating the network OUTSIDE
+  /// the engine (redundancy removal, buffering, ...) — re-extraction is
+  /// O(network), not free.
+  void invalidate_partition() { partition_valid_ = false; }
+
+  /// Bumped by every commit; moves extracted under an older epoch are
+  /// stale and must not be committed. Swap/Resize moves remain probe/undo
+  /// safe across epochs (they reference gates, which have stable ids);
+  /// CrossSg moves reference partition indices and are not even probe-safe
+  /// once the epoch advances — re-extract them first.
+  std::uint64_t epoch() const { return epoch_; }
+
+  // --- transactional move evaluation ---------------------------------------
+
+  /// Evaluate `move` inside an STA transaction and roll everything back
+  /// exactly (network, placement, timing). Thousands of probes per second;
+  /// allocation-free after warm-up.
+  EngineObjective probe(const EngineMove& move);
+
+  /// Apply `move` and keep it. Bumps the epoch and invalidates the
+  /// partition. Returns the post-commit objective.
+  EngineObjective commit(const EngineMove& move);
+
+  /// Bench helper: commit `move`, then commit its exact inverse, leaving
+  /// the circuit in its pre-call state (two committed transactions).
+  void commit_and_revert(const EngineMove& move);
+
+  /// Gain-sorted greedy commit with re-validation: probes each ranked move
+  /// against the CURRENT state and commits it only if it still improves the
+  /// critical delay by more than `min_gain` (earlier commits may have
+  /// absorbed the gain). Returns the number committed.
+  ///
+  /// NOTE: the ranked moves must come from the current epoch and at most
+  /// one swap per supergate may appear (the stale-candidate contract);
+  /// the optimizer's per-group "best move" selection guarantees both.
+  int commit_best(std::vector<RankedMove>& ranked, double min_gain);
+
+  const EngineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EngineStats{}; }
+
+ private:
+  /// Apply the move's network edit and mark dirty timing state. Fills the
+  /// reusable undo records.
+  void apply_and_invalidate(const EngineMove& move);
+  /// Exact inverse of apply_and_invalidate's network edit (STA rollback is
+  /// separate).
+  void undo_network_edit(const EngineMove& move);
+  void invalidate_dirty(std::span<const GateId> dirty);
+  void count_commit(const EngineMove& move);
+
+  Network& net_;
+  Placement& placement_;
+  const CellLibrary& lib_;
+  Sta& sta_;
+
+  GisgPartition partition_;
+  bool partition_valid_ = false;
+  std::uint64_t epoch_ = 0;
+
+  EngineStats stats_;
+
+  // Reusable per-probe scratch (never shrinks; steady state allocates
+  // nothing).
+  SwapEdit swap_edit_;
+  CrossSgEdit cross_edit_;
+  std::vector<GateId> dirty_scratch_;
+  int saved_cell_ = -1;
+  bool prev_recycling_ = false;
+};
+
+}  // namespace rapids

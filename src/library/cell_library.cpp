@@ -11,7 +11,23 @@ int CellLibrary::add(const Cell& cell) {
   RAPIDS_ASSERT(cell.num_inputs >= 1);
   RAPIDS_ASSERT(cell.area > 0.0 && cell.input_cap > 0.0);
   cells_.push_back(cell);
+  rebuild_smallest_cache();
   return static_cast<int>(cells_.size()) - 1;
+}
+
+void CellLibrary::rebuild_smallest_cache() {
+  cache_max_inputs_ = 0;
+  for (const Cell& c : cells_) cache_max_inputs_ = std::max(cache_max_inputs_, c.num_inputs);
+  const std::size_t stride = static_cast<std::size_t>(cache_max_inputs_) + 1;
+  smallest_cache_.assign(static_cast<std::size_t>(kNumGateTypes) * stride, -1);
+  for (int i = 0; i < num_cells(); ++i) {
+    const Cell& c = cells_[static_cast<std::size_t>(i)];
+    int& slot = smallest_cache_[static_cast<std::size_t>(c.function) * stride +
+                                static_cast<std::size_t>(c.num_inputs)];
+    if (slot < 0 || c.drive_index < cells_[static_cast<std::size_t>(slot)].drive_index) {
+      slot = i;
+    }
+  }
 }
 
 const Cell& CellLibrary::cell(int index) const {
@@ -51,8 +67,11 @@ std::vector<int> CellLibrary::variants(GateType function, int num_inputs) const 
 }
 
 int CellLibrary::smallest(GateType function, int num_inputs) const {
-  const std::vector<int> v = variants(function, num_inputs);
-  return v.empty() ? -1 : v.front();
+  if (smallest_cache_.empty()) return -1;  // empty library
+  if (num_inputs < 0 || num_inputs > cache_max_inputs_) return -1;
+  const std::size_t stride = static_cast<std::size_t>(cache_max_inputs_) + 1;
+  return smallest_cache_[static_cast<std::size_t>(function) * stride +
+                         static_cast<std::size_t>(num_inputs)];
 }
 
 int CellLibrary::max_inputs(GateType function) const {

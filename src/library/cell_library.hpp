@@ -32,6 +32,8 @@ class CellLibrary {
   std::vector<int> variants(GateType function, int num_inputs) const;
 
   /// Smallest (weakest drive) variant; -1 if the type is not in the library.
+  /// Memoized: rewiring binds an INV cell on every inverter insertion, so
+  /// this must not rescan the library (it is on the probe hot path).
   int smallest(GateType function, int num_inputs) const;
 
   /// Maximum fanin count available for `function` (0 if unsupported).
@@ -44,9 +46,16 @@ class CellLibrary {
   void set_name(std::string name) { name_ = std::move(name); }
 
  private:
+  void rebuild_smallest_cache();
+
   std::string name_ = "unnamed";
   std::vector<Cell> cells_;
   WireParams wire_;
+  // smallest() lookup table, keyed [function * (max_inputs+1) + inputs];
+  // rebuilt eagerly by add() so smallest() is a pure read on the probe
+  // hot path (and safe for future concurrent probing).
+  std::vector<int> smallest_cache_;
+  int cache_max_inputs_ = 0;
 };
 
 /// The built-in 0.35um-class library described in the paper's §6.

@@ -56,7 +56,7 @@ DecomposeStats decompose(Network& net) {
   }
 
   // Normalize inverted types: NAND/NOR/XNOR -> base 2-input gate + INV.
-  for (const GateId g : net.all_gates()) {
+  for (const GateId g : net.gates()) {
     const GateType t = net.type(g);
     if (!is_multi_input(t) || !is_output_inverted(t)) continue;
     net.set_type(g, base_type(t));

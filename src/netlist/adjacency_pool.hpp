@@ -1,0 +1,117 @@
+// Pooled adjacency storage for the netlist arena.
+//
+// Every gate's fanin (GateId) and fanout (Pin) lists live as contiguous
+// chunks inside one flat vector per pool instead of one heap vector per
+// gate. Chunk capacities are powers of two; freed chunks go onto per-class
+// free lists (the next-free offset is stored intrusively in the first slot)
+// and are recycled by later allocations, so probe loops that insert and
+// delete inverters millions of times reach a steady state with zero heap
+// traffic.
+//
+// Offsets are stable; raw pointers/spans into the pool are invalidated when
+// the pool vector itself grows (any chunk allocation) or when a chunk is
+// moved to a larger class — i.e. by any topology mutation. Callers that
+// mutate while iterating must snapshot first (same contract the per-gate
+// vectors had, just extended across gates).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace detail {
+
+inline std::uint32_t pool_next_of(std::uint32_t v) { return v; }
+inline void pool_set_next(std::uint32_t& slot, std::uint32_t next) { slot = next; }
+
+template <typename PinLike>
+inline std::uint32_t pool_next_of(const PinLike& p) {
+  return p.gate;
+}
+template <typename PinLike>
+inline void pool_set_next(PinLike& slot, std::uint32_t next) {
+  slot.gate = next;
+}
+
+}  // namespace detail
+
+/// A chunk handle: `off` indexes the pool, `cap` is the allocated capacity
+/// (power of two; 0 = no chunk), `cnt` the live prefix length.
+struct ChunkRef {
+  std::uint32_t off = 0;
+  std::uint32_t cap = 0;
+  std::uint32_t cnt = 0;
+};
+
+template <typename T>
+class AdjacencyPool {
+  static constexpr std::uint32_t kNoFree = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNumClasses = 28;
+
+ public:
+  const T* at(const ChunkRef& ref) const { return data_.data() + ref.off; }
+  T* at(const ChunkRef& ref) { return data_.data() + ref.off; }
+
+  /// Append `v` to the chunk, growing it into a larger class if full.
+  void push(ChunkRef& ref, const T& v) {
+    if (ref.cnt == ref.cap) grow(ref);
+    data_[ref.off + ref.cnt++] = v;
+  }
+
+  /// Release the chunk onto its size-class free list.
+  void release(ChunkRef& ref) {
+    if (ref.cap != 0) push_free(class_of(ref.cap), ref.off);
+    ref = ChunkRef{};
+  }
+
+  /// Number of pool slots currently allocated (live + free-listed).
+  std::size_t slots() const { return data_.size(); }
+
+ private:
+  static std::uint32_t class_of(std::uint32_t cap) {
+    std::uint32_t c = 0;
+    while ((1u << c) < cap) ++c;
+    return c;
+  }
+
+  void push_free(std::uint32_t cls, std::uint32_t off) {
+    detail::pool_set_next(data_[off], free_heads_[cls]);
+    free_heads_[cls] = off;
+  }
+
+  std::uint32_t allocate(std::uint32_t cls) {
+    RAPIDS_ASSERT_MSG(cls < kNumClasses, "adjacency chunk too large");
+    if (free_heads_[cls] != kNoFree) {
+      const std::uint32_t off = free_heads_[cls];
+      free_heads_[cls] = detail::pool_next_of(data_[off]);
+      return off;
+    }
+    const std::uint32_t off = static_cast<std::uint32_t>(data_.size());
+    data_.resize(data_.size() + (1u << cls));
+    return off;
+  }
+
+  void grow(ChunkRef& ref) {
+    const std::uint32_t new_cls = ref.cap == 0 ? 0 : class_of(ref.cap) + 1;
+    const std::uint32_t new_off = allocate(new_cls);
+    for (std::uint32_t i = 0; i < ref.cnt; ++i) {
+      data_[new_off + i] = data_[ref.off + i];
+    }
+    if (ref.cap != 0) push_free(class_of(ref.cap), ref.off);
+    ref.off = new_off;
+    ref.cap = 1u << new_cls;
+  }
+
+  std::vector<T> data_;
+  std::array<std::uint32_t, kNumClasses> free_heads_ = [] {
+    std::array<std::uint32_t, kNumClasses> a{};
+    a.fill(kNoFree);
+    return a;
+  }();
+};
+
+}  // namespace rapids

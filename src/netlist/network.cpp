@@ -1,17 +1,59 @@
 #include "netlist/network.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 namespace rapids {
 
+namespace {
+
+/// Parse "<prefix><digits>" (optionally followed by a "_<digits>" collision
+/// suffix) into the id; returns kNullGate on mismatch.
+GateId parse_implicit(const std::string& name, char prefix) {
+  if (name.size() < 2 || name[0] != prefix) return kNullGate;
+  std::uint32_t id = 0;
+  const char* first = name.data() + 1;
+  const char* last = name.data() + name.size();
+  const auto [ptr, ec] = std::from_chars(first, last, id);
+  if (ec != std::errc{}) return kNullGate;
+  if (ptr != last) {
+    if (*ptr != '_' || ptr + 1 == last) return kNullGate;
+    std::uint32_t k = 0;
+    const auto [p2, ec2] = std::from_chars(ptr + 1, last, k);
+    if (ec2 != std::errc{} || p2 != last) return kNullGate;
+  }
+  return id;
+}
+
+}  // namespace
+
 GateId Network::add_gate(GateType type, const std::string& name) {
-  const GateId id = static_cast<GateId>(gates_.size());
-  GateData g;
-  g.type = type;
-  g.name = name.empty() ? ("g" + std::to_string(id)) : name;
-  auto [it, inserted] = by_name_.emplace(g.name, id);
-  RAPIDS_ASSERT_MSG(inserted, "duplicate gate name: " + g.name);
-  gates_.push_back(std::move(g));
+  GateId id;
+  if (recycle_ids_ && !free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    type_[id] = type;
+    cell_[id] = -1;
+    deleted_[id] = 0;
+    // Adjacency chunks were released on delete; the refs are already empty.
+  } else {
+    id = static_cast<GateId>(type_.size());
+    type_.push_back(type);
+    cell_.push_back(-1);
+    deleted_.push_back(0);
+    fanin_ref_.push_back(ChunkRef{});
+    fanout_ref_.push_back(ChunkRef{});
+  }
+  if (!name.empty()) {
+    // find(name) == id when the explicit name equals this gate's own
+    // implicit name (e.g. an unnamed-PI round trip names gate 0 "g0");
+    // only a match on a DIFFERENT gate is a duplicate.
+    const GateId existing = find(name);
+    RAPIDS_ASSERT_MSG(existing == kNullGate || existing == id,
+                      "duplicate gate name: " + name);
+    by_name_.emplace(name, id);
+    names_.emplace(id, name);
+  }
   ++live_count_;
   if (type == GateType::Input) inputs_.push_back(id);
   if (type == GateType::Output) outputs_.push_back(id);
@@ -19,93 +61,113 @@ GateId Network::add_gate(GateType type, const std::string& name) {
 }
 
 void Network::add_fanin(GateId gate, GateId driver) {
-  GateData& g = data(gate);
-  RAPIDS_ASSERT(!g.deleted && !data(driver).deleted);
-  RAPIDS_ASSERT_MSG(g.type != GateType::Input && g.type != GateType::Const0 &&
-                        g.type != GateType::Const1,
+  check(gate);
+  check(driver);
+  RAPIDS_ASSERT(!deleted_[gate] && !deleted_[driver]);
+  RAPIDS_ASSERT_MSG(type_[gate] != GateType::Input && type_[gate] != GateType::Const0 &&
+                        type_[gate] != GateType::Const1,
                     "boundary gate cannot have fanins");
-  const Pin pin{gate, static_cast<std::uint32_t>(g.fanins.size())};
-  g.fanins.push_back(driver);
-  data(driver).fanouts.push_back(pin);
+  const Pin pin{gate, fanin_ref_[gate].cnt};
+  fanin_pool_.push(fanin_ref_[gate], driver);
+  fanout_pool_.push(fanout_ref_[driver], pin);
 }
 
 void Network::remove_fanout_entry(GateId driver, Pin pin) {
-  auto& fo = data(driver).fanouts;
-  auto it = std::find(fo.begin(), fo.end(), pin);
-  RAPIDS_ASSERT_MSG(it != fo.end(), "fanout list inconsistent");
-  *it = fo.back();
-  fo.pop_back();
+  ChunkRef& r = fanout_ref_[driver];
+  Pin* fo = fanout_pool_.at(r);
+  for (std::uint32_t i = 0; i < r.cnt; ++i) {
+    if (fo[i] == pin) {
+      fo[i] = fo[r.cnt - 1];
+      --r.cnt;
+      return;
+    }
+  }
+  RAPIDS_ASSERT_MSG(false, "fanout list inconsistent");
 }
 
 void Network::set_fanin(Pin pin, GateId new_driver) {
-  GateData& g = data(pin.gate);
-  RAPIDS_ASSERT(pin.index < g.fanins.size());
-  const GateId old_driver = g.fanins[pin.index];
+  check(pin.gate);
+  ChunkRef& fr = fanin_ref_[pin.gate];
+  RAPIDS_ASSERT(pin.index < fr.cnt);
+  const GateId old_driver = fanin_pool_.at(fr)[pin.index];
   if (old_driver == new_driver) return;
-  RAPIDS_ASSERT(!data(new_driver).deleted);
+  check(new_driver);
+  RAPIDS_ASSERT(!deleted_[new_driver]);
   remove_fanout_entry(old_driver, pin);
-  g.fanins[pin.index] = new_driver;
-  data(new_driver).fanouts.push_back(pin);
+  fanin_pool_.at(fr)[pin.index] = new_driver;
+  fanout_pool_.push(fanout_ref_[new_driver], pin);
 }
 
 void Network::remove_fanin(GateId gate, std::uint32_t index) {
-  GateData& g = data(gate);
-  RAPIDS_ASSERT(index < g.fanins.size());
-  remove_fanout_entry(g.fanins[index], Pin{gate, index});
+  check(gate);
+  ChunkRef& fr = fanin_ref_[gate];
+  RAPIDS_ASSERT(index < fr.cnt);
+  GateId* fi = fanin_pool_.at(fr);
+  remove_fanout_entry(fi[index], Pin{gate, index});
   // Shift the remaining fanins down and re-index their fanout entries.
-  for (std::uint32_t j = index + 1; j < g.fanins.size(); ++j) {
-    const GateId d = g.fanins[j];
-    auto& fo = data(d).fanouts;
-    auto it = std::find(fo.begin(), fo.end(), Pin{gate, j});
-    RAPIDS_ASSERT_MSG(it != fo.end(), "fanout list inconsistent during remove_fanin");
-    it->index = j - 1;
-    g.fanins[j - 1] = d;
+  for (std::uint32_t j = index + 1; j < fr.cnt; ++j) {
+    const GateId d = fi[j];
+    ChunkRef& dr = fanout_ref_[d];
+    Pin* fo = fanout_pool_.at(dr);
+    bool found = false;
+    for (std::uint32_t k = 0; k < dr.cnt; ++k) {
+      if (fo[k] == Pin{gate, j}) {
+        fo[k].index = j - 1;
+        found = true;
+        break;
+      }
+    }
+    RAPIDS_ASSERT_MSG(found, "fanout list inconsistent during remove_fanin");
+    fi[j - 1] = d;
   }
-  g.fanins.pop_back();
+  --fr.cnt;
 }
 
 void Network::replace_all_fanouts(GateId from, GateId to) {
-  RAPIDS_ASSERT(!data(to).deleted);
-  // set_fanin mutates the fanout list; iterate over a snapshot.
-  const std::vector<Pin> sinks(data(from).fanouts.begin(), data(from).fanouts.end());
+  check(to);
+  RAPIDS_ASSERT(!deleted_[to]);
+  // set_fanin mutates the fanout pool; iterate over a snapshot.
+  const auto span = fanouts(from);
+  const std::vector<Pin> sinks(span.begin(), span.end());
   for (const Pin& pin : sinks) set_fanin(pin, to);
 }
 
 void Network::delete_gate(GateId gate) {
-  GateData& g = data(gate);
-  RAPIDS_ASSERT(!g.deleted);
-  RAPIDS_ASSERT_MSG(g.fanouts.empty(), "cannot delete a gate that still drives pins");
-  for (std::uint32_t i = 0; i < g.fanins.size(); ++i) {
-    remove_fanout_entry(g.fanins[i], Pin{gate, i});
+  check(gate);
+  RAPIDS_ASSERT(!deleted_[gate]);
+  RAPIDS_ASSERT_MSG(fanout_ref_[gate].cnt == 0,
+                    "cannot delete a gate that still drives pins");
+  ChunkRef& fr = fanin_ref_[gate];
+  for (std::uint32_t i = 0; i < fr.cnt; ++i) {
+    remove_fanout_entry(fanin_pool_.at(fr)[i], Pin{gate, i});
   }
-  g.fanins.clear();
-  g.deleted = true;
+  fanin_pool_.release(fr);
+  fanout_pool_.release(fanout_ref_[gate]);
+  deleted_[gate] = 1;
   --live_count_;
-  by_name_.erase(g.name);
-  if (g.type == GateType::Input) {
+  if (auto it = names_.find(gate); it != names_.end()) {
+    by_name_.erase(it->second);
+    names_.erase(it);
+  }
+  if (type_[gate] == GateType::Input) {
     inputs_.erase(std::remove(inputs_.begin(), inputs_.end(), gate), inputs_.end());
   }
-  if (g.type == GateType::Output) {
+  if (type_[gate] == GateType::Output) {
     outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), gate), outputs_.end());
   }
+  if (recycle_ids_) free_ids_.push_back(gate);
 }
 
 void Network::set_type(GateId gate, GateType type) {
-  GateData& g = data(gate);
-  RAPIDS_ASSERT_MSG(is_logic(g.type) && is_logic(type),
+  check(gate);
+  RAPIDS_ASSERT_MSG(is_logic(type_[gate]) && is_logic(type),
                     "set_type only rewrites logic gates");
   if (!is_multi_input(type)) {
-    RAPIDS_ASSERT(g.fanins.size() == 1);
+    RAPIDS_ASSERT(fanin_ref_[gate].cnt == 1);
   } else {
-    RAPIDS_ASSERT(g.fanins.size() >= 2);
+    RAPIDS_ASSERT(fanin_ref_[gate].cnt >= 2);
   }
-  g.type = type;
-}
-
-GateId Network::fanin(GateId gate, std::uint32_t index) const {
-  const GateData& g = data(gate);
-  RAPIDS_ASSERT(index < g.fanins.size());
-  return g.fanins[index];
+  type_[gate] = type;
 }
 
 GateId Network::po_driver(GateId po) const {
@@ -116,39 +178,60 @@ GateId Network::po_driver(GateId po) const {
 
 std::size_t Network::num_logic_gates() const {
   std::size_t n = 0;
-  for (const auto& g : gates_) {
-    if (!g.deleted && is_logic(g.type)) ++n;
+  for (GateId id = 0; id < type_.size(); ++id) {
+    if (!deleted_[id] && is_logic(type_[id])) ++n;
   }
   return n;
 }
 
-std::vector<GateId> Network::all_gates() const {
-  std::vector<GateId> out;
-  out.reserve(live_count_);
-  for (GateId id = 0; id < gates_.size(); ++id) {
-    if (!gates_[id].deleted) out.push_back(id);
+std::string Network::implicit_name(GateId gate) const {
+  const std::string primary = "g" + std::to_string(gate);
+  if (!by_name_.contains(primary)) return primary;
+  // Some other gate explicitly claimed "g<id>"; fall back to "u<id>", then
+  // "u<id>_<k>" until a free name is found (explicit names are finite, so
+  // this terminates).
+  std::string fallback = "u" + std::to_string(gate);
+  for (std::uint32_t k = 1; by_name_.contains(fallback); ++k) {
+    fallback = "u" + std::to_string(gate) + "_" + std::to_string(k);
   }
-  return out;
+  return fallback;
 }
 
-void Network::for_each_gate(const std::function<void(GateId)>& fn) const {
-  for (GateId id = 0; id < gates_.size(); ++id) {
-    if (!gates_[id].deleted) fn(id);
-  }
+std::string Network::name(GateId gate) const {
+  check(gate);
+  if (auto it = names_.find(gate); it != names_.end()) return it->second;
+  return implicit_name(gate);
 }
 
 GateId Network::find(const std::string& name) const {
-  auto it = by_name_.find(name);
-  return it == by_name_.end() ? kNullGate : it->second;
+  if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  for (const char prefix : {'g', 'u'}) {
+    const GateId id = parse_implicit(name, prefix);
+    if (id != kNullGate && id < type_.size() && !deleted_[id] &&
+        !names_.contains(id) && implicit_name(id) == name) {
+      return id;
+    }
+  }
+  return kNullGate;
 }
 
 void Network::rename(GateId gate, const std::string& name) {
-  GateData& g = data(gate);
+  check(gate);
   RAPIDS_ASSERT(!name.empty());
-  auto [it, inserted] = by_name_.emplace(name, gate);
-  RAPIDS_ASSERT_MSG(inserted, "duplicate gate name: " + name);
-  by_name_.erase(g.name);
-  g.name = name;
+  if (auto cur = names_.find(gate); cur != names_.end() && cur->second == name) {
+    return;  // renaming to the current explicit name is a no-op
+  }
+  RAPIDS_ASSERT_MSG(find(name) == kNullGate || find(name) == gate,
+                    "duplicate gate name: " + name);
+  // The check above leaves only insertable cases: an unused name, or the
+  // gate's own implicit name (absent from by_name_ by construction).
+  by_name_.emplace(name, gate);
+  if (auto old = names_.find(gate); old != names_.end()) {
+    by_name_.erase(old->second);
+    old->second = name;
+  } else {
+    names_.emplace(gate, name);
+  }
 }
 
 Network Network::clone() const { return *this; }
@@ -160,10 +243,9 @@ std::size_t Network::sweep_dangling() {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (GateId id = 0; id < gates_.size(); ++id) {
-      GateData& g = gates_[id];
-      if (g.deleted || !is_logic(g.type)) continue;
-      if (g.fanouts.empty()) {
+    for (GateId id = 0; id < type_.size(); ++id) {
+      if (deleted_[id] || !is_logic(type_[id])) continue;
+      if (fanout_ref_[id].cnt == 0) {
         delete_gate(id);
         ++removed;
         changed = true;
@@ -175,8 +257,8 @@ std::size_t Network::sweep_dangling() {
 
 std::vector<std::size_t> Network::type_histogram() const {
   std::vector<std::size_t> hist(kNumGateTypes, 0);
-  for (const auto& g : gates_) {
-    if (!g.deleted) ++hist[static_cast<std::size_t>(g.type)];
+  for (GateId id = 0; id < type_.size(); ++id) {
+    if (!deleted_[id]) ++hist[static_cast<std::size_t>(type_[id])];
   }
   return hist;
 }

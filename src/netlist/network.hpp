@@ -6,19 +6,32 @@
 // (fanout) adjacency consistent under rewiring, which is the fundamental
 // operation of this library.
 //
+// Storage is an arena: per-gate scalars live in parallel (SoA) arrays and
+// the fanin/fanout adjacency lists are chunks inside two shared pools with
+// per-size free lists (see adjacency_pool.hpp). Names are not stored per
+// gate: unnamed gates print as "g<id>" on demand and only explicit names
+// occupy the side table, so the rewiring hot path never touches a string
+// or the name map.
+//
 // Gate ids are stable: deleting a gate tombstones its slot, it is never
-// reused within a Network's lifetime (compact() remaps explicitly). This
-// lets placements, timing annotations and supergate partitions be stored
-// as plain id-indexed vectors alongside the network.
+// reused within a Network's lifetime. This lets placements, timing
+// annotations and supergate partitions be stored as plain id-indexed
+// vectors alongside the network. Deleted gates' adjacency chunks ARE
+// recycled, so long probe/undo loops do not grow the pools.
+//
+// Iteration contract: spans returned by fanins()/fanouts() point into the
+// shared pools and are invalidated by ANY topology mutation (add_fanin,
+// set_fanin, remove_fanin, delete_gate, add_gate) — snapshot before
+// mutating while iterating.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "netlist/adjacency_pool.hpp"
 #include "netlist/gate_type.hpp"
 #include "util/assert.hpp"
 
@@ -48,9 +61,24 @@ class Network {
 
   // --- construction -------------------------------------------------------
 
-  /// Create a gate with no connections. Name may be empty (auto-assigned
-  /// "g<id>"); non-empty names must be unique.
+  /// Create a gate with no connections. Name may be empty (the gate then
+  /// answers to its implicit name "g<id>"); non-empty names must be unique.
   GateId add_gate(GateType type, const std::string& name = {});
+
+  /// Opt-in tombstone recycling: while enabled, delete_gate() pushes the id
+  /// onto a free list and add_gate() pops from it, so probe loops that
+  /// insert and delete inverters millions of times keep id_bound() — and
+  /// every id-indexed side structure — at a fixed size. Recycled ids may
+  /// carry stale entries in side tables (placement, partitions); enable
+  /// only inside a scope that re-initializes what it reads (the
+  /// RewireEngine does this for the move kinds it owns). Disabling drops
+  /// the pending free list: those ids stay tombstoned forever, restoring
+  /// the default stable-id contract.
+  void set_id_recycling(bool on) {
+    recycle_ids_ = on;
+    if (!on) free_ids_.clear();
+  }
+  bool id_recycling() const { return recycle_ids_; }
 
   /// Append `driver` as the next fanin of `gate`.
   void add_fanin(GateId gate, GateId driver);
@@ -76,26 +104,30 @@ class Network {
 
   // --- topology queries ----------------------------------------------------
 
-  bool is_deleted(GateId gate) const { return data(gate).deleted; }
-  GateType type(GateId gate) const { return data(gate).type; }
-  const std::string& name(GateId gate) const { return data(gate).name; }
+  bool is_deleted(GateId gate) const { return check(gate), deleted_[gate] != 0; }
+  GateType type(GateId gate) const { return check(gate), type_[gate]; }
 
   std::span<const GateId> fanins(GateId gate) const {
-    const auto& f = data(gate).fanins;
-    return {f.data(), f.size()};
+    check(gate);
+    const ChunkRef& r = fanin_ref_[gate];
+    return {fanin_pool_.at(r), r.cnt};
   }
-  GateId fanin(GateId gate, std::uint32_t index) const;
-  std::uint32_t fanin_count(GateId gate) const {
-    return static_cast<std::uint32_t>(data(gate).fanins.size());
+  GateId fanin(GateId gate, std::uint32_t index) const {
+    check(gate);
+    const ChunkRef& r = fanin_ref_[gate];
+    RAPIDS_ASSERT(index < r.cnt);
+    return fanin_pool_.at(r)[index];
   }
+  std::uint32_t fanin_count(GateId gate) const { return check(gate), fanin_ref_[gate].cnt; }
 
   /// Sink pins of this gate's output net (order unspecified).
   std::span<const Pin> fanouts(GateId gate) const {
-    const auto& f = data(gate).fanouts;
-    return {f.data(), f.size()};
+    check(gate);
+    const ChunkRef& r = fanout_ref_[gate];
+    return {fanout_pool_.at(r), r.cnt};
   }
   std::uint32_t fanout_count(GateId gate) const {
-    return static_cast<std::uint32_t>(data(gate).fanouts.size());
+    return check(gate), fanout_ref_[gate].cnt;
   }
 
   /// Driver feeding in-pin `pin`.
@@ -111,7 +143,7 @@ class Network {
   // --- ids and iteration -----------------------------------------------
 
   /// One past the largest id ever allocated — size for id-indexed vectors.
-  std::size_t id_bound() const { return gates_.size(); }
+  std::size_t id_bound() const { return type_.size(); }
 
   /// Number of live (non-deleted) gates, including Input/Output/Const.
   std::size_t num_gates() const { return live_count_; }
@@ -119,15 +151,76 @@ class Network {
   /// Number of live logic gates (excludes Input/Output/Const markers).
   std::size_t num_logic_gates() const;
 
-  /// All live gate ids, ascending.
-  std::vector<GateId> all_gates() const;
+  /// Invoke fn for each live gate id, ascending. Statically dispatched —
+  /// safe (and free) in hot loops.
+  template <typename Fn>
+  void for_each_gate(Fn&& fn) const {
+    const std::size_t n = type_.size();
+    for (GateId id = 0; id < n; ++id) {
+      if (!deleted_[id]) fn(id);
+    }
+  }
 
-  /// Invoke fn for each live gate id.
-  void for_each_gate(const std::function<void(GateId)>& fn) const;
+  /// Allocation-free range over live gate ids: `for (GateId g : net.gates())`.
+  /// The id bound is snapshotted when the range is created: gates appended
+  /// during iteration are not visited, and deleting gates (including the
+  /// current one) is safe — the iterator never walks past its snapshot.
+  /// Caveat: with id recycling enabled, a gate added mid-iteration may
+  /// reuse a tombstoned id BELOW the bound and, if ahead of the iterator,
+  /// will be visited.
+  class GateRange {
+   public:
+    class iterator {
+     public:
+      iterator(const std::vector<std::uint8_t>* deleted, GateId at, GateId end)
+          : deleted_(deleted), at_(at), end_(end) {
+        skip();
+      }
+      GateId operator*() const { return at_; }
+      iterator& operator++() {
+        ++at_;
+        skip();
+        return *this;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return a.at_ != b.at_;
+      }
+
+     private:
+      void skip() {
+        while (at_ < end_ && (*deleted_)[at_]) ++at_;
+      }
+      const std::vector<std::uint8_t>* deleted_;
+      GateId at_;
+      GateId end_;
+    };
+
+    explicit GateRange(const std::vector<std::uint8_t>* deleted)
+        : deleted_(deleted), end_(static_cast<GateId>(deleted->size())) {}
+    iterator begin() const { return iterator(deleted_, 0, end_); }
+    iterator end() const { return iterator(deleted_, end_, end_); }
+
+   private:
+    const std::vector<std::uint8_t>* deleted_;
+    GateId end_;
+  };
+
+  GateRange gates() const { return GateRange(&deleted_); }
 
   // --- names ----------------------------------------------------------
+  //
+  // Only I/O and diagnostics consult names; they are not on any hot path.
 
-  /// Find a gate by name; returns kNullGate if absent.
+  /// The gate's name: its interned explicit name, or the implicit "g<id>"
+  /// ("u<id>" when some other gate explicitly claimed "g<id>").
+  std::string name(GateId gate) const;
+
+  /// True if the gate was created with / renamed to an explicit name.
+  bool has_explicit_name(GateId gate) const {
+    return check(gate), names_.contains(gate);
+  }
+
+  /// Find a gate by name (explicit or implicit); returns kNullGate if absent.
   GateId find(const std::string& name) const;
 
   /// Rename; new name must be unused.
@@ -136,8 +229,11 @@ class Network {
   // --- library binding --------------------------------------------------
 
   /// Index of the bound library cell, or -1 if unmapped.
-  std::int32_t cell(GateId gate) const { return data(gate).cell; }
-  void set_cell(GateId gate, std::int32_t cell_index) { data(gate).cell = cell_index; }
+  std::int32_t cell(GateId gate) const { return check(gate), cell_[gate]; }
+  void set_cell(GateId gate, std::int32_t cell_index) {
+    check(gate);
+    cell_[gate] = cell_index;
+  }
 
   // --- whole-network operations -----------------------------------------
 
@@ -152,31 +248,33 @@ class Network {
   std::vector<std::size_t> type_histogram() const;
 
  private:
-  struct GateData {
-    GateType type = GateType::Buf;
-    std::string name;
-    std::vector<GateId> fanins;
-    std::vector<Pin> fanouts;
-    std::int32_t cell = -1;
-    bool deleted = false;
-  };
-
-  GateData& data(GateId gate) {
-    RAPIDS_ASSERT_MSG(gate < gates_.size(), "gate id out of range");
-    return gates_[gate];
-  }
-  const GateData& data(GateId gate) const {
-    RAPIDS_ASSERT_MSG(gate < gates_.size(), "gate id out of range");
-    return gates_[gate];
+  void check(GateId gate) const {
+    RAPIDS_ASSERT_MSG(gate < type_.size(), "gate id out of range");
   }
 
   void remove_fanout_entry(GateId driver, Pin pin);
+  /// The implicit name of an unnamed gate.
+  std::string implicit_name(GateId gate) const;
 
-  std::vector<GateData> gates_;
+  // SoA per-gate state.
+  std::vector<GateType> type_;
+  std::vector<std::int32_t> cell_;
+  std::vector<std::uint8_t> deleted_;
+  std::vector<ChunkRef> fanin_ref_;
+  std::vector<ChunkRef> fanout_ref_;
+  AdjacencyPool<GateId> fanin_pool_;
+  AdjacencyPool<Pin> fanout_pool_;
+
   std::vector<GateId> inputs_;
   std::vector<GateId> outputs_;
+
+  // Explicitly named gates only.
+  std::unordered_map<GateId, std::string> names_;
   std::unordered_map<std::string, GateId> by_name_;
+
   std::size_t live_count_ = 0;
+  bool recycle_ids_ = false;
+  std::vector<GateId> free_ids_;
 };
 
 }  // namespace rapids

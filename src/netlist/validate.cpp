@@ -11,7 +11,7 @@ std::vector<std::string> validate(const Network& net) {
   std::vector<std::string> errors;
   auto fail = [&errors](const std::string& msg) { errors.push_back(msg); };
 
-  for (const GateId g : net.all_gates()) {
+  for (const GateId g : net.gates()) {
     const GateType t = net.type(g);
     const std::uint32_t nin = net.fanin_count(g);
     switch (t) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "engine/rewire_engine.hpp"
 #include "rewire/swap.hpp"
 #include "sizing/sizing.hpp"
 #include "sym/gisg.hpp"
@@ -26,32 +28,18 @@ const char* to_string(OptMode mode) {
 
 namespace {
 
-struct Objective {
-  double critical = 0.0;
-  double sum_po = 0.0;
-};
-
-/// One candidate transformation of a group.
-struct Move {
-  enum class Kind : std::uint8_t { Resize, Swap } kind = Kind::Resize;
-  // Resize
-  GateId gate = kNullGate;
-  int new_cell = -1;
-  // Swap
-  SwapCandidate swap;
-};
-
 /// A group is the unit that gets one committed move per phase: a supergate
-/// (rewiring) or a single gate (sizing).
+/// (rewiring) or a single gate (sizing). All probe/commit choreography lives
+/// in the RewireEngine; this class only decides WHICH moves to try.
 struct Group {
-  std::vector<Move> moves;
+  std::vector<EngineMove> moves;
 };
 
-class Engine {
+class Optimizer {
  public:
-  Engine(Network& net, Placement& pl, const CellLibrary& lib, Sta& sta,
-         const OptimizerOptions& options)
-      : net_(net), pl_(pl), lib_(lib), sta_(sta), options_(options) {}
+  Optimizer(Network& net, Placement& pl, const CellLibrary& lib, Sta& sta,
+            const OptimizerOptions& options)
+      : net_(net), lib_(lib), sta_(sta), engine_(net, pl, lib, sta), options_(options) {}
 
   OptimizerResult run() {
     Timer timer;
@@ -62,7 +50,7 @@ class Engine {
 
     // Table 1 statistics from the initial extraction.
     {
-      const GisgPartition part = extract_gisg(net_);
+      const GisgPartition& part = engine_.partition();
       result.coverage = part.nontrivial_coverage(net_);
       result.max_sg_inputs = part.max_leaves();
       result.redundancies_found = part.redundancies.size();
@@ -73,9 +61,10 @@ class Engine {
       ++result.iterations;
       // Groups are rebuilt per phase: committed swaps restructure their
       // supergate (inverter insertion, subtree exchange), so candidate pin
-      // sets must be re-derived from a fresh extraction.
-      const int committed_a = phase_min_slack(build_groups(), result);
-      const int committed_b = phase_relaxation(build_groups(), result);
+      // sets must be re-derived from a fresh extraction (the engine's epoch
+      // discipline).
+      const int committed_a = phase_min_slack(build_groups());
+      const int committed_b = phase_relaxation(build_groups());
       const double now = sta_.critical_delay();
       log_info() << to_string(options_.mode) << " iter " << iter << ": delay " << now
                  << " ns (" << committed_a << " + " << committed_b << " moves)";
@@ -87,7 +76,7 @@ class Engine {
     // delay is unaffected. This is what makes the paper's GS / gsg+GS area
     // columns go negative — off-critical gates give back their slack.
     if (options_.mode != OptMode::Gsg) {
-      phase_area_recovery(result);
+      phase_area_recovery();
     }
 
     if (options_.mode != OptMode::GateSizing) {
@@ -101,6 +90,11 @@ class Engine {
     result.final_delay = sta_.critical_delay();
     result.final_area = network_area(net_, lib_);
     result.seconds = timer.seconds();
+
+    const EngineStats& stats = engine_.stats();
+    result.swaps_committed = stats.swaps_committed + stats.cross_sg_committed;
+    result.resizes_committed = stats.resizes_committed;
+    result.inverters_added = stats.inverters_added;
     return result;
   }
 
@@ -114,38 +108,37 @@ class Engine {
 
     std::vector<bool> covered_nontrivial(net_.id_bound(), false);
     if (want_swaps) {
-      part_ = extract_gisg(net_);
-      for (std::size_t s = 0; s < part_.sgs.size(); ++s) {
-        const SuperGate& sg = part_.sgs[s];
+      // All optimizer mutations go through engine commits, which already
+      // invalidate the partition; partition() here is cached when the
+      // previous phase committed nothing.
+      const GisgPartition& part = engine_.partition();
+      for (std::size_t s = 0; s < part.sgs.size(); ++s) {
+        const SuperGate& sg = part.sgs[s];
         if (sg.is_trivial()) continue;
         for (const GateId g : sg.covered) covered_nontrivial[g] = true;
         Group group;
-        group.moves = swap_moves(static_cast<int>(s));
+        group.moves = swap_moves(part, static_cast<int>(s));
         if (!group.moves.empty()) groups.push_back(std::move(group));
       }
     }
     if (want_resizes) {
-      net_.for_each_gate([&](GateId g) {
-        if (!is_logic(net_.type(g)) || net_.cell(g) < 0) return;
+      for (const GateId g : net_.gates()) {
+        if (!is_logic(net_.type(g)) || net_.cell(g) < 0) continue;
         // gsg+GS sizes only gates NOT covered by a non-trivial supergate.
-        if (options_.mode == OptMode::GsgPlusGS && covered_nontrivial[g]) return;
+        if (options_.mode == OptMode::GsgPlusGS && covered_nontrivial[g]) continue;
         Group group;
         for (const int cell : resize_candidates(net_, lib_, g)) {
-          Move m;
-          m.kind = Move::Kind::Resize;
-          m.gate = g;
-          m.new_cell = cell;
-          group.moves.push_back(m);
+          group.moves.push_back(EngineMove::resize(g, cell));
         }
         if (!group.moves.empty()) groups.push_back(std::move(group));
-      });
+      }
     }
     return groups;
   }
 
-  std::vector<Move> swap_moves(int sg_index) {
+  std::vector<EngineMove> swap_moves(const GisgPartition& part, int sg_index) {
     std::vector<SwapCandidate> cands =
-        enumerate_swaps(part_, sg_index, net_, options_.leaves_only_swaps);
+        enumerate_swaps(part, sg_index, net_, options_.leaves_only_swaps);
     if (static_cast<int>(cands.size()) > options_.max_swaps_per_sg) {
       // Keep the pairs with the largest arrival mismatch between the two
       // drivers: those are where rewiring can shift the critical path.
@@ -155,14 +148,9 @@ class Engine {
                 });
       cands.resize(static_cast<std::size_t>(options_.max_swaps_per_sg));
     }
-    std::vector<Move> moves;
+    std::vector<EngineMove> moves;
     moves.reserve(cands.size());
-    for (const SwapCandidate& c : cands) {
-      Move m;
-      m.kind = Move::Kind::Swap;
-      m.swap = c;
-      moves.push_back(m);
-    }
+    for (const SwapCandidate& c : cands) moves.push_back(EngineMove::swap(c));
     return moves;
   }
 
@@ -172,117 +160,56 @@ class Engine {
     return std::abs(a - b);
   }
 
-  // --- move evaluation -------------------------------------------------------
-
-  /// Apply `move` inside an STA transaction and report the objective.
-  /// When `keep` is false the move is fully rolled back.
-  Objective probe(const Move& move, bool keep, OptimizerResult& result) {
-    sta_.begin();
-    SwapEdit edit;
-    int old_cell = -1;
-    if (move.kind == Move::Kind::Swap) {
-      edit = apply_swap(net_, pl_, lib_, move.swap);
-      std::vector<GateId> dirty = edit.dirty_nets;
-      std::sort(dirty.begin(), dirty.end());
-      dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
-      for (const GateId d : dirty) sta_.invalidate_net(d);
-    } else {
-      old_cell = net_.cell(move.gate);
-      net_.set_cell(move.gate, move.new_cell);
-      // Input pin caps changed: every fanin net sees a new load; the gate's
-      // own drive changed as well.
-      std::vector<GateId> fanins(net_.fanins(move.gate).begin(),
-                                 net_.fanins(move.gate).end());
-      std::sort(fanins.begin(), fanins.end());
-      fanins.erase(std::unique(fanins.begin(), fanins.end()), fanins.end());
-      for (const GateId d : fanins) sta_.invalidate_net(d);
-      sta_.touch_gate(move.gate);
-    }
-    sta_.propagate();
-    const Objective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
-    if (keep) {
-      sta_.commit();
-      if (move.kind == Move::Kind::Swap) {
-        ++result.swaps_committed;
-        result.inverters_added += static_cast<int>(edit.added_inverters.size());
-      } else {
-        ++result.resizes_committed;
-      }
-      return obj;
-    }
-    if (move.kind == Move::Kind::Swap) {
-      undo_swap(net_, pl_, edit);
-    } else {
-      net_.set_cell(move.gate, old_cell);
-    }
-    sta_.rollback();
-    return obj;
-  }
-
   // --- phases ---------------------------------------------------------------
 
-  /// Phase A: best move per group by critical delay; sort by gain; re-probe
-  /// and commit greedily. Returns committed count.
-  int phase_min_slack(const std::vector<Group>& groups, OptimizerResult& result) {
-    struct Best {
-      const Move* move = nullptr;
-      double gain = 0.0;
-    };
-    std::vector<Best> bests;
+  /// Phase A: best move per group by critical delay against the common
+  /// baseline, then the engine's gain-sorted re-validating batch commit.
+  int phase_min_slack(const std::vector<Group>& groups) {
+    std::vector<RankedMove> bests;
     const double base_critical = sta_.critical_delay();
     const double base_sum = sta_.sum_po_arrival();
     for (const Group& group : groups) {
-      Best best;
+      const EngineMove* best_move = nullptr;
+      double best_gain = 0.0;
       double best_sum_gain = 0.0;
-      for (const Move& move : group.moves) {
-        const Objective obj = probe(move, /*keep=*/false, result);
+      for (const EngineMove& move : group.moves) {
+        const EngineObjective obj = engine_.probe(move);
         const double gain = base_critical - obj.critical;
         const double sum_gain = base_sum - obj.sum_po;
-        if (gain > best.gain + 1e-12 ||
-            (gain > options_.min_gain && std::abs(gain - best.gain) <= 1e-12 &&
+        if (gain > best_gain + 1e-12 ||
+            (gain > options_.min_gain && std::abs(gain - best_gain) <= 1e-12 &&
              sum_gain > best_sum_gain)) {
-          best.move = &move;
-          best.gain = gain;
+          best_move = &move;
+          best_gain = gain;
           best_sum_gain = sum_gain;
         }
       }
-      if (best.move != nullptr && best.gain > options_.min_gain) bests.push_back(best);
-    }
-    std::sort(bests.begin(), bests.end(),
-              [](const Best& a, const Best& b) { return a.gain > b.gain; });
-    int committed = 0;
-    for (const Best& b : bests) {
-      // Re-validate against the current state: earlier commits may have
-      // absorbed or invalidated this gain.
-      const double before = sta_.critical_delay();
-      const Objective obj = probe(*b.move, /*keep=*/false, result);
-      if (before - obj.critical > options_.min_gain) {
-        probe(*b.move, /*keep=*/true, result);
-        ++committed;
+      if (best_move != nullptr && best_gain > options_.min_gain) {
+        bests.push_back(RankedMove{*best_move, best_gain});
       }
     }
-    return committed;
+    return engine_.commit_best(bests, options_.min_gain);
   }
 
   /// Area recovery: greedily replace cells with smaller drives while the
   /// critical delay stays within min_gain of its current value. Smallest
   /// candidates are tried first. Applies to gates eligible for sizing in
   /// the current mode (all gates for GS, uncovered gates for gsg+GS).
-  void phase_area_recovery(OptimizerResult& result) {
+  void phase_area_recovery() {
     std::vector<bool> covered_nontrivial(net_.id_bound(), false);
     if (options_.mode == OptMode::GsgPlusGS) {
-      const GisgPartition part = extract_gisg(net_);
+      const GisgPartition& part = engine_.partition();
       for (const SuperGate& sg : part.sgs) {
         if (sg.is_trivial()) continue;
         for (const GateId g : sg.covered) covered_nontrivial[g] = true;
       }
     }
     const double budget = sta_.critical_delay() + options_.min_gain;
-    net_.for_each_gate([&](GateId g) {
-      if (!is_logic(net_.type(g)) || net_.cell(g) < 0) return;
+    for (const GateId g : net_.gates()) {
+      if (!is_logic(net_.type(g)) || net_.cell(g) < 0) continue;
       if (options_.mode == OptMode::GsgPlusGS && g < covered_nontrivial.size() &&
           covered_nontrivial[g]) {
-        return;
+        continue;
       }
       const Cell& current = lib_.cell(net_.cell(g));
       std::vector<int> cands = resize_candidates(net_, lib_, g);
@@ -291,30 +218,27 @@ class Engine {
       });
       for (const int cand : cands) {
         if (lib_.cell(cand).area >= current.area) break;
-        Move m;
-        m.kind = Move::Kind::Resize;
-        m.gate = g;
-        m.new_cell = cand;
-        const Objective obj = probe(m, /*keep=*/false, result);
+        const EngineMove m = EngineMove::resize(g, cand);
+        const EngineObjective obj = engine_.probe(m);
         if (obj.critical <= budget) {
-          probe(m, /*keep=*/true, result);
+          engine_.commit(m);
           break;
         }
       }
-    });
+    }
   }
 
   /// Phase B: relaxation — commit any per-group move that reduces the sum
   /// of output arrivals without degrading the critical delay.
-  int phase_relaxation(const std::vector<Group>& groups, OptimizerResult& result) {
+  int phase_relaxation(const std::vector<Group>& groups) {
     int committed = 0;
     for (const Group& group : groups) {
       const double base_critical = sta_.critical_delay();
       const double base_sum = sta_.sum_po_arrival();
-      const Move* best = nullptr;
+      const EngineMove* best = nullptr;
       double best_sum_gain = options_.min_gain;
-      for (const Move& move : group.moves) {
-        const Objective obj = probe(move, /*keep=*/false, result);
+      for (const EngineMove& move : group.moves) {
+        const EngineObjective obj = engine_.probe(move);
         if (obj.critical > base_critical + 1e-9) continue;
         const double sum_gain = base_sum - obj.sum_po;
         if (sum_gain > best_sum_gain) {
@@ -323,7 +247,7 @@ class Engine {
         }
       }
       if (best != nullptr) {
-        probe(*best, /*keep=*/true, result);
+        engine_.commit(*best);
         ++committed;
       }
     }
@@ -331,19 +255,18 @@ class Engine {
   }
 
   Network& net_;
-  Placement& pl_;
   const CellLibrary& lib_;
   Sta& sta_;
+  RewireEngine engine_;
   OptimizerOptions options_;
-  GisgPartition part_;
 };
 
 }  // namespace
 
 OptimizerResult optimize(Network& net, Placement& placement, const CellLibrary& lib,
                          Sta& sta, const OptimizerOptions& options) {
-  Engine engine(net, placement, lib, sta, options);
-  return engine.run();
+  Optimizer optimizer(net, placement, lib, sta, options);
+  return optimizer.run();
 }
 
 }  // namespace rapids

@@ -43,13 +43,44 @@ struct CrossSgEdit {
   bool applied = false;
   int inverters_added = 0;
   int gates_retyped = 0;
+
+  /// Exact undo journal: every reconnected leaf pin with its pre-swap
+  /// driver, every inserted inverter, and every DeMorgan-retyped gate with
+  /// its previous type/cell.
+  struct PinRestore {
+    Pin pin;
+    GateId old_driver = kNullGate;
+  };
+  struct Retype {
+    GateId gate = kNullGate;
+    GateType old_type = GateType::Buf;
+    std::int32_t old_cell = -1;
+  };
+  std::vector<PinRestore> moved_pins;
+  std::vector<GateId> added_inverters;
+  std::vector<Retype> retyped;
+  /// Drivers whose nets changed sink sets or sink pin caps (for STA
+  /// invalidation), deduplicated.
+  std::vector<GateId> dirty_nets;
 };
 
 /// Execute the group swap. Leaf drivers are exchanged between the two
 /// supergates (paired by literal polarity), gate types are DeMorgan-flipped
 /// when required, and cell bindings follow the retyping. Placed cells do
-/// not move. Returns the edit summary.
+/// not move. Returns the edit record (exact undo information included).
 CrossSgEdit apply_cross_sg_swap(Network& net, Placement& placement, const CellLibrary& lib,
                                 const GisgPartition& part, const CrossSgCandidate& cand);
+
+/// As apply_cross_sg_swap, but fills a caller-owned edit record (cleared on
+/// entry, capacity retained) so probe loops reuse its storage. `edit` must
+/// not currently hold an applied, un-undone swap.
+void apply_cross_sg_swap_into(Network& net, Placement& placement, const CellLibrary& lib,
+                              const GisgPartition& part, const CrossSgCandidate& cand,
+                              CrossSgEdit& edit);
+
+/// Exact rollback of apply_cross_sg_swap: drivers restored, inserted
+/// inverters deleted, DeMorgan retyping reversed. Enables transactional
+/// probing of cross-supergate moves through the RewireEngine.
+void undo_cross_sg_swap(Network& net, Placement& placement, CrossSgEdit& edit);
 
 }  // namespace rapids

@@ -1,0 +1,30 @@
+// Shared inverter-insertion step for the rewiring move implementations
+// (in-supergate swaps and cross-supergate group swaps both absorb polarity
+// mismatches by inserting INVs at leaf pins).
+#pragma once
+
+#include "library/cell_library.hpp"
+#include "netlist/network.hpp"
+#include "place/placement.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+/// Insert a fresh INV driven by `signal`, bound to the library's smallest
+/// inverter cell and placed on `sink`'s cell site (recycled ids have any
+/// stale location cleared first). The caller records the returned gate in
+/// its undo journal.
+inline GateId insert_inverter_at(Network& net, Placement& placement,
+                                 const CellLibrary& lib, GateId signal, Pin sink) {
+  const GateId inv = net.add_gate(GateType::Inv);
+  net.add_fanin(inv, signal);
+  const int cell = lib.smallest(GateType::Inv, 1);
+  RAPIDS_ASSERT_MSG(cell >= 0, "library has no inverter");
+  net.set_cell(inv, cell);
+  if (placement.id_bound() < net.id_bound()) placement.resize(net.id_bound());
+  placement.unset(inv);  // recycled ids may carry a stale location
+  if (placement.is_placed(sink.gate)) placement.set(inv, placement.at(sink.gate));
+  return inv;
+}
+
+}  // namespace rapids

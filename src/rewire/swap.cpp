@@ -1,5 +1,6 @@
 #include "rewire/swap.hpp"
 
+#include "rewire/inverter.hpp"
 #include "util/assert.hpp"
 
 namespace rapids {
@@ -16,15 +17,7 @@ GateId complement_driver(Network& net, Placement& placement, const CellLibrary& 
     edit.dirty_nets.push_back(w);
     return w;
   }
-  const GateId inv = net.add_gate(GateType::Inv);
-  net.add_fanin(inv, signal);
-  const int cell = lib.smallest(GateType::Inv, 1);
-  RAPIDS_ASSERT_MSG(cell >= 0, "library has no inverter");
-  net.set_cell(inv, cell);
-  if (placement.id_bound() < net.id_bound()) placement.resize(net.id_bound());
-  if (placement.is_placed(sink.gate)) {
-    placement.set(inv, placement.at(sink.gate));
-  }
+  const GateId inv = insert_inverter_at(net, placement, lib, signal, sink);
   edit.added_inverters.push_back(inv);
   edit.dirty_nets.push_back(inv);
   return inv;
@@ -35,6 +28,15 @@ GateId complement_driver(Network& net, Placement& placement, const CellLibrary& 
 SwapEdit apply_swap(Network& net, Placement& placement, const CellLibrary& lib,
                     const SwapCandidate& swap) {
   SwapEdit edit;
+  apply_swap_into(net, placement, lib, swap, edit);
+  return edit;
+}
+
+void apply_swap_into(Network& net, Placement& placement, const CellLibrary& lib,
+                     const SwapCandidate& swap, SwapEdit& edit) {
+  RAPIDS_ASSERT_MSG(!edit.applied, "edit record still holds an applied swap");
+  edit.added_inverters.clear();
+  edit.dirty_nets.clear();
   edit.pin_a = swap.pin_a;
   edit.pin_b = swap.pin_b;
   edit.old_driver_a = net.driver_of(swap.pin_a);
@@ -54,7 +56,6 @@ SwapEdit apply_swap(Network& net, Placement& placement, const CellLibrary& lib,
     net.set_fanin(swap.pin_b, inv_a);
   }
   edit.applied = true;
-  return edit;
 }
 
 void undo_swap(Network& net, Placement& placement, SwapEdit& edit) {
@@ -76,7 +77,7 @@ std::size_t remove_dangling_inverters(Network& net) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const GateId g : net.all_gates()) {
+    for (const GateId g : net.gates()) {
       if (net.type(g) == GateType::Inv && net.fanout_count(g) == 0) {
         net.delete_gate(g);
         ++removed;
@@ -93,7 +94,7 @@ std::size_t cleanup_after_swap(Network& net) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const GateId g : net.all_gates()) {
+    for (const GateId g : net.gates()) {
       if (net.type(g) != GateType::Inv) continue;
       if (net.fanout_count(g) == 0) {
         net.delete_gate(g);

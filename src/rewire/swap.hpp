@@ -45,6 +45,12 @@ struct SwapEdit {
 SwapEdit apply_swap(Network& net, Placement& placement, const CellLibrary& lib,
                     const SwapCandidate& swap);
 
+/// As above, but fills a caller-owned edit record, reusing its vector
+/// capacity. The RewireEngine probes through this form so a steady
+/// probe/undo loop performs no allocation per move.
+void apply_swap_into(Network& net, Placement& placement, const CellLibrary& lib,
+                     const SwapCandidate& swap, SwapEdit& edit);
+
 /// Exact rollback of apply_swap (drivers restored, inserted gates deleted).
 void undo_swap(Network& net, Placement& placement, SwapEdit& edit);
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 
 #include "netlist/topo.hpp"
@@ -34,7 +33,13 @@ Sta::Sta(const Network& net, const CellLibrary& lib, const Placement& pl,
 }
 
 void Sta::rebuild_net(GateId driver) {
-  nets_[driver] = build_star_net(net_, lib_, pl_, driver, options_.pads);
+  StarNet& star = nets_[driver];
+  build_star_net_into(star, net_, lib_, pl_, driver, options_.pads);
+  for (const StarBranch& b : star.branches) {
+    RAPIDS_ASSERT_MSG(b.pin.index < pin_stride_,
+                      "gate gained fanins beyond the run_full() bound");
+    pin_delay_[b.pin.gate * pin_stride_ + b.pin.index] = b.wire_delay;
+  }
 }
 
 void Sta::recompute_arrival(GateId g, RiseFall& out) const {
@@ -53,7 +58,7 @@ void Sta::recompute_arrival(GateId g, RiseFall& out) const {
     }
     case GateType::Output: {
       const GateId d = net_.fanin(g, 0);
-      const double wire = nets_[d].delay_to(Pin{g, 0});
+      const double wire = pin_delay_[g * pin_stride_];
       const RiseFall a = arrival_[d];
       out = RiseFall{a.rise + wire, a.fall + wire};
       return;
@@ -67,9 +72,10 @@ void Sta::recompute_arrival(GateId g, RiseFall& out) const {
       const ArcSense sense = arc_sense(t);
       RiseFall acc{-kInf, -kInf};
       const auto fanins = net_.fanins(g);
+      const double* wires = pin_delay_.data() + g * pin_stride_;
       for (std::uint32_t i = 0; i < fanins.size(); ++i) {
         const GateId f = fanins[i];
-        const double wire = nets_[f].delay_to(Pin{g, i});
+        const double wire = wires[i];
         const RiseFall pin{arrival_[f].rise + wire, arrival_[f].fall + wire};
         accumulate_arc(sense, pin, d, acc);
       }
@@ -95,6 +101,11 @@ void Sta::run_full() {
   net_dirty_.assign(n, false);
   arrival_saved_.assign(n, false);
   net_saved_.assign(n, false);
+  pin_stride_ = 1;
+  net_.for_each_gate([&](GateId g) {
+    pin_stride_ = std::max(pin_stride_, net_.fanin_count(g));
+  });
+  pin_delay_.assign(n * pin_stride_, 0.0);
   net_.for_each_gate([&](GateId g) {
     if (net_.fanout_count(g) > 0) rebuild_net(g);
   });
@@ -204,7 +215,7 @@ void Sta::begin() {
   in_txn_ = true;
   saved_critical_ = critical_delay_;
   saved_arrivals_.clear();
-  saved_nets_.clear();
+  saved_net_count_ = 0;
   txn_dirty_nets_.clear();
   seeds_.clear();
 }
@@ -218,7 +229,16 @@ void Sta::save_arrival(GateId g) {
 void Sta::save_net(GateId driver) {
   if (net_saved_[driver]) return;
   net_saved_[driver] = true;
-  saved_nets_.emplace_back(driver, nets_[driver]);
+  // Reuse journal slots: copy-assignment into an existing slot keeps its
+  // branch-vector capacity, so steady-state probing never allocates here.
+  if (saved_net_count_ < saved_nets_.size()) {
+    auto& slot = saved_nets_[saved_net_count_];
+    slot.first = driver;
+    slot.second = nets_[driver];
+  } else {
+    saved_nets_.emplace_back(driver, nets_[driver]);
+  }
+  ++saved_net_count_;
 }
 
 void Sta::grow() {
@@ -230,6 +250,7 @@ void Sta::grow() {
   net_dirty_.resize(n, false);
   arrival_saved_.resize(n, false);
   net_saved_.resize(n, false);
+  pin_delay_.resize(n * pin_stride_, 0.0);
 }
 
 void Sta::invalidate_net(GateId driver) {
@@ -254,21 +275,23 @@ void Sta::propagate() {
   RAPIDS_ASSERT(in_txn_);
   // Worklist relaxation to the fixed point. Seeds are recomputed
   // unconditionally; a gate's fanouts are pushed when its arrival changed
-  // (or its net RC changed, which shifts wire delay at the sinks).
-  std::deque<GateId> queue;
+  // (or its net RC changed, which shifts wire delay at the sinks). The
+  // worklist is a member scratch vector drained by index: FIFO order
+  // without per-call allocation.
+  queue_.clear();
   auto push = [&](GateId g) {
     if (net_.is_deleted(g)) return;
-    queue.push_back(g);
+    queue_.push_back(g);
   };
   for (const GateId s : seeds_) push(s);
   seeds_.clear();
 
+  std::size_t head = 0;
   std::size_t iterations = 0;
   const std::size_t hard_cap = 64 * (net_.num_gates() + 16);
-  while (!queue.empty()) {
+  while (head < queue_.size()) {
     RAPIDS_ASSERT_MSG(++iterations < hard_cap, "STA propagation did not converge");
-    const GateId g = queue.front();
-    queue.pop_front();
+    const GateId g = queue_[head++];
     RiseFall fresh;
     recompute_arrival(g, fresh);
     const bool arrival_changed = differs(fresh, arrival_[g]);
@@ -292,13 +315,17 @@ void Sta::rollback() {
     arrival_[g] = a;
     arrival_saved_[g] = false;
   }
-  for (const auto& [d, s] : saved_nets_) {
+  for (std::size_t i = 0; i < saved_net_count_; ++i) {
+    const auto& [d, s] = saved_nets_[i];
     nets_[d] = s;
     net_saved_[d] = false;
+    for (const StarBranch& b : s.branches) {
+      pin_delay_[b.pin.gate * pin_stride_ + b.pin.index] = b.wire_delay;
+    }
   }
   for (const GateId d : txn_dirty_nets_) net_dirty_[d] = false;
   saved_arrivals_.clear();
-  saved_nets_.clear();
+  saved_net_count_ = 0;
   txn_dirty_nets_.clear();
   seeds_.clear();
   critical_delay_ = saved_critical_;
@@ -311,13 +338,12 @@ void Sta::commit() {
     (void)a;
     arrival_saved_[g] = false;
   }
-  for (const auto& [d, s] : saved_nets_) {
-    (void)s;
-    net_saved_[d] = false;
+  for (std::size_t i = 0; i < saved_net_count_; ++i) {
+    net_saved_[saved_nets_[i].first] = false;
   }
   for (const GateId d : txn_dirty_nets_) net_dirty_[d] = false;
   saved_arrivals_.clear();
-  saved_nets_.clear();
+  saved_net_count_ = 0;
   txn_dirty_nets_.clear();
   seeds_.clear();
   in_txn_ = false;
@@ -340,7 +366,7 @@ void Sta::refresh_required() {
     RiseFall req = required_[g];  // POs already seeded; others start at +inf
     for (const Pin& pin : net_.fanouts(g)) {
       const GateId h = pin.gate;
-      const double wire = nets_[g].delay_to(pin);
+      const double wire = pin_delay_[pin.gate * pin_stride_ + pin.index];
       RiseFall through{kInf, kInf};
       if (net_.type(h) == GateType::Output) {
         through = required_[h];

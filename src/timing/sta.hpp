@@ -11,6 +11,7 @@
 // candidate moves can be probed cheaply without a full recompute.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "library/cell_library.hpp"
@@ -35,6 +36,10 @@ class Sta {
       const StaOptions& options = {});
 
   /// Full recompute of net caches, arrivals, required times and slacks.
+  /// Also sizes the flat per-pin delay cache to the network's CURRENT
+  /// maximum fanin count: incremental updates assert if a later mutation
+  /// gives any gate more fanins than that bound — rerun run_full() after
+  /// pin-count-growing edits (rewiring moves never grow pin counts).
   void run_full();
 
   // --- results ------------------------------------------------------------
@@ -97,17 +102,28 @@ class Sta {
   std::vector<StarNet> nets_;      // indexed by driver GateId
   std::vector<RiseFall> arrival_;  // at gate outputs
   std::vector<RiseFall> required_;
+  // Flat per-in-pin wire delay cache, indexed gate * pin_stride_ + index.
+  // Mirror of nets_[driver].branches[...].wire_delay, maintained by
+  // rebuild_net and restored on rollback: recompute_arrival reads one
+  // contiguous row instead of scanning the fanin nets' branch lists.
+  std::vector<double> pin_delay_;
+  std::uint32_t pin_stride_ = 1;
   std::vector<bool> net_dirty_;    // net delay changed in this txn
   double critical_delay_ = 0.0;
   double required_time_ = 0.0;
   bool required_valid_ = false;
 
-  // transaction journal
+  // Transaction journal. All scratch storage is reused across transactions
+  // (saved_nets_ keeps a live prefix of saved_net_count_ entries so the
+  // StarNet branch vectors retain their capacity), which makes a steady
+  // probe/rollback loop allocation-free after warm-up.
   bool in_txn_ = false;
   std::vector<std::pair<GateId, RiseFall>> saved_arrivals_;
   std::vector<std::pair<GateId, StarNet>> saved_nets_;
+  std::size_t saved_net_count_ = 0;
   std::vector<GateId> txn_dirty_nets_;
   std::vector<GateId> seeds_;
+  std::vector<GateId> queue_;        // propagate worklist scratch
   std::vector<bool> arrival_saved_;  // per-gate flags for O(1) dedup
   std::vector<bool> net_saved_;
   double saved_critical_ = 0.0;

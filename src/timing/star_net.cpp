@@ -11,12 +11,16 @@ double StarNet::delay_to(const Pin& pin) const {
   RAPIDS_ASSERT_MSG(false, "pin is not a sink of this star net");
 }
 
-StarNet build_star_net(const Network& net, const CellLibrary& lib, const Placement& pl,
-                       GateId driver, const PadParams& pads) {
-  StarNet star;
+void build_star_net_into(StarNet& star, const Network& net, const CellLibrary& lib,
+                         const Placement& pl, GateId driver, const PadParams& pads) {
   star.driver = driver;
+  star.stem_res = 0.0;
+  star.stem_cap = 0.0;
+  star.wire_cap = 0.0;
+  star.pin_cap = 0.0;
+  star.branches.clear();
   const auto sinks = net.fanouts(driver);
-  if (sinks.empty()) return star;
+  if (sinks.empty()) return;
 
   RAPIDS_ASSERT_MSG(pl.is_placed(driver), "driver not placed: " + net.name(driver));
   const Point src = pl.at(driver);
@@ -64,6 +68,12 @@ StarNet build_star_net(const Network& net, const CellLibrary& lib, const Placeme
     b.wire_delay = star.stem_res * (star.stem_cap / 2.0 + downstream_of_center) +
                    b.res * (b.cap / 2.0 + b.pin_cap);
   }
+}
+
+StarNet build_star_net(const Network& net, const CellLibrary& lib, const Placement& pl,
+                       GateId driver, const PadParams& pads) {
+  StarNet star;
+  build_star_net_into(star, net, lib, pl, driver, pads);
   return star;
 }
 

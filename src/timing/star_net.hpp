@@ -50,4 +50,10 @@ struct PadParams {
 StarNet build_star_net(const Network& net, const CellLibrary& lib, const Placement& pl,
                        GateId driver, const PadParams& pads = {});
 
+/// Rebuild `star` in place, reusing its branch storage. The incremental STA
+/// calls this once per invalidated net per probe; after warm-up the probe
+/// loop performs no heap allocation here.
+void build_star_net_into(StarNet& star, const Network& net, const CellLibrary& lib,
+                         const Placement& pl, GateId driver, const PadParams& pads = {});
+
 }  // namespace rapids

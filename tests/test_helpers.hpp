@@ -67,6 +67,14 @@ inline Network random_mapped_network(std::uint64_t seed, int num_inputs = 12,
   return net;
 }
 
+/// Materialized list of live gate ids (tests that need random indexing).
+inline std::vector<GateId> live_gates(const Network& net) {
+  std::vector<GateId> out;
+  out.reserve(net.num_gates());
+  for (const GateId g : net.gates()) out.push_back(g);
+  return out;
+}
+
 /// Shared built-in library instance for tests.
 inline const CellLibrary& lib035() {
   static const CellLibrary lib = builtin_library_035();

@@ -22,7 +22,7 @@ TEST_P(NetworkStress, RandomEditSequencesKeepInvariants) {
   Rng rng(GetParam() ^ 0xfeedULL);
 
   auto random_live_gate = [&](auto pred) -> GateId {
-    const std::vector<GateId> all = net.all_gates();
+    const std::vector<GateId> all = rapids::testing::live_gates(net);
     for (int tries = 0; tries < 64; ++tries) {
       const GateId g = all[rng.next_below(all.size())];
       if (!net.is_deleted(g) && pred(g)) return g;
@@ -104,7 +104,7 @@ TEST_P(NetworkStress, TopoOrderStableUnderEdits) {
   Rng rng(GetParam());
   for (int i = 0; i < 30; ++i) {
     // Rewire pins randomly (acyclically), re-derive topo order each time.
-    const std::vector<GateId> all = net.all_gates();
+    const std::vector<GateId> all = rapids::testing::live_gates(net);
     const GateId g = all[rng.next_below(all.size())];
     if (!is_logic(net.type(g)) || net.fanin_count(g) == 0) continue;
     const GateId d = all[rng.next_below(all.size())];

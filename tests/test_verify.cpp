@@ -123,7 +123,7 @@ TEST(Equivalence, DetectsSingleGateChange) {
   Network a = rapids::testing::random_mapped_network(43);
   Network b = a.clone();
   // Flip one gate type to its complement: function must differ somewhere.
-  for (const GateId g : b.all_gates()) {
+  for (const GateId g : b.gates()) {
     if (is_logic(b.type(g)) && b.fanout_count(g) > 0 &&
         is_multi_input(b.type(g))) {
       b.set_type(g, inverted_type(b.type(g)));
