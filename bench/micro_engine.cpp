@@ -9,9 +9,13 @@
 //              circuit is back in its initial state when the clock stops).
 //
 // Usage: micro_engine [--out BENCH_engine.json] [--circuits a,b,c]
-//                     [--min-time SECONDS] [--baseline FILE]
+//                     [--min-time SECONDS] [--baseline FILE] [--threads N]
 //   --baseline merges "probes_per_sec" of a previous run into the report as
 //   "baseline_probes_per_sec" (the pre-refactor anchor in acceptance gates).
+//   --threads N additionally measures the parallel scheduler's probe
+//   throughput at N workers over the same candidates, so the report records
+//   serial and parallel throughput against the same baseline (N=0 skips;
+//   default 2). bench/parallel_scaling sweeps thread counts in depth.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -24,6 +28,7 @@
 #include "gen/suite.hpp"
 #include "library/cell_library.hpp"
 #include "mapping/mapper.hpp"
+#include "parallel/scheduler.hpp"
 #include "place/placer.hpp"
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
@@ -40,10 +45,12 @@ struct CircuitReport {
   std::size_t candidates = 0;
   double probes_per_sec = 0.0;
   double commits_per_sec = 0.0;
+  double parallel_probes_per_sec = 0.0;
+  int parallel_threads = 0;
 };
 
 CircuitReport measure(const std::string& name, const CellLibrary& lib,
-                      double min_time) {
+                      double min_time, int threads) {
   CircuitReport rep;
   rep.name = name;
 
@@ -83,6 +90,34 @@ CircuitReport measure(const std::string& name, const CellLibrary& lib,
     } while (t.seconds() < min_time);
     rep.commits_per_sec = static_cast<double>(commits) / t.seconds();
   }
+
+  // Parallel probe throughput: the same candidates, one group per
+  // supergate, through the conflict-sharded scheduler at `threads` workers.
+  if (threads > 0) {
+    std::vector<ProbeGroup> groups;
+    {
+      const GisgPartition& part = engine.partition();
+      std::vector<ProbeGroup> by_sg(part.sgs.size());
+      for (const SwapCandidate& c : swaps) {
+        by_sg[static_cast<std::size_t>(c.sg_index)].moves.push_back(
+            EngineMove::swap(c));
+      }
+      for (ProbeGroup& g : by_sg) {
+        if (!g.moves.empty()) groups.push_back(std::move(g));
+      }
+    }
+    SchedulerOptions sopt;
+    sopt.threads = threads;
+    ParallelRewireScheduler sched(engine, sopt);
+    Timer t;
+    const std::uint64_t before = sched.stats().worker_probes;
+    do {
+      sched.probe_round(groups, ProbePolicy::MinCritical, 1e-6);
+    } while (t.seconds() < min_time);
+    rep.parallel_probes_per_sec =
+        static_cast<double>(sched.stats().worker_probes - before) / t.seconds();
+    rep.parallel_threads = threads;
+  }
   return rep;
 }
 
@@ -105,6 +140,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::vector<std::string> circuits = {"alu2", "alu4", "c432", "c1908"};
   double min_time = 1.0;
+  int threads = 2;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
@@ -131,9 +167,15 @@ int main(int argc, char** argv) {
       std::stringstream ss(next());
       std::string tok;
       while (std::getline(ss, tok, ',')) circuits.push_back(tok);
+    } else if (a == "--threads") {
+      threads = std::stoi(next());
+      if (threads < 0) {
+        std::cerr << "invalid --threads value\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: micro_engine [--out FILE] [--circuits a,b,c]"
-                   " [--min-time SECONDS] [--baseline FILE]\n";
+                   " [--min-time SECONDS] [--baseline FILE] [--threads N]\n";
       return 2;
     }
   }
@@ -155,7 +197,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : circuits) {
     std::cerr << "[micro_engine] " << name << "\n";
     try {
-      reports.push_back(measure(name, lib, min_time));
+      reports.push_back(measure(name, lib, min_time, threads));
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
@@ -173,6 +215,15 @@ int main(int argc, char** argv) {
          << ", \"candidates\": " << r.candidates << ", \"probes_per_sec\": "
          << static_cast<long long>(r.probes_per_sec) << ", \"commits_per_sec\": "
          << static_cast<long long>(r.commits_per_sec);
+    if (r.parallel_threads > 0) {
+      json << ", \"parallel_threads\": " << r.parallel_threads
+           << ", \"parallel_probes_per_sec\": "
+           << static_cast<long long>(r.parallel_probes_per_sec);
+      if (r.probes_per_sec > 0) {
+        json << ", \"parallel_speedup\": "
+             << r.parallel_probes_per_sec / r.probes_per_sec;
+      }
+    }
     if (!baseline_text.empty()) {
       const double base = parse_probes(baseline_text, r.name);
       if (base > 0.0) {

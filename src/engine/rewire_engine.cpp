@@ -26,33 +26,35 @@ const GisgPartition& RewireEngine::partition() {
   return partition_;
 }
 
-void RewireEngine::invalidate_dirty(std::span<const GateId> dirty) {
+void RewireEngine::invalidate_dirty(ProbeScratch& scratch,
+                                    std::span<const GateId> dirty) {
   // Deduplicate into the reusable scratch without sorting: dirty sets are
   // tiny (2-6 entries for swaps), a linear containment check beats
   // sort+unique and allocates nothing.
-  dirty_scratch_.clear();
+  scratch.dirty_scratch.clear();
   for (const GateId d : dirty) {
-    if (std::find(dirty_scratch_.begin(), dirty_scratch_.end(), d) ==
-        dirty_scratch_.end()) {
-      dirty_scratch_.push_back(d);
+    if (std::find(scratch.dirty_scratch.begin(), scratch.dirty_scratch.end(), d) ==
+        scratch.dirty_scratch.end()) {
+      scratch.dirty_scratch.push_back(d);
     }
   }
-  for (const GateId d : dirty_scratch_) sta_.invalidate_net(d);
+  for (const GateId d : scratch.dirty_scratch) sta_.invalidate_net(d);
 }
 
-void RewireEngine::apply_and_invalidate(const EngineMove& move) {
+void RewireEngine::apply_and_invalidate(ProbeScratch& scratch,
+                                        const EngineMove& move) {
   switch (move.kind) {
     case EngineMove::Kind::Swap: {
-      apply_swap_into(net_, placement_, lib_, move.swap_cand, swap_edit_);
-      invalidate_dirty(swap_edit_.dirty_nets);
+      apply_swap_into(net_, placement_, lib_, move.swap_cand, scratch.swap_edit);
+      invalidate_dirty(scratch, scratch.swap_edit.dirty_nets);
       break;
     }
     case EngineMove::Kind::Resize: {
-      saved_cell_ = net_.cell(move.gate);
+      scratch.saved_cell = net_.cell(move.gate);
       net_.set_cell(move.gate, move.new_cell);
       // Input pin caps changed: every fanin net sees a new load; the gate's
       // own drive changed as well.
-      invalidate_dirty(net_.fanins(move.gate));
+      invalidate_dirty(scratch, net_.fanins(move.gate));
       sta_.touch_gate(move.gate);
       break;
     }
@@ -68,9 +70,9 @@ void RewireEngine::apply_and_invalidate(const EngineMove& move) {
               static_cast<std::size_t>(move.cross_cand.sg_b) < part.sgs.size(),
           "cross-sg candidate references a stale partition");
       apply_cross_sg_swap_into(net_, placement_, lib_, part, move.cross_cand,
-                               cross_edit_);
-      for (const GateId d : cross_edit_.dirty_nets) sta_.invalidate_net(d);
-      for (const CrossSgEdit::Retype& r : cross_edit_.retyped) {
+                               scratch.cross_edit);
+      for (const GateId d : scratch.cross_edit.dirty_nets) sta_.invalidate_net(d);
+      for (const CrossSgEdit::Retype& r : scratch.cross_edit.retyped) {
         sta_.touch_gate(r.gate);
       }
       break;
@@ -78,27 +80,32 @@ void RewireEngine::apply_and_invalidate(const EngineMove& move) {
   }
 }
 
-void RewireEngine::undo_network_edit(const EngineMove& move) {
+void RewireEngine::undo_network_edit(ProbeScratch& scratch, const EngineMove& move) {
   switch (move.kind) {
     case EngineMove::Kind::Swap:
-      undo_swap(net_, placement_, swap_edit_);
+      undo_swap(net_, placement_, scratch.swap_edit);
       break;
     case EngineMove::Kind::Resize:
-      net_.set_cell(move.gate, saved_cell_);
+      net_.set_cell(move.gate, scratch.saved_cell);
       break;
     case EngineMove::Kind::CrossSg:
-      undo_cross_sg_swap(net_, placement_, cross_edit_);
+      undo_cross_sg_swap(net_, placement_, scratch.cross_edit);
       break;
   }
 }
 
 EngineObjective RewireEngine::probe(const EngineMove& move) {
+  return probe_with(scratch_, move);
+}
+
+EngineObjective RewireEngine::probe_with(ProbeScratch& scratch,
+                                         const EngineMove& move) {
   ++stats_.probes;
   sta_.begin();
-  apply_and_invalidate(move);
+  apply_and_invalidate(scratch, move);
   sta_.propagate();
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
-  undo_network_edit(move);
+  undo_network_edit(scratch, move);
   sta_.rollback();
   return obj;
 }
@@ -107,31 +114,32 @@ void RewireEngine::count_commit(const EngineMove& move) {
   switch (move.kind) {
     case EngineMove::Kind::Swap:
       ++stats_.swaps_committed;
-      stats_.inverters_added += static_cast<int>(swap_edit_.added_inverters.size());
+      stats_.inverters_added +=
+          static_cast<int>(scratch_.swap_edit.added_inverters.size());
       // The edit record now owns committed gates; detach it so the next
       // apply_swap_into does not trip the "still applied" guard.
-      swap_edit_.added_inverters.clear();
-      swap_edit_.applied = false;
+      scratch_.swap_edit.added_inverters.clear();
+      scratch_.swap_edit.applied = false;
       break;
     case EngineMove::Kind::Resize:
       ++stats_.resizes_committed;
       break;
     case EngineMove::Kind::CrossSg:
       ++stats_.cross_sg_committed;
-      stats_.inverters_added += cross_edit_.inverters_added;
+      stats_.inverters_added += scratch_.cross_edit.inverters_added;
       // Committed gates now belong to the network; detach the record so the
       // next apply_cross_sg_swap_into does not trip the "still applied" guard.
-      cross_edit_.moved_pins.clear();
-      cross_edit_.added_inverters.clear();
-      cross_edit_.retyped.clear();
-      cross_edit_.applied = false;
+      scratch_.cross_edit.moved_pins.clear();
+      scratch_.cross_edit.added_inverters.clear();
+      scratch_.cross_edit.retyped.clear();
+      scratch_.cross_edit.applied = false;
       break;
   }
 }
 
 EngineObjective RewireEngine::commit(const EngineMove& move) {
   sta_.begin();
-  apply_and_invalidate(move);
+  apply_and_invalidate(scratch_, move);
   sta_.propagate();
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
   sta_.commit();
@@ -145,8 +153,8 @@ void RewireEngine::commit_and_revert(const EngineMove& move) {
   RAPIDS_ASSERT_MSG(move.kind == EngineMove::Kind::Swap,
                     "commit_and_revert supports swap moves");
   sta_.begin();
-  apply_swap_into(net_, placement_, lib_, move.swap_cand, swap_edit_);
-  invalidate_dirty(swap_edit_.dirty_nets);
+  apply_swap_into(net_, placement_, lib_, move.swap_cand, scratch_.swap_edit);
+  invalidate_dirty(scratch_, scratch_.swap_edit.dirty_nets);
   sta_.propagate();
   sta_.commit();
 
@@ -155,9 +163,10 @@ void RewireEngine::commit_and_revert(const EngineMove& move) {
   // set recorded at apply time, then roll the netlist back and keep THAT.
   // invalidate_net is idempotent within a transaction, so duplicates in the
   // recorded set are harmless.
-  dirty_scratch_.assign(swap_edit_.dirty_nets.begin(), swap_edit_.dirty_nets.end());
-  undo_swap(net_, placement_, swap_edit_);
-  for (const GateId d : dirty_scratch_) sta_.invalidate_net(d);
+  scratch_.dirty_scratch.assign(scratch_.swap_edit.dirty_nets.begin(),
+                                scratch_.swap_edit.dirty_nets.end());
+  undo_swap(net_, placement_, scratch_.swap_edit);
+  for (const GateId d : scratch_.dirty_scratch) sta_.invalidate_net(d);
   sta_.propagate();
   sta_.commit();
 }

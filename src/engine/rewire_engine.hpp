@@ -76,13 +76,36 @@ struct EngineMove {
 };
 
 /// Commit counters, accumulated across the engine's lifetime (the optimizer
-/// copies them into OptimizerResult).
+/// copies them into OptimizerResult). Addable so per-worker replicas can be
+/// merged into the live engine's counters on demand.
 struct EngineStats {
   int swaps_committed = 0;
   int resizes_committed = 0;
   int cross_sg_committed = 0;
   int inverters_added = 0;
   std::uint64_t probes = 0;
+
+  EngineStats& operator+=(const EngineStats& o) {
+    swaps_committed += o.swaps_committed;
+    resizes_committed += o.resizes_committed;
+    cross_sg_committed += o.cross_sg_committed;
+    inverters_added += o.inverters_added;
+    probes += o.probes;
+    return *this;
+  }
+};
+
+/// Reusable move-application scratch: the edit/undo records one probe or
+/// commit needs. Split out of the engine so each logical probe stream (the
+/// engine's own loop, every parallel ProbeContext, the commit arbiter) owns
+/// its storage — the precondition for fanning probe evaluation out across
+/// workers without sharing mutable engine state. Never shrinks; a steady
+/// probe loop through one scratch allocates nothing.
+struct ProbeScratch {
+  SwapEdit swap_edit;
+  CrossSgEdit cross_edit;
+  std::vector<GateId> dirty_scratch;
+  int saved_cell = -1;
 };
 
 /// A gain-ranked move for batch commit (gain measured against the batch's
@@ -133,9 +156,20 @@ class RewireEngine {
   /// allocation-free after warm-up.
   EngineObjective probe(const EngineMove& move);
 
+  /// As probe(), but through a caller-owned scratch. The result is a pure
+  /// function of (network/placement/timing state, move): the probe restores
+  /// the network, placement, STA journal AND the recycled-id free stack
+  /// exactly, so interleaving probes from different scratches — or
+  /// replaying them on a state replica — yields bit-identical objectives.
+  EngineObjective probe_with(ProbeScratch& scratch, const EngineMove& move);
+
   /// Apply `move` and keep it. Bumps the epoch and invalidates the
   /// partition. Returns the post-commit objective.
   EngineObjective commit(const EngineMove& move);
+
+  /// Merge a replica engine's counters (probe workers evaluate on replicas;
+  /// their probe counts belong to this engine's lifetime totals).
+  void absorb_stats(const EngineStats& s) { stats_ += s; }
 
   /// Bench helper: commit `move`, then commit its exact inverse, leaving
   /// the circuit in its pre-call state (two committed transactions).
@@ -156,12 +190,12 @@ class RewireEngine {
 
  private:
   /// Apply the move's network edit and mark dirty timing state. Fills the
-  /// reusable undo records.
-  void apply_and_invalidate(const EngineMove& move);
+  /// scratch's reusable undo records.
+  void apply_and_invalidate(ProbeScratch& scratch, const EngineMove& move);
   /// Exact inverse of apply_and_invalidate's network edit (STA rollback is
   /// separate).
-  void undo_network_edit(const EngineMove& move);
-  void invalidate_dirty(std::span<const GateId> dirty);
+  void undo_network_edit(ProbeScratch& scratch, const EngineMove& move);
+  void invalidate_dirty(ProbeScratch& scratch, std::span<const GateId> dirty);
   void count_commit(const EngineMove& move);
 
   Network& net_;
@@ -175,12 +209,10 @@ class RewireEngine {
 
   EngineStats stats_;
 
-  // Reusable per-probe scratch (never shrinks; steady state allocates
-  // nothing).
-  SwapEdit swap_edit_;
-  CrossSgEdit cross_edit_;
-  std::vector<GateId> dirty_scratch_;
-  int saved_cell_ = -1;
+  // The engine's own probe/commit scratch (never shrinks; steady state
+  // allocates nothing). External probe streams pass their own through
+  // probe_with().
+  ProbeScratch scratch_;
   bool prev_recycling_ = false;
 };
 

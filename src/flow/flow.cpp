@@ -89,6 +89,10 @@ ModeRun run_mode(const PreparedCircuit& prepared, const CellLibrary& lib, OptMod
   Sta sta(run.optimized, lib, placement);
   OptimizerOptions oopt = options.opt;
   oopt.mode = mode;
+  // One seed reproduces the whole run: unless the caller chose an explicit
+  // optimizer seed, the per-worker RNG substreams derive from the same
+  // seed that placed the circuit.
+  if (oopt.seed == OptimizerOptions{}.seed) oopt.seed = options.placer.seed;
   run.result = optimize(run.optimized, placement, lib, sta, oopt);
   if (options.verify) {
     const EquivalenceResult eq = check_equivalence(prepared.mapped, run.optimized);

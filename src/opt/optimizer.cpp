@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/rewire_engine.hpp"
+#include "parallel/scheduler.hpp"
 #include "rewire/swap.hpp"
 #include "sizing/sizing.hpp"
 #include "sym/gisg.hpp"
@@ -28,18 +29,19 @@ const char* to_string(OptMode mode) {
 
 namespace {
 
-/// A group is the unit that gets one committed move per phase: a supergate
-/// (rewiring) or a single gate (sizing). All probe/commit choreography lives
-/// in the RewireEngine; this class only decides WHICH moves to try.
-struct Group {
-  std::vector<EngineMove> moves;
-};
-
+/// A ProbeGroup is the unit that gets one committed move per phase: a
+/// supergate (rewiring) or a single gate (sizing). All probe/commit
+/// choreography lives in the scheduler + engine; this class only decides
+/// WHICH moves to try.
 class Optimizer {
  public:
   Optimizer(Network& net, Placement& pl, const CellLibrary& lib, Sta& sta,
             const OptimizerOptions& options)
-      : net_(net), lib_(lib), sta_(sta), engine_(net, pl, lib, sta), options_(options) {}
+      : net_(net), lib_(lib), sta_(sta), engine_(net, pl, lib, sta),
+        scheduler_(engine_,
+                   SchedulerOptions{std::max(options.threads, 1), /*cone_depth=*/2,
+                                    options.seed}),
+        options_(options) {}
 
   OptimizerResult run() {
     Timer timer;
@@ -47,6 +49,7 @@ class Optimizer {
     sta_.run_full();
     result.initial_delay = sta_.critical_delay();
     result.initial_area = network_area(net_, lib_);
+    result.threads = scheduler_.threads();
 
     // Table 1 statistics from the initial extraction.
     {
@@ -63,8 +66,12 @@ class Optimizer {
       // supergate (inverter insertion, subtree exchange), so candidate pin
       // sets must be re-derived from a fresh extraction (the engine's epoch
       // discipline).
-      const int committed_a = phase_min_slack(build_groups());
-      const int committed_b = phase_relaxation(build_groups());
+      const int committed_a =
+          scheduler_.run_round(build_groups(), ProbePolicy::MinCritical,
+                               options_.min_gain);
+      const int committed_b =
+          scheduler_.run_round(build_groups(), ProbePolicy::Relaxation,
+                               options_.min_gain);
       const double now = sta_.critical_delay();
       log_info() << to_string(options_.mode) << " iter " << iter << ": delay " << now
                  << " ns (" << committed_a << " + " << committed_b << " moves)";
@@ -95,14 +102,15 @@ class Optimizer {
     result.swaps_committed = stats.swaps_committed + stats.cross_sg_committed;
     result.resizes_committed = stats.resizes_committed;
     result.inverters_added = stats.inverters_added;
+    result.probes = stats.probes;
     return result;
   }
 
  private:
   // --- group construction ---------------------------------------------------
 
-  std::vector<Group> build_groups() {
-    std::vector<Group> groups;
+  std::vector<ProbeGroup> build_groups() {
+    std::vector<ProbeGroup> groups;
     const bool want_swaps = options_.mode != OptMode::GateSizing;
     const bool want_resizes = options_.mode != OptMode::Gsg;
 
@@ -116,7 +124,7 @@ class Optimizer {
         const SuperGate& sg = part.sgs[s];
         if (sg.is_trivial()) continue;
         for (const GateId g : sg.covered) covered_nontrivial[g] = true;
-        Group group;
+        ProbeGroup group;
         group.moves = swap_moves(part, static_cast<int>(s));
         if (!group.moves.empty()) groups.push_back(std::move(group));
       }
@@ -126,7 +134,7 @@ class Optimizer {
         if (!is_logic(net_.type(g)) || net_.cell(g) < 0) continue;
         // gsg+GS sizes only gates NOT covered by a non-trivial supergate.
         if (options_.mode == OptMode::GsgPlusGS && covered_nontrivial[g]) continue;
-        Group group;
+        ProbeGroup group;
         for (const int cell : resize_candidates(net_, lib_, g)) {
           group.moves.push_back(EngineMove::resize(g, cell));
         }
@@ -162,39 +170,10 @@ class Optimizer {
 
   // --- phases ---------------------------------------------------------------
 
-  /// Phase A: best move per group by critical delay against the common
-  /// baseline, then the engine's gain-sorted re-validating batch commit.
-  int phase_min_slack(const std::vector<Group>& groups) {
-    std::vector<RankedMove> bests;
-    const double base_critical = sta_.critical_delay();
-    const double base_sum = sta_.sum_po_arrival();
-    for (const Group& group : groups) {
-      const EngineMove* best_move = nullptr;
-      double best_gain = 0.0;
-      double best_sum_gain = 0.0;
-      for (const EngineMove& move : group.moves) {
-        const EngineObjective obj = engine_.probe(move);
-        const double gain = base_critical - obj.critical;
-        const double sum_gain = base_sum - obj.sum_po;
-        if (gain > best_gain + 1e-12 ||
-            (gain > options_.min_gain && std::abs(gain - best_gain) <= 1e-12 &&
-             sum_gain > best_sum_gain)) {
-          best_move = &move;
-          best_gain = gain;
-          best_sum_gain = sum_gain;
-        }
-      }
-      if (best_move != nullptr && best_gain > options_.min_gain) {
-        bests.push_back(RankedMove{*best_move, best_gain});
-      }
-    }
-    return engine_.commit_best(bests, options_.min_gain);
-  }
-
-  /// Area recovery: greedily replace cells with smaller drives while the
-  /// critical delay stays within min_gain of its current value. Smallest
-  /// candidates are tried first. Applies to gates eligible for sizing in
-  /// the current mode (all gates for GS, uncovered gates for gsg+GS).
+  /// Area recovery: one FirstFit round per the fixed budget — each gate's
+  /// group lists its strictly smaller cells, area-ascending; the smallest
+  /// that keeps the critical delay within budget wins, and the arbiter
+  /// re-validates each against the live state in gate order.
   void phase_area_recovery() {
     std::vector<bool> covered_nontrivial(net_.id_bound(), false);
     if (options_.mode == OptMode::GsgPlusGS) {
@@ -205,6 +184,7 @@ class Optimizer {
       }
     }
     const double budget = sta_.critical_delay() + options_.min_gain;
+    std::vector<ProbeGroup> groups;
     for (const GateId g : net_.gates()) {
       if (!is_logic(net_.type(g)) || net_.cell(g) < 0) continue;
       if (options_.mode == OptMode::GsgPlusGS && g < covered_nontrivial.size() &&
@@ -216,48 +196,21 @@ class Optimizer {
       std::sort(cands.begin(), cands.end(), [this](int a, int b) {
         return lib_.cell(a).area < lib_.cell(b).area;
       });
+      ProbeGroup group;
       for (const int cand : cands) {
         if (lib_.cell(cand).area >= current.area) break;
-        const EngineMove m = EngineMove::resize(g, cand);
-        const EngineObjective obj = engine_.probe(m);
-        if (obj.critical <= budget) {
-          engine_.commit(m);
-          break;
-        }
+        group.moves.push_back(EngineMove::resize(g, cand));
       }
+      if (!group.moves.empty()) groups.push_back(std::move(group));
     }
-  }
-
-  /// Phase B: relaxation — commit any per-group move that reduces the sum
-  /// of output arrivals without degrading the critical delay.
-  int phase_relaxation(const std::vector<Group>& groups) {
-    int committed = 0;
-    for (const Group& group : groups) {
-      const double base_critical = sta_.critical_delay();
-      const double base_sum = sta_.sum_po_arrival();
-      const EngineMove* best = nullptr;
-      double best_sum_gain = options_.min_gain;
-      for (const EngineMove& move : group.moves) {
-        const EngineObjective obj = engine_.probe(move);
-        if (obj.critical > base_critical + 1e-9) continue;
-        const double sum_gain = base_sum - obj.sum_po;
-        if (sum_gain > best_sum_gain) {
-          best_sum_gain = sum_gain;
-          best = &move;
-        }
-      }
-      if (best != nullptr) {
-        engine_.commit(*best);
-        ++committed;
-      }
-    }
-    return committed;
+    scheduler_.run_round(groups, ProbePolicy::FirstFit, budget);
   }
 
   Network& net_;
   const CellLibrary& lib_;
   Sta& sta_;
   RewireEngine engine_;
+  ParallelRewireScheduler scheduler_;
   OptimizerOptions options_;
 };
 

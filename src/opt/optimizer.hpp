@@ -14,6 +14,13 @@
 // arrival at the outputs without degrading the critical delay, to escape
 // local minima. Phases iterate until no improvement.
 //
+// Every phase is a generate -> shard -> parallel-probe -> arbitrate ->
+// commit round through the ParallelRewireScheduler (src/parallel): probe
+// evaluation fans out across `threads` conflict-sharded workers, and the
+// commit arbiter re-validates winners against the live state in a
+// canonical order — so any `threads` value produces a bit-identical
+// netlist to `threads = 1`.
+//
 // The existing placement is never perturbed: cells keep their exact
 // locations; only inverters can be added or deleted (gsg modes).
 #pragma once
@@ -43,6 +50,12 @@ struct OptimizerOptions {
   /// Cap on evaluated swap candidates per supergate (largest-gain-estimate
   /// first); guards against quadratic blowup on very wide supergates.
   int max_swaps_per_sg = 256;
+  /// Probe worker count for the parallel scheduler (>= 1). The final
+  /// netlist is bit-identical for every value; only wall-clock changes.
+  int threads = 1;
+  /// Base seed for per-worker RNG substreams (the flow plumbs its placer
+  /// seed through here so one seed reproduces the whole run).
+  std::uint64_t seed = 0x5eed5ULL;
 };
 
 struct OptimizerResult {
@@ -56,6 +69,10 @@ struct OptimizerResult {
   int inverters_removed = 0;
   int iterations = 0;
   double seconds = 0.0;
+  /// Total probe evaluations (replica workers + live arbiter) and the
+  /// worker count they ran on.
+  std::uint64_t probes = 0;
+  int threads = 1;
   // Supergate statistics from the first extraction (Table 1 cols 12-14).
   double coverage = 0.0;          // fraction of gates in non-trivial SGs
   int max_sg_inputs = 0;          // L

@@ -1,0 +1,42 @@
+#include "parallel/probe_context.hpp"
+
+namespace rapids {
+
+ProbeContext::ProbeContext(const CellLibrary& lib, std::uint64_t base_seed, int worker)
+    : lib_(lib), rng_(Rng::substream(base_seed, static_cast<std::uint64_t>(worker))) {}
+
+ProbeContext::~ProbeContext() = default;
+
+void ProbeContext::sync(RewireEngine& source) {
+  // Tear down in dependency order: the engine holds references into the
+  // replica network/placement/STA being replaced.
+  engine_.reset();
+  sta_.reset();
+
+  // clone() preserves ids, tombstones AND the recycled-id free list, so the
+  // replica's inverter-id allocation replays the live engine's exactly —
+  // required for bit-identical probe arithmetic (star-net branch order is
+  // keyed by gate id).
+  net_ = source.net().clone();
+  pl_ = source.placement();
+
+  sta_ = std::make_unique<Sta>(net_, lib_, pl_, StaOptions{}, Sta::DeferInit{});
+  sta_->copy_state_from(source.sta());
+  engine_ = std::make_unique<RewireEngine>(net_, pl_, lib_, *sta_);
+
+  epoch_ = source.epoch();
+  has_state_ = true;
+  harvested_ = EngineStats{};
+}
+
+EngineStats ProbeContext::take_stats() {
+  EngineStats window;
+  if (engine_) {
+    const EngineStats& total = engine_->stats();
+    window.probes = total.probes - harvested_.probes;
+    harvested_ = total;
+  }
+  return window;
+}
+
+}  // namespace rapids

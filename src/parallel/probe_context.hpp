@@ -1,0 +1,73 @@
+// Per-worker probe context: everything one scheduler worker owns.
+//
+// A ProbeContext is a full private replica of the live circuit state —
+// Network clone (ids, tombstones and the recycled-id free stack preserved),
+// Placement copy, and an Sta that ADOPTS the live engine's timing state
+// byte-for-byte instead of recomputing it — plus its own RewireEngine,
+// ProbeScratch, RNG substream and statistics shard. Workers therefore probe
+// with zero shared mutable state: no locks on the hot path, no data races,
+// and — because a probe is a pure function of replica state and every
+// replica is synced to the same live state — bit-identical results no
+// matter which worker evaluates which candidate. That last property is what
+// lets `--threads N` reproduce `--threads 1` exactly.
+//
+// Lifecycle: sync() re-replicates after the live epoch advances (commits
+// invalidate replicas); probe results remain valid within one epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/rewire_engine.hpp"
+#include "util/rng.hpp"
+
+namespace rapids {
+
+class ProbeContext {
+ public:
+  /// `worker` indexes the RNG substream (see Rng::substream); `base_seed`
+  /// is the flow seed, so parallel runs are reproducible end to end.
+  ProbeContext(const CellLibrary& lib, std::uint64_t base_seed, int worker);
+  ~ProbeContext();
+  ProbeContext(const ProbeContext&) = delete;
+  ProbeContext& operator=(const ProbeContext&) = delete;
+
+  /// Re-replicate from the live engine's state. Must be called from a
+  /// single thread per context (the scheduler syncs each worker's context
+  /// on that worker); `source` is read-only here.
+  void sync(RewireEngine& source);
+
+  /// True when this replica reflects live epoch `epoch`.
+  bool synced_to(std::uint64_t epoch) const { return has_state_ && epoch_ == epoch; }
+
+  /// The replica engine (valid after the first sync). Probe through
+  /// probe_with(scratch(), move) — commits on a replica are meaningless and
+  /// must go through the live engine's arbiter instead.
+  RewireEngine& engine() { return *engine_; }
+  ProbeScratch& scratch() { return scratch_; }
+  /// This worker's RNG substream. The deterministic probe pipeline draws
+  /// nothing from it today; any future stochastic worker step must draw
+  /// from here (never from a shared Rng) to preserve the thread-count
+  /// independence contract.
+  Rng& rng() { return rng_; }
+
+  /// Replica probe counters accumulated since the last harvest; resets the
+  /// window. The scheduler folds these into the live engine's totals.
+  EngineStats take_stats();
+
+ private:
+  const CellLibrary& lib_;
+  Rng rng_;
+
+  Network net_;
+  Placement pl_;
+  std::unique_ptr<Sta> sta_;
+  std::unique_ptr<RewireEngine> engine_;
+  ProbeScratch scratch_;
+
+  std::uint64_t epoch_ = 0;
+  bool has_state_ = false;
+  EngineStats harvested_;
+};
+
+}  // namespace rapids

@@ -1,0 +1,316 @@
+#include "parallel/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rapids {
+
+namespace {
+// Matches the optimizer's historical tie window: gains closer than this are
+// "equal" and the sum-of-arrivals objective breaks the tie.
+constexpr double kGainTie = 1e-12;
+// Tolerance for "does not degrade the critical delay" (phase B).
+constexpr double kCritSlack = 1e-9;
+}  // namespace
+
+ParallelRewireScheduler::ParallelRewireScheduler(RewireEngine& engine,
+                                                const SchedulerOptions& options)
+    : engine_(engine), options_(options), pool_(options.threads),
+      probe_stats_(pool_.workers()) {
+  options_.threads = pool_.workers();
+  contexts_.reserve(static_cast<std::size_t>(pool_.workers()));
+  for (int w = 0; w < pool_.workers(); ++w) {
+    contexts_.push_back(
+        std::make_unique<ProbeContext>(engine.lib(), options_.seed, w));
+  }
+}
+
+ParallelRewireScheduler::~ParallelRewireScheduler() = default;
+
+GroupResult ParallelRewireScheduler::probe_group(RewireEngine& eng,
+                                                 ProbeScratch& scratch,
+                                                 int group_index,
+                                                 const ProbeGroup& group,
+                                                 ProbePolicy policy, double threshold,
+                                                 double base_critical,
+                                                 double base_sum) const {
+  GroupResult r;
+  r.group = group_index;
+
+  switch (policy) {
+    case ProbePolicy::MinCritical: {
+      double best_gain = 0.0;
+      double best_sum_gain = 0.0;
+      for (std::size_t i = 0; i < group.moves.size(); ++i) {
+        const EngineMove& move = group.moves[i];
+        const EngineObjective obj = eng.probe_with(scratch, move);
+        ++r.probes;
+        const double gain = base_critical - obj.critical;
+        const double sum_gain = base_sum - obj.sum_po;
+        if (gain > best_gain + kGainTie ||
+            (gain > threshold && std::abs(gain - best_gain) <= kGainTie &&
+             sum_gain > best_sum_gain)) {
+          r.move = move;
+          r.move_index = static_cast<int>(i);
+          r.has_move = true;
+          best_gain = gain;
+          best_sum_gain = sum_gain;
+        }
+      }
+      if (best_gain <= threshold) r.has_move = false;
+      r.crit_gain = best_gain;
+      r.sum_gain = best_sum_gain;
+      break;
+    }
+    case ProbePolicy::Relaxation: {
+      double best_sum_gain = threshold;
+      for (std::size_t i = 0; i < group.moves.size(); ++i) {
+        const EngineMove& move = group.moves[i];
+        const EngineObjective obj = eng.probe_with(scratch, move);
+        ++r.probes;
+        if (obj.critical > base_critical + kCritSlack) continue;
+        const double sum_gain = base_sum - obj.sum_po;
+        if (sum_gain > best_sum_gain) {
+          r.move = move;
+          r.move_index = static_cast<int>(i);
+          r.has_move = true;
+          best_sum_gain = sum_gain;
+          r.crit_gain = base_critical - obj.critical;
+        }
+      }
+      r.sum_gain = r.has_move ? best_sum_gain : 0.0;
+      break;
+    }
+    case ProbePolicy::FirstFit: {
+      for (std::size_t i = 0; i < group.moves.size(); ++i) {
+        const EngineMove& move = group.moves[i];
+        const EngineObjective obj = eng.probe_with(scratch, move);
+        ++r.probes;
+        if (obj.critical <= threshold) {
+          r.move = move;
+          r.move_index = static_cast<int>(i);
+          r.has_move = true;
+          r.crit_gain = base_critical - obj.critical;
+          r.sum_gain = base_sum - obj.sum_po;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return r;
+}
+
+std::vector<GroupResult> ParallelRewireScheduler::probe_round(
+    const std::vector<ProbeGroup>& groups, ProbePolicy policy, double threshold) {
+  std::vector<GroupResult> results(groups.size());
+  if (groups.empty()) return results;
+  ++stats_.rounds;
+
+  const double base_critical = engine_.sta().critical_delay();
+  const double base_sum = engine_.sta().sum_po_arrival();
+  const int workers = pool_.workers();
+
+  if (workers == 1) {
+    // Single-worker fast path: probe the live engine directly — probes are
+    // pure functions of state (ProbeContext.ReplicaProbesMatchLiveEngine
+    // asserts replica and live probes are bit-identical), so this produces
+    // the same results as a one-replica round without the clone/sync cost.
+    // Conflict signatures exist only to shard and to count arbitration
+    // conflicts, so they are skipped here too.
+    std::uint64_t round_probes = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      results[g] = probe_group(engine_, serial_scratch_, static_cast<int>(g),
+                               groups[g], policy, threshold, base_critical,
+                               base_sum);
+      round_probes += static_cast<std::uint64_t>(results[g].probes);
+    }
+    stats_.worker_probes += round_probes;
+    probe_stats_.shard(0).add(static_cast<double>(round_probes));
+    return results;
+  }
+
+  // Signatures need the extraction partition only when cross-supergate
+  // moves are in the stream (their candidates index into it).
+  bool any_cross = false;
+  for (const ProbeGroup& g : groups) {
+    for (const EngineMove& m : g.moves) {
+      if (m.kind == EngineMove::Kind::CrossSg) {
+        any_cross = true;
+        break;
+      }
+    }
+    if (any_cross) break;
+  }
+  const GisgPartition* part = any_cross ? &engine_.partition() : nullptr;
+
+  std::vector<ConflictSignature> sigs(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    sigs[g] = group_signature(engine_.net(), part, groups[g].moves,
+                              options_.cone_depth);
+  }
+
+  const std::vector<int> shard_of = assign_shards(sigs, workers);
+  std::vector<std::vector<int>> shard_groups(static_cast<std::size_t>(workers));
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    shard_groups[static_cast<std::size_t>(shard_of[g])].push_back(
+        static_cast<int>(g));
+  }
+
+  const std::uint64_t epoch = engine_.epoch();
+  pool_.run([&](int w) {
+    const std::vector<int>& mine = shard_groups[static_cast<std::size_t>(w)];
+    if (mine.empty()) {
+      // A starved worker is exactly what the load-distribution metric
+      // exists to expose — record the zero.
+      probe_stats_.shard(w).add(0.0);
+      return;
+    }
+    ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
+    if (!ctx.synced_to(epoch)) ctx.sync(engine_);
+    std::uint64_t my_probes = 0;
+    for (const int g : mine) {
+      GroupResult& r = results[static_cast<std::size_t>(g)];
+      r = probe_group(ctx.engine(), ctx.scratch(), g,
+                      groups[static_cast<std::size_t>(g)], policy, threshold,
+                      base_critical, base_sum);
+      r.sig = std::move(sigs[static_cast<std::size_t>(g)]);
+      my_probes += static_cast<std::uint64_t>(r.probes);
+    }
+    // Worker-owned statistics shard: written here, merged after the
+    // pool barrier.
+    probe_stats_.shard(w).add(static_cast<double>(my_probes));
+  });
+
+  // Harvest replica probe counters into the live engine's lifetime totals
+  // (workers are quiescent past the pool barrier).
+  for (int w = 0; w < workers; ++w) {
+    const EngineStats window = contexts_[static_cast<std::size_t>(w)]->take_stats();
+    engine_.absorb_stats(window);
+    stats_.worker_probes += window.probes;
+  }
+  return results;
+}
+
+int ParallelRewireScheduler::arbitrate_and_commit(
+    std::vector<GroupResult> results, ProbePolicy policy, double threshold,
+    const std::vector<ProbeGroup>* groups) {
+  // Keep only per-group winners.
+  results.erase(std::remove_if(results.begin(), results.end(),
+                               [](const GroupResult& r) { return !r.has_move; }),
+                results.end());
+  stats_.accepted += results.size();
+
+  // Canonical commit order: a strict total order over (gain, group index),
+  // so the sequence of live commits is identical for every worker count.
+  switch (policy) {
+    case ProbePolicy::MinCritical:
+      std::sort(results.begin(), results.end(),
+                [](const GroupResult& a, const GroupResult& b) {
+                  if (a.crit_gain != b.crit_gain) return a.crit_gain > b.crit_gain;
+                  return a.group < b.group;
+                });
+      break;
+    case ProbePolicy::Relaxation:
+      std::sort(results.begin(), results.end(),
+                [](const GroupResult& a, const GroupResult& b) {
+                  if (a.sum_gain != b.sum_gain) return a.sum_gain > b.sum_gain;
+                  return a.group < b.group;
+                });
+      break;
+    case ProbePolicy::FirstFit:
+      std::sort(results.begin(), results.end(),
+                [](const GroupResult& a, const GroupResult& b) {
+                  return a.group < b.group;
+                });
+      break;
+  }
+
+  int committed = 0;
+  const std::uint64_t entry_epoch = engine_.epoch();
+  ConflictSignature committed_union;
+  for (const GroupResult& r : results) {
+    // CrossSg winners index the partition of the round's epoch; any commit
+    // bumped it, so they are not even probe-safe anymore.
+    if (r.move.kind == EngineMove::Kind::CrossSg && engine_.epoch() != entry_epoch) {
+      ++stats_.stale_cross_sg;
+      continue;
+    }
+    if (committed_union.overlaps(r.sig)) ++stats_.conflicted;
+
+    // Re-validate against the LIVE state: earlier commits may have absorbed
+    // or invalidated the replica-probed gain.
+    ++stats_.arbiter_probes;
+    bool take = false;
+    switch (policy) {
+      case ProbePolicy::MinCritical: {
+        const double before = engine_.sta().critical_delay();
+        const EngineObjective obj = engine_.probe(r.move);
+        take = before - obj.critical > threshold;
+        break;
+      }
+      case ProbePolicy::Relaxation: {
+        const double before_crit = engine_.sta().critical_delay();
+        const double before_sum = engine_.sta().sum_po_arrival();
+        const EngineObjective obj = engine_.probe(r.move);
+        take = obj.critical <= before_crit + kCritSlack &&
+               before_sum - obj.sum_po > threshold;
+        break;
+      }
+      case ProbePolicy::FirstFit: {
+        const EngineObjective obj = engine_.probe(r.move);
+        take = obj.critical <= threshold;
+        break;
+      }
+    }
+    EngineMove chosen = r.move;
+    if (!take && policy == ProbePolicy::FirstFit && groups != nullptr &&
+        r.group >= 0 && static_cast<std::size_t>(r.group) < groups->size()) {
+      // The replica-chosen candidate no longer fits the live state. Replay
+      // the serial algorithm for this group: probe every candidate live,
+      // in order, and take the first fit (an earlier candidate that failed
+      // the round baseline can fit now — a prior commit may have unloaded
+      // this gate). Groups where NO candidate fit the baseline never reach
+      // arbitration; that pruning is the round's parallel win and the one
+      // deliberate divergence from the serial scan.
+      const std::vector<EngineMove>& moves =
+          (*groups)[static_cast<std::size_t>(r.group)].moves;
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        if (static_cast<int>(i) == r.move_index) continue;  // already probed
+        // Same stale-epoch rule as the winner path: cross-sg candidates are
+        // not probe-safe once any commit bumped the epoch.
+        if (moves[i].kind == EngineMove::Kind::CrossSg &&
+            engine_.epoch() != entry_epoch) {
+          ++stats_.stale_cross_sg;
+          continue;
+        }
+        ++stats_.arbiter_probes;
+        const EngineObjective obj = engine_.probe(moves[i]);
+        if (obj.critical <= threshold) {
+          chosen = moves[i];
+          take = true;
+          break;
+        }
+      }
+    }
+    if (take) {
+      engine_.commit(chosen);
+      ++committed;
+      ++stats_.committed;
+      committed_union.merge(r.sig);
+    } else {
+      ++stats_.revalidation_rejects;
+    }
+  }
+  return committed;
+}
+
+int ParallelRewireScheduler::run_round(const std::vector<ProbeGroup>& groups,
+                                       ProbePolicy policy, double threshold) {
+  return arbitrate_and_commit(probe_round(groups, policy, threshold), policy,
+                              threshold, &groups);
+}
+
+}  // namespace rapids

@@ -1,0 +1,151 @@
+// Parallel rewiring scheduler: conflict-sharded probe fan-out with
+// deterministic commit arbitration.
+//
+// One optimization round is a pipeline:
+//
+//   generate   — the caller (optimizer phase, bench) builds candidate
+//                GROUPS: one supergate's swaps, one gate's resizes. A round
+//                commits at most one move per group.
+//   shard      — groups are sharded by conflict signature (parallel/
+//                conflict): overlapping groups share a shard where load
+//                balance permits (oversized conflict components are split;
+//                see conflict.hpp — safe because correctness rests on
+//                replica isolation + arbitration, not on sharding).
+//   probe      — a fixed worker pool evaluates shards concurrently. Each
+//                worker owns a ProbeContext — a full replica of the live
+//                state synced per epoch — so probing shares no mutable
+//                state and every probe is a pure function of (live state,
+//                move). Workers select the best move per group under the
+//                round's policy.
+//   arbitrate  — accepted moves are ordered canonically (gain, then group
+//                index — a strict total order independent of worker count
+//                and scheduling), re-probed against the LIVE engine state
+//                at the current epoch, and committed only if they still
+//                pay. Commits are serial, on the one live engine, in that
+//                canonical order.
+//
+// Determinism guarantee: for a fixed candidate stream, the committed move
+// sequence — and therefore the final netlist, bit for bit — is identical
+// for every worker count. Probe results are worker-independent (replica
+// sync is byte-exact, probes restore state exactly, star nets are built in
+// canonical order), the per-group selection is a pure left-fold over the
+// group's move list, and arbitration consumes per-group results in a
+// scheduling-independent order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/rewire_engine.hpp"
+#include "parallel/conflict.hpp"
+#include "parallel/probe_context.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rapids {
+
+/// The unit that gets at most one committed move per round.
+struct ProbeGroup {
+  std::vector<EngineMove> moves;
+};
+
+/// What "best move of a group" means for a round.
+enum class ProbePolicy : std::uint8_t {
+  /// Maximize critical-delay gain (phase A); threshold = minimum gain.
+  MinCritical,
+  /// Maximize sum-of-PO-arrival gain without degrading the critical delay
+  /// (phase B); threshold = minimum sum gain.
+  Relaxation,
+  /// First move (caller pre-orders, e.g. by area ascending) whose probed
+  /// critical delay stays within threshold (an absolute budget, not a
+  /// gain); used by area recovery.
+  FirstFit,
+};
+
+/// Per-group outcome of a probe round.
+struct GroupResult {
+  int group = -1;
+  bool has_move = false;
+  EngineMove move;
+  int move_index = -1;     // index of `move` in the group's move list
+  int probes = 0;          // probe evaluations this group cost
+  double crit_gain = 0.0;  // round-baseline critical minus probed critical
+  double sum_gain = 0.0;   // round-baseline sum_po minus probed sum_po
+  ConflictSignature sig;   // conflict signature of the selected move's group
+};
+
+struct SchedulerOptions {
+  /// Worker count (>=1). 1 runs the identical pipeline inline — the
+  /// determinism reference point.
+  int threads = 1;
+  /// Fanout-cone truncation depth for conflict signatures.
+  int cone_depth = 2;
+  /// Base seed for the per-worker RNG substreams.
+  std::uint64_t seed = 0x5eed5ULL;
+};
+
+struct SchedulerStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t worker_probes = 0;        // replica-side probe evaluations
+  std::uint64_t arbiter_probes = 0;       // live re-validation probes
+  std::uint64_t accepted = 0;             // per-group winners entering arbitration
+  std::uint64_t committed = 0;
+  std::uint64_t conflicted = 0;           // winners overlapping an earlier commit
+  std::uint64_t revalidation_rejects = 0; // winners whose live gain evaporated
+  std::uint64_t stale_cross_sg = 0;       // cross-sg winners dropped by epoch bump
+};
+
+class ParallelRewireScheduler {
+ public:
+  /// `engine` is the live engine: probes replicate FROM it, commits go
+  /// THROUGH it. It must outlive the scheduler.
+  ParallelRewireScheduler(RewireEngine& engine, const SchedulerOptions& options);
+  ~ParallelRewireScheduler();
+  ParallelRewireScheduler(const ParallelRewireScheduler&) = delete;
+  ParallelRewireScheduler& operator=(const ParallelRewireScheduler&) = delete;
+
+  int threads() const { return pool_.workers(); }
+
+  /// Shard `groups` by conflict signature and probe them in parallel
+  /// against the live state. Returns one result per group, indexed like
+  /// `groups`, independent of worker count.
+  std::vector<GroupResult> probe_round(const std::vector<ProbeGroup>& groups,
+                                       ProbePolicy policy, double threshold);
+
+  /// Re-validate a round's winners against the live epoch and commit the
+  /// survivors in canonical order. Returns the number committed. When
+  /// `groups` is supplied, a FirstFit winner whose live re-validation
+  /// fails falls back to replaying the serial scan for its group (every
+  /// candidate probed live, in order, first fit wins). Groups with no
+  /// replica winner are pruned before arbitration — the round's parallel
+  /// win, and its one deliberate divergence from the serial algorithm.
+  int arbitrate_and_commit(std::vector<GroupResult> results, ProbePolicy policy,
+                           double threshold,
+                           const std::vector<ProbeGroup>* groups = nullptr);
+
+  /// probe_round + arbitrate_and_commit.
+  int run_round(const std::vector<ProbeGroup>& groups, ProbePolicy policy,
+                double threshold);
+
+  const SchedulerStats& stats() const { return stats_; }
+  /// Per-worker replica probe counts (merged on demand; workers quiescent
+  /// between rounds).
+  const ShardedStats& worker_probe_stats() const { return probe_stats_; }
+
+ private:
+  GroupResult probe_group(RewireEngine& eng, ProbeScratch& scratch, int group_index,
+                          const ProbeGroup& group, ProbePolicy policy,
+                          double threshold, double base_critical,
+                          double base_sum) const;
+
+  RewireEngine& engine_;
+  SchedulerOptions options_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<ProbeContext>> contexts_;
+  ProbeScratch serial_scratch_;  // single-worker fast path probes the live engine
+  SchedulerStats stats_;
+  ShardedStats probe_stats_;
+};
+
+}  // namespace rapids

@@ -256,7 +256,12 @@ void undo_cross_sg_swap(Network& net, Placement& placement, CrossSgEdit& edit) {
   for (auto it = edit.moved_pins.rbegin(); it != edit.moved_pins.rend(); ++it) {
     net.set_fanin(it->pin, it->old_driver);
   }
-  for (const GateId inv : edit.added_inverters) {
+  // Reverse creation order so the recycled-id free stack is restored
+  // exactly (same contract as undo_swap: probes must not perturb the
+  // allocator, or probe results become history-dependent).
+  for (auto it = edit.added_inverters.rbegin(); it != edit.added_inverters.rend();
+       ++it) {
+    const GateId inv = *it;
     RAPIDS_ASSERT_MSG(net.fanout_count(inv) == 0,
                       "inserted inverter acquired sinks before undo");
     placement.unset(inv);

@@ -62,7 +62,14 @@ void undo_swap(Network& net, Placement& placement, SwapEdit& edit) {
   RAPIDS_ASSERT(edit.applied);
   net.set_fanin(edit.pin_a, edit.old_driver_a);
   net.set_fanin(edit.pin_b, edit.old_driver_b);
-  for (const GateId inv : edit.added_inverters) {
+  // Delete in reverse creation order: with id recycling, the free list is a
+  // stack, so reversed deletion pushes ids back exactly as apply popped
+  // them. A probe then restores the allocator state bit-for-bit, which the
+  // parallel scheduler relies on (the ids handed to a probe's inverters
+  // must not depend on which probes ran before it on that worker).
+  for (auto it = edit.added_inverters.rbegin(); it != edit.added_inverters.rend();
+       ++it) {
+    const GateId inv = *it;
     RAPIDS_ASSERT_MSG(net.fanout_count(inv) == 0,
                       "inserted inverter acquired sinks before undo");
     placement.unset(inv);

@@ -32,6 +32,36 @@ Sta::Sta(const Network& net, const CellLibrary& lib, const Placement& pl,
   refresh_required();
 }
 
+Sta::Sta(const Network& net, const CellLibrary& lib, const Placement& pl,
+         const StaOptions& options, DeferInit)
+    : net_(net), lib_(lib), pl_(pl), options_(options) {}
+
+void Sta::copy_state_from(const Sta& other) {
+  RAPIDS_ASSERT_MSG(!in_txn_ && !other.in_txn_,
+                    "copy_state_from requires both analyses outside transactions");
+  RAPIDS_ASSERT_MSG(net_.id_bound() == other.net_.id_bound(),
+                    "copy_state_from requires identically sized networks");
+  nets_ = other.nets_;
+  arrival_ = other.arrival_;
+  required_ = other.required_;
+  pin_delay_ = other.pin_delay_;
+  pin_stride_ = other.pin_stride_;
+  critical_delay_ = other.critical_delay_;
+  required_time_ = other.required_time_;
+  required_valid_ = other.required_valid_;
+  // Full options, not just pads: a later run_full() on the adopted Sta
+  // must re-resolve the SAME required-time policy as the source.
+  options_ = other.options_;
+  const std::size_t n = net_.id_bound();
+  net_dirty_.assign(n, false);
+  arrival_saved_.assign(n, false);
+  net_saved_.assign(n, false);
+  saved_arrivals_.clear();
+  saved_net_count_ = 0;
+  txn_dirty_nets_.clear();
+  seeds_.clear();
+}
+
 void Sta::rebuild_net(GateId driver) {
   StarNet& star = nets_[driver];
   build_star_net_into(star, net_, lib_, pl_, driver, options_.pads);

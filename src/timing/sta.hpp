@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "library/cell_library.hpp"
@@ -31,9 +32,28 @@ struct StaOptions {
 
 class Sta {
  public:
+  /// Tag for the deferred constructor below.
+  struct DeferInit {};
+
   /// Network must stay alive; all its logic gates must be mapped & placed.
   Sta(const Network& net, const CellLibrary& lib, const Placement& pl,
       const StaOptions& options = {});
+
+  /// Bind without computing anything: no run_full(), no queries valid yet.
+  /// The caller must run_full() or copy_state_from() before reading any
+  /// result. Probe workers use this to build a replica Sta and then adopt
+  /// the live engine's state instead of recomputing it.
+  Sta(const Network& net, const CellLibrary& lib, const Placement& pl,
+      const StaOptions& options, DeferInit);
+
+  /// Adopt another Sta's entire computed state (net caches, arrivals,
+  /// required times, critical delay) byte-for-byte. Both analyses must be
+  /// outside transactions and bound to structurally identical networks
+  /// (same id_bound; the source's state must be valid for this network's
+  /// topology — a fresh clone qualifies). This is the parallel scheduler's
+  /// replica-sync primitive: it is cheaper than run_full() and, unlike a
+  /// recompute, guarantees the replica starts from bit-identical timing.
+  void copy_state_from(const Sta& other);
 
   /// Full recompute of net caches, arrivals, required times and slacks.
   /// Also sizes the flat per-pin delay cache to the network's CURRENT
@@ -47,6 +67,15 @@ class Sta {
   double critical_delay() const { return critical_delay_; }
   RiseFall arrival_rf(GateId g) const { return arrival_[g]; }
   double arrival(GateId g) const { return arrival_[g].worst(); }
+  /// Read-only views over the full id-indexed arrival/required state:
+  /// const, allocation-free, and safe to read concurrently as long as no
+  /// thread is inside a transaction. Replica verification (tests) and any
+  /// worker-side analysis read the shared Sta through these instead of
+  /// per-gate calls.
+  std::span<const RiseFall> arrivals() const { return {arrival_.data(), arrival_.size()}; }
+  std::span<const RiseFall> requireds() const {
+    return {required_.data(), required_.size()};
+  }
   /// Worst slack of gate g's output (valid after run_full / refresh_required).
   double slack(GateId g) const;
   double worst_slack() const;

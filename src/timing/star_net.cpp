@@ -1,5 +1,7 @@
 #include "timing/star_net.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace rapids {
@@ -25,11 +27,44 @@ void build_star_net_into(StarNet& star, const Network& net, const CellLibrary& l
   RAPIDS_ASSERT_MSG(pl.is_placed(driver), "driver not placed: " + net.name(driver));
   const Point src = pl.at(driver);
 
+  // Canonical branch order. The fanout pool stores sinks in whatever order
+  // rewiring left them (removal is swap-with-last), so iterating it raw
+  // would make the floating-point accumulations below — and therefore every
+  // arrival downstream — depend on the circuit's probe/undo HISTORY, not
+  // just its current state. The parallel scheduler needs probes to be pure
+  // functions of state so any worker computes bit-identical results;
+  // sorting sinks by (gate, index) makes the star net history-independent.
+  star.branches.reserve(sinks.size());
+  for (const Pin& pin : sinks) star.branches.push_back(StarBranch{pin, 0, 0, 0, 0});
+  // Insertion sort: nets almost always have 1-4 sinks, where this beats
+  // std::sort's dispatch overhead on the probe hot path; high-fanout nets
+  // fall back to std::sort so rebuilds stay O(k log k).
+  auto key = [](const Pin& p) {
+    return (static_cast<std::uint64_t>(p.gate) << 32) | p.index;
+  };
+  if (star.branches.size() > 16) {
+    std::sort(star.branches.begin(), star.branches.end(),
+              [&key](const StarBranch& a, const StarBranch& b) {
+                return key(a.pin) < key(b.pin);
+              });
+  } else {
+    for (std::size_t i = 1; i < star.branches.size(); ++i) {
+      const StarBranch b = star.branches[i];
+      std::size_t j = i;
+      while (j > 0 && key(star.branches[j - 1].pin) > key(b.pin)) {
+        star.branches[j] = star.branches[j - 1];
+        --j;
+      }
+      star.branches[j] = b;
+    }
+  }
+
   // Center of gravity of all terminals (source + sinks).
   double cx = src.x, cy = src.y;
-  for (const Pin& pin : sinks) {
-    RAPIDS_ASSERT_MSG(pl.is_placed(pin.gate), "sink not placed: " + net.name(pin.gate));
-    const Point p = pl.at(pin.gate);
+  for (const StarBranch& b : star.branches) {
+    RAPIDS_ASSERT_MSG(pl.is_placed(b.pin.gate),
+                      "sink not placed: " + net.name(b.pin.gate));
+    const Point p = pl.at(b.pin.gate);
     cx += p.x;
     cy += p.y;
   }
@@ -42,10 +77,8 @@ void build_star_net_into(StarNet& star, const Network& net, const CellLibrary& l
   star.stem_cap = stem_len * w.cap_per_um;
   star.wire_cap = star.stem_cap;
 
-  star.branches.reserve(sinks.size());
-  for (const Pin& pin : sinks) {
-    StarBranch b;
-    b.pin = pin;
+  for (StarBranch& b : star.branches) {
+    const Pin pin = b.pin;
     const double len = manhattan(pl.at(pin.gate), center);
     b.res = len * w.res_per_um;
     b.cap = len * w.cap_per_um;
@@ -58,7 +91,6 @@ void build_star_net_into(StarNet& star, const Network& net, const CellLibrary& l
     }
     star.wire_cap += b.cap;
     star.pin_cap += b.pin_cap;
-    star.branches.push_back(b);
   }
 
   // Elmore: the downstream cap charged through the stem is everything past

@@ -46,7 +46,7 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (static_cast<int>(level) < static_cast<int>(this->level())) return;
   std::lock_guard<std::mutex> lock(sink_mutex());
   if (sink_) sink_(level, message);
 }

@@ -2,8 +2,13 @@
 //
 // RAPIDS is a library first: logging defaults to Warning and is routed
 // through a single sink so host applications can silence or redirect it.
+//
+// Thread-safe: the level is atomic (lock-free early-out on the hot path)
+// and the sink is invoked under a mutex, so concurrent probe workers can
+// log without interleaving or racing set_sink/set_level.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -19,8 +24,8 @@ class Logger {
   /// Process-wide logger instance.
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replace the output sink (default writes to stderr).
   void set_sink(Sink sink);
@@ -29,7 +34,7 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::Warning;
+  std::atomic<LogLevel> level_{LogLevel::Warning};
   Sink sink_;
 };
 

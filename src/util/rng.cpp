@@ -18,6 +18,15 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = splitmix64(sm);
 }
 
+Rng Rng::substream(std::uint64_t base_seed, std::uint64_t stream_index) {
+  // Mix the stream index through SplitMix64 before folding it into the
+  // seed: adjacent indices then select unrelated regions of seed space, and
+  // index 0 is offset away from the plain Rng(base_seed) construction.
+  std::uint64_t ix = stream_index + 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t stream_key = splitmix64(ix);
+  return Rng(base_seed ^ stream_key);
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

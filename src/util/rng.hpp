@@ -5,6 +5,18 @@
 // reproducible from a single seed. We deliberately avoid std::mt19937 /
 // std::uniform_int_distribution because their outputs are not guaranteed
 // identical across standard-library implementations.
+//
+// Parallel determinism: concurrent components must never share one Rng —
+// draw interleaving would depend on thread scheduling. Instead each worker
+// owns a SUBSTREAM derived from (base_seed, stream_index) via
+// Rng::substream(): the derivation mixes the index through SplitMix64, so
+// substreams are decorrelated from each other and from Rng(base_seed)
+// itself, and depend only on their index — never on thread count or
+// scheduling. The parallel rewiring scheduler hands worker w the substream
+// (flow_seed, w); the current probe pipeline is fully deterministic and
+// draws nothing, but any future stochastic worker step (candidate
+// sampling, randomized restarts) must draw from its own substream to keep
+// `--threads N` runs reproducible for every N.
 #pragma once
 
 #include <array>
@@ -18,6 +30,12 @@ namespace rapids {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5ULL);
+
+  /// Deterministic per-worker substream: the generator for stream
+  /// `stream_index` of `base_seed`. Distinct indices yield decorrelated
+  /// streams; index 0 differs from Rng(base_seed). See the header comment
+  /// for the parallel-determinism contract.
+  static Rng substream(std::uint64_t base_seed, std::uint64_t stream_index);
 
   /// Next raw 64-bit word.
   std::uint64_t next_u64();

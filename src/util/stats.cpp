@@ -20,6 +20,35 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  mean_ += delta * nb / (na + nb);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+ShardedStats::ShardedStats(int shards) : slots_(shards > 0 ? shards : 1) {}
+
+RunningStats ShardedStats::merged() const {
+  RunningStats total;
+  for (const Slot& s : slots_) total.merge(s.stats);
+  return total;
+}
+
+void ShardedStats::reset() {
+  for (Slot& s : slots_) s.stats = RunningStats{};
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

@@ -1,16 +1,28 @@
 // Streaming summary statistics (count / mean / min / max / stddev).
 // Used by benches and reports to summarize distributions (supergate sizes,
 // slack histograms, wirelength deltas) without storing samples.
+//
+// Threading model: a RunningStats is single-writer. Concurrent producers
+// use ShardedStats — one cache-line-padded RunningStats per worker, written
+// without synchronization by its owning worker only, and merged on demand
+// (Chan's parallel Welford combination) once the workers have quiesced.
+// This keeps the hot add() path free of atomics and data-race clean under
+// TSan.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace rapids {
 
 class RunningStats {
  public:
   void add(double x);
+
+  /// Fold another accumulator into this one (Chan et al. pairwise update);
+  /// equivalent to having added the other's samples, up to float rounding.
+  void merge(const RunningStats& other);
 
   std::int64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
@@ -31,6 +43,35 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+};
+
+/// Per-worker statistics shards, merged on demand. Shard `w` must only be
+/// written from the worker that owns index w; merged() and shard() reads
+/// require the workers to have quiesced (the scheduler reads between
+/// rounds, after the pool's run() barrier).
+class ShardedStats {
+ public:
+  explicit ShardedStats(int shards);
+
+  int shards() const { return static_cast<int>(slots_.size()); }
+
+  /// The owning worker's accumulator; add() through this reference.
+  RunningStats& shard(int shard) { return slots_[static_cast<std::size_t>(shard)].stats; }
+  const RunningStats& shard(int shard) const {
+    return slots_[static_cast<std::size_t>(shard)].stats;
+  }
+
+  /// Combine all shards (workers must be quiescent).
+  RunningStats merged() const;
+
+  void reset();
+
+ private:
+  // Padded to a cache line so two workers' accumulators never false-share.
+  struct alignas(64) Slot {
+    RunningStats stats;
+  };
+  std::vector<Slot> slots_;
 };
 
 }  // namespace rapids

@@ -1,0 +1,350 @@
+// Parallel rewiring scheduler: conflict detector (overlapping vs disjoint
+// cones, cross-supergate moves spanning shards), thread pool, RNG
+// substreams, sharded stats, replica probe equivalence, and the headline
+// guarantee — `threads N` produces bit-identical netlists to `threads 1`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "engine/rewire_engine.hpp"
+#include "flow/flow.hpp"
+#include "io/blif_writer.hpp"
+#include "netlist/builder.hpp"
+#include "parallel/conflict.hpp"
+#include "parallel/probe_context.hpp"
+#include "parallel/scheduler.hpp"
+#include "place/placer.hpp"
+#include "rewire/cross_sg.hpp"
+#include "sym/gisg.hpp"
+#include "sym/symmetry.hpp"
+#include "test_helpers.hpp"
+#include "timing/sta.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rapids {
+namespace {
+
+using rapids::testing::lib035;
+
+// --- thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  for (int round = 0; round < 3; ++round) {
+    pool.run([&](int w) { ++hits[static_cast<std::size_t>(w)]; });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 3);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id id;
+  pool.run([&](int) { id = std::this_thread::get_id(); });
+  EXPECT_EQ(id, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run([&](int w) {
+                 if (w == 2) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The pool survives a throwing round.
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ++ok; });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+// --- rng substreams ----------------------------------------------------------
+
+TEST(RngSubstream, DeterministicAndDecorrelated) {
+  Rng a0 = Rng::substream(42, 0);
+  Rng a0_again = Rng::substream(42, 0);
+  EXPECT_EQ(a0.next_u64(), a0_again.next_u64());
+  // Different stream indices, seeds, and the base generator all diverge.
+  EXPECT_NE(Rng::substream(42, 0).next_u64(), Rng::substream(42, 1).next_u64());
+  EXPECT_NE(Rng::substream(42, 0).next_u64(), Rng(42).next_u64());
+  EXPECT_NE(Rng::substream(43, 0).next_u64(), Rng::substream(42, 0).next_u64());
+}
+
+// --- sharded stats -----------------------------------------------------------
+
+TEST(ShardedStats, MergesLikeSingleAccumulator) {
+  RunningStats serial;
+  ShardedStats sharded(4);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10.0 - 3.0;
+    serial.add(x);
+    sharded.shard(i % 4).add(x);
+  }
+  const RunningStats merged = sharded.merged();
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_NEAR(merged.mean(), serial.mean(), 1e-9);
+  EXPECT_NEAR(merged.stddev(), serial.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+  EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+}
+
+// --- conflict detector -------------------------------------------------------
+
+/// Two disjoint 2-AND cones feeding separate outputs.
+struct ConflictFixture {
+  Network net;
+  GateId a1, a2, b1, b2;  // and-gate layers: a2 consumes a1, b2 consumes b1
+
+  ConflictFixture() {
+    NetworkBuilder b;
+    const GateId x0 = b.input("x0"), x1 = b.input("x1"), x2 = b.input("x2");
+    const GateId y0 = b.input("y0"), y1 = b.input("y1"), y2 = b.input("y2");
+    a1 = b.and_({x0, x1});
+    a2 = b.and_({a1, x2});
+    b1 = b.and_({y0, y1});
+    b2 = b.and_({b1, y2});
+    b.output("fa", a2);
+    b.output("fb", b2);
+    net = b.take();
+  }
+};
+
+TEST(Conflict, DisjointConesDoNotOverlap) {
+  ConflictFixture f;
+  SwapCandidate sa;
+  sa.pin_a = Pin{f.a1, 0};
+  sa.pin_b = Pin{f.a1, 1};
+  SwapCandidate sb;
+  sb.pin_a = Pin{f.b1, 0};
+  sb.pin_b = Pin{f.b1, 1};
+  const ConflictSignature siga =
+      move_signature(f.net, nullptr, EngineMove::swap(sa), 2);
+  const ConflictSignature sigb =
+      move_signature(f.net, nullptr, EngineMove::swap(sb), 2);
+  EXPECT_FALSE(siga.overlaps(sigb));
+  EXPECT_TRUE(siga.overlaps(siga));
+}
+
+TEST(Conflict, FanoutConeMakesDownstreamMovesOverlap) {
+  ConflictFixture f;
+  SwapCandidate shallow;  // rewires a1's pins; its fanout cone reaches a2
+  shallow.pin_a = Pin{f.a1, 0};
+  shallow.pin_b = Pin{f.a1, 1};
+  const EngineMove resize_downstream = EngineMove::resize(f.a2, 0);
+  const ConflictSignature s1 =
+      move_signature(f.net, nullptr, EngineMove::swap(shallow), 2);
+  const ConflictSignature s2 = move_signature(f.net, nullptr, resize_downstream, 2);
+  // a2 is in the swap's fanout cone AND the resize touches a1 through its
+  // fanin drivers (a1 drives one of a2's pins — same net).
+  EXPECT_TRUE(s1.overlaps(s2));
+  const ConflictSignature s1d0 =
+      move_signature(f.net, nullptr, EngineMove::swap(shallow), 0);
+  const ConflictSignature s2d0 = move_signature(f.net, nullptr, resize_downstream, 0);
+  EXPECT_TRUE(s1d0.overlaps(s2d0));
+}
+
+TEST(Conflict, AssignShardsKeepsOverlappingGroupsTogether) {
+  // Signatures: g0 {1,2}, g1 {2,3} (overlaps g0), g2 {10,11} (disjoint),
+  // g3 {11} (overlaps g2), g4 {20} (alone).
+  std::vector<ConflictSignature> sigs(5);
+  sigs[0].touched = {1, 2};
+  sigs[1].touched = {2, 3};
+  sigs[2].touched = {10, 11};
+  sigs[3].touched = {11};
+  sigs[4].touched = {20};
+  const std::vector<int> shard = assign_shards(sigs, 2);
+  EXPECT_EQ(shard[0], shard[1]);
+  EXPECT_EQ(shard[2], shard[3]);
+  // Three components over two shards: at least two distinct shards used.
+  EXPECT_NE(shard[0], shard[2]);
+  for (const int s : shard) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 2);
+  }
+  // Deterministic.
+  EXPECT_EQ(shard, assign_shards(sigs, 2));
+  // One shard degenerates to all-zero.
+  for (const int s : assign_shards(sigs, 1)) EXPECT_EQ(s, 0);
+}
+
+TEST(Conflict, OversizedComponentIsSplitForLoadBalance) {
+  // 40 groups chained into one component through a shared gate: keeping it
+  // atomic would put the entire round on one worker. It must be split
+  // evenly instead (replica isolation makes that safe).
+  std::vector<ConflictSignature> sigs(40);
+  for (int g = 0; g < 40; ++g) {
+    sigs[static_cast<std::size_t>(g)].touched = {0u, static_cast<GateId>(g + 1)};
+  }
+  const std::vector<int> shard = assign_shards(sigs, 4);
+  std::vector<int> count(4, 0);
+  for (const int s : shard) ++count[static_cast<std::size_t>(s)];
+  for (const int c : count) EXPECT_EQ(c, 10);
+  EXPECT_EQ(shard, assign_shards(sigs, 4));
+}
+
+TEST(Conflict, CrossSgSignatureSpansBothSupergates) {
+  // Enclosing XOR makes the outputs of SG1=AND(a,b,c) and SG2=OR(d,e,g)
+  // symmetric — the Fig. 3 fixture with a guaranteed cross-sg candidate.
+  NetworkBuilder b;
+  const GateId a = b.input("a"), bb = b.input("b"), c = b.input("c");
+  const GateId d = b.input("d"), e = b.input("e"), g = b.input("g");
+  const GateId sg1 = b.and_({a, bb, c});
+  const GateId sg2 = b.or_({d, e, g});
+  b.output("f", b.xor_({sg1, sg2}));
+  Network net = b.take();
+
+  const GisgPartition part = extract_gisg(net);
+  const std::vector<CrossSgCandidate> cands = find_cross_sg_candidates(part, net);
+  ASSERT_FALSE(cands.empty());
+  const ConflictSignature sig =
+      move_signature(net, &part, EngineMove::cross_sg(cands[0]), 0);
+
+  // The signature must cover gates from BOTH spanned supergates, so
+  // conflict sharding can never split a cross-sg move's two sides across
+  // shards: any group touching either side lands in the same component.
+  const SuperGate& sga = part.sgs[static_cast<std::size_t>(cands[0].sg_a)];
+  const SuperGate& sgb = part.sgs[static_cast<std::size_t>(cands[0].sg_b)];
+  auto contains = [&sig](GateId gate) {
+    return std::binary_search(sig.touched.begin(), sig.touched.end(), gate);
+  };
+  EXPECT_TRUE(contains(sga.root));
+  EXPECT_TRUE(contains(sgb.root));
+
+  ConflictSignature side_a, side_b;
+  side_a.touched = {sga.root};
+  side_b.touched = {sgb.root};
+  std::vector<ConflictSignature> sigs = {side_a, side_b, sig};
+  const std::vector<int> shard = assign_shards(sigs, 8);
+  EXPECT_EQ(shard[0], shard[2]);
+  EXPECT_EQ(shard[1], shard[2]);
+}
+
+// --- replica probing ---------------------------------------------------------
+
+TEST(ProbeContext, ReplicaProbesMatchLiveEngine) {
+  Network net = testing::mapped(testing::random_mapped_network(99));
+  PlacerOptions popt;
+  popt.effort = 1.0;
+  popt.num_temps = 4;
+  Placement pl = place(net, lib035(), popt);
+  Sta sta(net, lib035(), pl);
+  RewireEngine engine(net, pl, lib035(), sta);
+
+  const std::vector<SwapCandidate> swaps =
+      enumerate_all_swaps(engine.partition(), net);
+  ASSERT_FALSE(swaps.empty());
+
+  ProbeContext ctx(lib035(), 1, 0);
+  ctx.sync(engine);
+  ASSERT_TRUE(ctx.synced_to(engine.epoch()));
+
+  // State adoption is byte-exact: every arrival matches bit for bit.
+  const auto live_arr = sta.arrivals();
+  const auto replica_arr = ctx.engine().sta().arrivals();
+  ASSERT_EQ(live_arr.size(), replica_arr.size());
+  for (std::size_t i = 0; i < live_arr.size(); ++i) {
+    EXPECT_EQ(live_arr[i].rise, replica_arr[i].rise);
+    EXPECT_EQ(live_arr[i].fall, replica_arr[i].fall);
+  }
+
+  for (const SwapCandidate& c : swaps) {
+    const EngineMove m = EngineMove::swap(c);
+    const EngineObjective live = engine.probe(m);
+    const EngineObjective replica = ctx.engine().probe_with(ctx.scratch(), m);
+    // Bit-identical, not just close: replicas adopt the live timing state
+    // byte-for-byte and probes are pure functions of state.
+    EXPECT_EQ(live.critical, replica.critical);
+    EXPECT_EQ(live.sum_po, replica.sum_po);
+  }
+  EXPECT_GT(ctx.take_stats().probes, 0u);
+  EXPECT_EQ(ctx.take_stats().probes, 0u);
+}
+
+// --- scheduler ---------------------------------------------------------------
+
+std::string blif_of(const Network& net) {
+  std::ostringstream os;
+  write_blif(net, os, "determinism");
+  return os.str();
+}
+
+TEST(SchedulerDeterminism, ThreadCountsProduceIdenticalNetlists) {
+  // The headline guarantee on real circuits, end to end through the flow:
+  // identical BLIF output and final delay for 1 vs 8 workers.
+  FlowOptions base;
+  base.placer.effort = 1.0;
+  base.placer.num_temps = 4;
+  base.opt.max_iterations = 2;
+  for (const char* name : {"alu2", "c432", "c499"}) {
+    const PreparedCircuit prepared = prepare_benchmark(name, lib035(), base);
+    FlowOptions serial = base;
+    serial.opt.threads = 1;
+    FlowOptions parallel = base;
+    parallel.opt.threads = 8;
+    const ModeRun one = run_mode(prepared, lib035(), OptMode::GsgPlusGS, serial);
+    const ModeRun eight = run_mode(prepared, lib035(), OptMode::GsgPlusGS, parallel);
+    EXPECT_TRUE(one.verified) << name;
+    EXPECT_TRUE(eight.verified) << name;
+    EXPECT_EQ(one.result.final_delay, eight.result.final_delay) << name;
+    EXPECT_EQ(one.result.swaps_committed, eight.result.swaps_committed) << name;
+    EXPECT_EQ(one.result.resizes_committed, eight.result.resizes_committed) << name;
+    EXPECT_EQ(blif_of(one.optimized), blif_of(eight.optimized)) << name;
+  }
+}
+
+TEST(SchedulerDeterminism, RepeatedRunsAreIdentical) {
+  FlowOptions base;
+  base.placer.effort = 1.0;
+  base.placer.num_temps = 4;
+  const PreparedCircuit prepared = prepare_benchmark("alu2", lib035(), base);
+  FlowOptions opt = base;
+  opt.opt.threads = 3;
+  opt.opt.max_iterations = 2;
+  const ModeRun r1 = run_mode(prepared, lib035(), OptMode::Gsg, opt);
+  const ModeRun r2 = run_mode(prepared, lib035(), OptMode::Gsg, opt);
+  EXPECT_EQ(blif_of(r1.optimized), blif_of(r2.optimized));
+  EXPECT_EQ(r1.result.final_delay, r2.result.final_delay);
+}
+
+TEST(Scheduler, RoundCommitsImproveOrHold) {
+  Network net = testing::mapped(testing::random_mapped_network(123));
+  PlacerOptions popt;
+  popt.effort = 1.0;
+  popt.num_temps = 4;
+  Placement pl = place(net, lib035(), popt);
+  Sta sta(net, lib035(), pl);
+  RewireEngine engine(net, pl, lib035(), sta);
+  SchedulerOptions sopt;
+  sopt.threads = 4;
+  ParallelRewireScheduler sched(engine, sopt);
+
+  std::vector<ProbeGroup> groups;
+  const GisgPartition& part = engine.partition();
+  for (std::size_t s = 0; s < part.sgs.size(); ++s) {
+    if (part.sgs[s].is_trivial()) continue;
+    ProbeGroup g;
+    for (const SwapCandidate& c :
+         enumerate_swaps(part, static_cast<int>(s), net)) {
+      g.moves.push_back(EngineMove::swap(c));
+    }
+    if (!g.moves.empty()) groups.push_back(std::move(g));
+  }
+
+  const double before = sta.critical_delay();
+  const int committed = sched.run_round(groups, ProbePolicy::MinCritical, 1e-6);
+  EXPECT_LE(sta.critical_delay(), before + 1e-9);
+  EXPECT_EQ(sched.stats().committed, static_cast<std::uint64_t>(committed));
+  EXPECT_GE(sched.stats().worker_probes, sched.stats().accepted);
+  EXPECT_GT(sched.stats().rounds, 0u);
+}
+
+}  // namespace
+}  // namespace rapids

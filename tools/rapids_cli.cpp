@@ -1,14 +1,16 @@
 // rapids — command-line driver for the RAPIDS rewiring flow.
 //
 //   rapids flow <circuit|file.blif|file.bench> [--mode gsg|gs|gsg+gs]
-//          [--seed N] [--effort F] [--iters N] [--buffers] [--out out.blif]
-//          [--place-out placement.txt] [--no-verify]
+//          [--seed N] [--effort F] [--iters N] [--threads N] [--buffers]
+//          [--out out.blif] [--place-out placement.txt] [--no-verify]
 //       Map, place, optimize and report; optionally write results.
+//       --threads N fans probe evaluation out to N workers; the result is
+//       bit-identical to --threads 1 (deterministic commit arbitration).
 //
 //   rapids symmetry <circuit|file.blif|file.bench>
 //       Supergate / symmetry / redundancy report for a mapped circuit.
 //
-//   rapids table1 [--full|--quick] [circuit...]
+//   rapids table1 [--full|--quick] [--threads N] [circuit...]
 //       The Table 1 harness (same engine as bench/table1_rapids).
 //
 //   rapids list
@@ -104,6 +106,9 @@ int cmd_flow(const std::vector<std::string>& args) {
       options.placer.effort = std::stod(next());
     } else if (a == "--iters") {
       options.opt.max_iterations = std::stoi(next());
+    } else if (a == "--threads") {
+      options.opt.threads = std::stoi(next());
+      if (options.opt.threads < 1) throw InputError("--threads must be >= 1");
     } else if (a == "--buffers") {
       buffers = true;
     } else if (a == "--out") {
@@ -131,7 +136,9 @@ int cmd_flow(const std::vector<std::string>& args) {
   std::cout << to_string(mode) << ": delay " << r.initial_delay << " -> "
             << r.final_delay << " ns (" << r.improvement_percent() << "%), area "
             << r.area_delta_percent() << "%, " << r.swaps_committed << " swaps / "
-            << r.resizes_committed << " resizes, " << r.seconds << " s"
+            << r.resizes_committed << " resizes, " << r.probes << " probes on "
+            << r.threads << (r.threads == 1 ? " thread, " : " threads, ")
+            << r.seconds << " s"
             << (options.verify ? (run.verified ? ", verified" : ", VERIFY FAILED")
                                : "")
             << "\n";
@@ -156,12 +163,18 @@ int cmd_flow(const std::vector<std::string>& args) {
 
 int cmd_table1(const std::vector<std::string>& args) {
   bool quick = false, full = false;
+  int threads = 1;
   std::vector<std::string> names;
-  for (const std::string& a : args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
     if (a == "--quick") {
       quick = true;
     } else if (a == "--full") {
       full = true;
+    } else if (a == "--threads") {
+      if (i + 1 >= args.size()) throw InputError("missing value after --threads");
+      threads = std::stoi(args[++i]);
+      if (threads < 1) throw InputError("--threads must be >= 1");
     } else {
       names.push_back(a);
     }
@@ -180,6 +193,7 @@ int cmd_table1(const std::vector<std::string>& args) {
   FlowOptions options;
   options.placer.effort = 4.0;
   options.opt.max_iterations = 4;
+  options.opt.threads = threads;
   std::vector<BenchmarkRow> rows;
   for (const std::string& name : names) {
     std::cerr << "[table1] " << name << "\n";
@@ -192,7 +206,7 @@ int cmd_table1(const std::vector<std::string>& args) {
 
 int usage() {
   std::cerr << "usage: rapids <flow|symmetry|table1|list> [args]\n"
-               "  rapids flow c432 --mode gsg+gs --buffers --out c432_opt.blif\n"
+               "  rapids flow c432 --mode gsg+gs --threads 4 --out c432_opt.blif\n"
                "  rapids symmetry k2\n"
                "  rapids table1 --quick\n"
                "  rapids list\n";
