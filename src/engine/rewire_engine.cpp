@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/log.hpp"
+#include "verify/equivalence.hpp"
 
 namespace rapids {
+
+namespace {
+/// Free-stack floor maintained at construction and after every commit.
+/// A single move inserts at most two inverters (swap) or one per moved
+/// leaf pin (cross-sg); 64 covers any realistic supergate. probe_with
+/// asserts the id space never grows mid-probe, so an overflow is loud.
+constexpr std::size_t kIdReserve = 64;
+}  // namespace
 
 RewireEngine::RewireEngine(Network& net, Placement& placement, const CellLibrary& lib,
                            Sta& sta)
@@ -14,12 +24,26 @@ RewireEngine::RewireEngine(Network& net, Placement& placement, const CellLibrary
   // tombstoned ids keeps id_bound() — and every id-indexed STA/placement
   // array — at a fixed size for the engine's lifetime.
   net_.set_id_recycling(true);
+  // Pre-seed the recycled-id reserve so NO probe ever has to mint a fresh
+  // id: ids key the star-net branch order (timing arithmetic), so an id
+  // allocation that depended on how many probes already ran would make
+  // probe objectives history-dependent — the parallel-vs-serial
+  // determinism bug the differential fuzzer caught. Commits top the
+  // reserve back up (commit histories are identical across worker counts).
+  net_.reserve_recycled_ids(kIdReserve);
 }
 
 RewireEngine::~RewireEngine() { net_.set_id_recycling(prev_recycling_); }
 
 const GisgPartition& RewireEngine::partition() {
   if (!partition_valid_) {
+    // Probe undo restores fanout SETS, not their order; extraction iterates
+    // fanouts, so without this normalization the supergate indexing — and
+    // with it the scheduler's (gain, group) canonical commit order — would
+    // depend on how many probes the live engine ran (serial probes on the
+    // live net, parallel probes on replicas: the differential fuzzer caught
+    // the resulting --threads divergence).
+    net_.canonicalize_fanout_order();
     partition_ = extract_gisg(net_);
     partition_valid_ = true;
   }
@@ -101,12 +125,18 @@ EngineObjective RewireEngine::probe(const EngineMove& move) {
 EngineObjective RewireEngine::probe_with(ProbeScratch& scratch,
                                          const EngineMove& move) {
   ++stats_.probes;
+  const std::size_t bound_before = net_.id_bound();
   sta_.begin();
   apply_and_invalidate(scratch, move);
   sta_.propagate();
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
   undo_network_edit(scratch, move);
   sta_.rollback();
+  // Growing the id space mid-probe would leak probe history into future id
+  // allocation (and through star-net branch order, into timing) — the
+  // reserve must always cover a single move's inserts.
+  RAPIDS_ASSERT_MSG(net_.id_bound() == bound_before,
+                    "probe outgrew the recycled-id reserve");
   return obj;
 }
 
@@ -137,13 +167,129 @@ void RewireEngine::count_commit(const EngineMove& move) {
   }
 }
 
+void RewireEngine::set_paranoid(bool on) {
+  if (on && !paranoid_) {
+    paranoid_ = std::make_unique<sat::WindowChecker>();
+  } else if (!on) {
+    paranoid_.reset();
+  }
+}
+
+void RewireEngine::begin_paranoid_proof(const EngineMove& move) {
+  // Observation root: the supergate root that dominates everything the
+  // move rewires (swap: its own supergate; cross-sg: the enclosing one).
+  const GisgPartition& part = partition();
+  GateId root = kNullGate;
+  switch (move.kind) {
+    case EngineMove::Kind::Swap: {
+      // Swap candidates survive across epochs (they reference stable gate
+      // ids), but their sg_index refers to the partition they were
+      // extracted from — resolve the pin's supergate in the CURRENT
+      // partition instead.
+      const SuperGate* sg = part.sg_containing(move.swap_cand.pin_a.gate);
+      RAPIDS_ASSERT_MSG(sg != nullptr, "swap pin outside any supergate");
+      root = sg->root;
+      break;
+    }
+    case EngineMove::Kind::CrossSg:
+      root = part.sgs[static_cast<std::size_t>(move.cross_cand.enclosing_sg)].root;
+      break;
+    case EngineMove::Kind::Resize:
+      RAPIDS_ASSERT_MSG(false, "resize moves are exempt from proofs");
+  }
+
+  // Derive the exact rewired gate set with a throwaway apply/undo (the
+  // probe guarantee: state is restored bit-exactly), then encode the
+  // pre-move window.
+  paranoid_changed_.clear();
+  paranoid_created_.clear();
+  sta_.begin();
+  apply_and_invalidate(scratch_, move);
+  switch (move.kind) {
+    case EngineMove::Kind::Swap:
+      paranoid_changed_.push_back(move.swap_cand.pin_a.gate);
+      paranoid_changed_.push_back(move.swap_cand.pin_b.gate);
+      paranoid_created_ = scratch_.swap_edit.added_inverters;
+      break;
+    case EngineMove::Kind::CrossSg:
+      for (const CrossSgEdit::PinRestore& pr : scratch_.cross_edit.moved_pins) {
+        paranoid_changed_.push_back(pr.pin.gate);
+      }
+      for (const CrossSgEdit::Retype& r : scratch_.cross_edit.retyped) {
+        paranoid_changed_.push_back(r.gate);
+      }
+      paranoid_created_ = scratch_.cross_edit.added_inverters;
+      break;
+    case EngineMove::Kind::Resize:
+      break;
+  }
+  undo_network_edit(scratch_, move);
+  sta_.rollback();
+  // Created gates do not exist pre-move; the changed set must not name them.
+  for (const GateId c : paranoid_created_) {
+    paranoid_changed_.erase(
+        std::remove(paranoid_changed_.begin(), paranoid_changed_.end(), c),
+        paranoid_changed_.end());
+  }
+  paranoid_->begin(net_, std::span<const GateId>{&root, 1}, paranoid_changed_);
+}
+
 EngineObjective RewireEngine::commit(const EngineMove& move) {
+  const bool prove = paranoid_ && move.kind != EngineMove::Kind::Resize;
+  if (prove) begin_paranoid_proof(move);
   sta_.begin();
   apply_and_invalidate(scratch_, move);
   sta_.propagate();
+  if (prove) {
+    // The move re-inserts inverters; re-read the created set from the real
+    // apply's edit record (ids can differ from the throwaway apply only in
+    // recycling order, but take no chances).
+    paranoid_created_ =
+        move.kind == EngineMove::Kind::Swap ? scratch_.swap_edit.added_inverters
+                                            : scratch_.cross_edit.added_inverters;
+    std::string diag;
+    if (!paranoid_->check(net_, paranoid_created_, &diag)) {
+      // The window proof is sound but can be incomplete (a correlation
+      // between cut points the window abstraction cannot see). Escalate to
+      // a whole-network miter before declaring the move buggy: slow, but
+      // only reached on window failures, and it makes paranoid mode
+      // complete — a move is rejected iff it truly changes some output.
+      undo_network_edit(scratch_, move);
+      sta_.rollback();
+      log_warn() << "paranoid: window proof failed (" << diag
+                 << "); escalating to a full miter";
+      const Network pre = net_.clone();
+      sta_.begin();
+      apply_and_invalidate(scratch_, move);
+      sta_.propagate();
+      const SatEquivalenceResult full = check_equivalence_sat(pre, net_);
+      if (full.status == SatEquivalenceResult::Status::NotEquivalent) {
+        undo_network_edit(scratch_, move);
+        sta_.rollback();
+        throw InternalError("paranoid proof failed: " + diag +
+                            "; full miter CONFIRMS a functional change at output " +
+                            full.failing_output);
+      }
+      if (full.status != SatEquivalenceResult::Status::Proved) {
+        // Budget exhausted without a verdict: the move may well be correct,
+        // but paranoid mode keeps only proved moves. Reject just this one
+        // instead of killing the whole run.
+        undo_network_edit(scratch_, move);
+        sta_.rollback();
+        ++paranoid_inconclusive_;
+        log_warn() << "paranoid: full miter inconclusive (conflict budget); "
+                      "rejecting the move conservatively";
+        return EngineObjective{sta_.critical_delay(), sta_.sum_po_arrival()};
+      }
+    }
+  }
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
   sta_.commit();
   count_commit(move);
+  // Committed inserts consumed reserve ids; top it back up HERE (commit
+  // sequences are identical for every worker count) so probe-time id
+  // allocation stays a pure function of the commit history.
+  net_.reserve_recycled_ids(kIdReserve);
   ++epoch_;
   partition_valid_ = false;
   return obj;

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "place/placement.hpp"
 #include "rewire/cross_sg.hpp"
 #include "rewire/swap.hpp"
+#include "sat/window.hpp"
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
 #include "timing/sta.hpp"
@@ -164,8 +166,28 @@ class RewireEngine {
   EngineObjective probe_with(ProbeScratch& scratch, const EngineMove& move);
 
   /// Apply `move` and keep it. Bumps the epoch and invalidates the
-  /// partition. Returns the post-commit objective.
+  /// partition. Returns the post-commit objective. In paranoid mode the
+  /// move is first SAT-proved function-preserving on its invalidated cone;
+  /// a confirmed functional change rolls the move back and throws
+  /// InternalError, while an escalated full miter that exhausts its
+  /// conflict budget rolls back and rejects just this move (counted in
+  /// paranoid_inconclusive()).
   EngineObjective commit(const EngineMove& move);
+
+  /// Verify-every-commit mode: each committed Swap/CrossSg move is proved
+  /// function-preserving at its supergate root by a windowed SAT miter
+  /// (sat/window.hpp) before it is kept. Resize moves do not change logic
+  /// and are exempt. All commit paths — serial, parallel arbitration,
+  /// commit_best — run through this check.
+  void set_paranoid(bool on);
+  bool paranoid() const { return paranoid_ != nullptr; }
+  /// Proof counters (null when paranoid mode is off).
+  const sat::WindowCheckerStats* paranoid_stats() const {
+    return paranoid_ ? &paranoid_->stats() : nullptr;
+  }
+  /// Moves rejected because even the escalated full miter ran out of
+  /// conflict budget (neither proved nor refuted).
+  std::uint64_t paranoid_inconclusive() const { return paranoid_inconclusive_; }
 
   /// Merge a replica engine's counters (probe workers evaluate on replicas;
   /// their probe counts belong to this engine's lifetime totals).
@@ -197,6 +219,9 @@ class RewireEngine {
   void undo_network_edit(ProbeScratch& scratch, const EngineMove& move);
   void invalidate_dirty(ProbeScratch& scratch, std::span<const GateId> dirty);
   void count_commit(const EngineMove& move);
+  /// Paranoid mode: derive the move's exact rewired-gate set (throwaway
+  /// apply/undo) and encode the pre-move window of its observation root.
+  void begin_paranoid_proof(const EngineMove& move);
 
   Network& net_;
   Placement& placement_;
@@ -214,6 +239,13 @@ class RewireEngine {
   // probe_with().
   ProbeScratch scratch_;
   bool prev_recycling_ = false;
+
+  // Paranoid-mode move prover (null when off) and its reusable scratch for
+  // the changed/created gate sets of the move under proof.
+  std::unique_ptr<sat::WindowChecker> paranoid_;
+  std::vector<GateId> paranoid_changed_;
+  std::vector<GateId> paranoid_created_;
+  std::uint64_t paranoid_inconclusive_ = 0;
 };
 
 }  // namespace rapids

@@ -95,11 +95,17 @@ ModeRun run_mode(const PreparedCircuit& prepared, const CellLibrary& lib, OptMod
   if (oopt.seed == OptimizerOptions{}.seed) oopt.seed = options.placer.seed;
   run.result = optimize(run.optimized, placement, lib, sta, oopt);
   if (options.verify) {
-    const EquivalenceResult eq = check_equivalence(prepared.mapped, run.optimized);
+    EquivalenceOptions eopt;
+    eopt.sat_proof = options.verify_sat;
+    const EquivalenceResult eq = check_equivalence(prepared.mapped, run.optimized, eopt);
     run.verified = eq.equivalent;
     if (!eq.equivalent) {
       log_error() << prepared.name << " " << to_string(mode)
                   << ": optimization broke equivalence at output " << eq.failing_output;
+    } else if (options.verify_sat && !eq.proved) {
+      log_warn() << prepared.name << " " << to_string(mode)
+                 << ": SAT proof inconclusive (budget); verdict rests on "
+                 << eq.patterns << " random patterns";
     }
   }
   return run;

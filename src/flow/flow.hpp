@@ -23,6 +23,9 @@ struct FlowOptions {
   OptimizerOptions opt;
   /// Equivalence-check each optimized netlist against the mapped input.
   bool verify = true;
+  /// Escalate verification to a SAT proof when the interface is too wide
+  /// for exhaustive enumeration (random vectors alone only falsify).
+  bool verify_sat = false;
   /// Placer effort shrink for very large circuits (moves scale down when
   /// cells > threshold; keeps the 19-circuit table under a few minutes).
   std::size_t reduce_effort_above = 4000;

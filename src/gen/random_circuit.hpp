@@ -1,0 +1,40 @@
+// Seeded random mapped-network-shaped circuit generator.
+//
+// The differential fuzzing harness (src/fuzz) and the test suite both draw
+// their workloads here: multi-output DAGs with reconvergence, shaped like
+// the output of map_network. One seed reproduces one circuit exactly; the
+// default profile is byte-compatible with the generator the test suite has
+// always used (tests/test_helpers.hpp delegates to this).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/network.hpp"
+#include "util/rng.hpp"
+
+namespace rapids {
+
+struct RandomCircuitOptions {
+  int num_inputs = 12;
+  int num_gates = 60;
+  int num_outputs = 6;
+  /// Multi-input gates draw their fanin count from [2, max_fanin].
+  int max_fanin = 4;
+  /// Relative draw weights per gate kind, in the order
+  /// AND, NAND, OR, NOR, XOR, XNOR, INV, BUF. The default is uniform.
+  /// XOR-heavy profiles stress the SAT tier; AND/OR-heavy profiles stress
+  /// controlling-value rewiring.
+  int type_weights[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+};
+
+/// Generate a random network from `seed`. Dangling logic is swept, so the
+/// result is ready for map_network / prepare_circuit.
+Network random_network(std::uint64_t seed, const RandomCircuitOptions& options = {});
+
+/// Draw a randomized options profile for fuzzing iteration `iter`: circuit
+/// size, shape and gate mix all vary with the (seed, iter) substream,
+/// bounded by `max_inputs`/`max_gates`.
+RandomCircuitOptions random_fuzz_profile(std::uint64_t seed, std::uint64_t iter,
+                                         int max_inputs, int max_gates);
+
+}  // namespace rapids

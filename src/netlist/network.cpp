@@ -28,6 +28,7 @@ GateId parse_implicit(const std::string& name, char prefix) {
 }  // namespace
 
 GateId Network::add_gate(GateType type, const std::string& name) {
+  ++revision_;
   GateId id;
   if (recycle_ids_ && !free_ids_.empty()) {
     id = free_ids_.back();
@@ -60,7 +61,22 @@ GateId Network::add_gate(GateType type, const std::string& name) {
   return id;
 }
 
+void Network::reserve_recycled_ids(std::size_t n) {
+  RAPIDS_ASSERT_MSG(recycle_ids_, "reserve_recycled_ids requires recycling mode");
+  while (free_ids_.size() < n) {
+    ++revision_;
+    const GateId id = static_cast<GateId>(type_.size());
+    type_.push_back(GateType::Buf);
+    cell_.push_back(-1);
+    deleted_.push_back(1);
+    fanin_ref_.push_back(ChunkRef{});
+    fanout_ref_.push_back(ChunkRef{});
+    free_ids_.push_back(id);
+  }
+}
+
 void Network::add_fanin(GateId gate, GateId driver) {
+  ++revision_;
   check(gate);
   check(driver);
   RAPIDS_ASSERT(!deleted_[gate] && !deleted_[driver]);
@@ -91,6 +107,7 @@ void Network::set_fanin(Pin pin, GateId new_driver) {
   RAPIDS_ASSERT(pin.index < fr.cnt);
   const GateId old_driver = fanin_pool_.at(fr)[pin.index];
   if (old_driver == new_driver) return;
+  ++revision_;
   check(new_driver);
   RAPIDS_ASSERT(!deleted_[new_driver]);
   remove_fanout_entry(old_driver, pin);
@@ -99,6 +116,7 @@ void Network::set_fanin(Pin pin, GateId new_driver) {
 }
 
 void Network::remove_fanin(GateId gate, std::uint32_t index) {
+  ++revision_;
   check(gate);
   ChunkRef& fr = fanin_ref_[gate];
   RAPIDS_ASSERT(index < fr.cnt);
@@ -133,6 +151,7 @@ void Network::replace_all_fanouts(GateId from, GateId to) {
 }
 
 void Network::delete_gate(GateId gate) {
+  ++revision_;
   check(gate);
   RAPIDS_ASSERT(!deleted_[gate]);
   RAPIDS_ASSERT_MSG(fanout_ref_[gate].cnt == 0,
@@ -156,6 +175,17 @@ void Network::delete_gate(GateId gate) {
     outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), gate), outputs_.end());
   }
   if (recycle_ids_) free_ids_.push_back(gate);
+}
+
+void Network::canonicalize_fanout_order() {
+  for (GateId g = 0; g < type_.size(); ++g) {
+    if (deleted_[g]) continue;
+    const ChunkRef& r = fanout_ref_[g];
+    Pin* p = fanout_pool_.at(r);
+    std::sort(p, p + r.cnt, [](const Pin& a, const Pin& b) {
+      return a.gate != b.gate ? a.gate < b.gate : a.index < b.index;
+    });
+  }
 }
 
 void Network::set_type(GateId gate, GateType type) {

@@ -80,6 +80,15 @@ class Network {
   }
   bool id_recycling() const { return recycle_ids_; }
 
+  /// Top the recycled-id free stack up to at least `n` entries by minting
+  /// fresh tombstoned ids (requires recycling mode). Makes id allocation a
+  /// pure function of the commit history: a probe that inserts gates pops
+  /// from this reserve and its undo pushes the ids back, so the id a gate
+  /// receives never depends on how many probes ran before — the invariant
+  /// the parallel scheduler's determinism contract rests on (gate ids key
+  /// the star-net branch order, so ids feed timing arithmetic).
+  void reserve_recycled_ids(std::size_t n);
+
   /// Append `driver` as the next fanin of `gate`.
   void add_fanin(GateId gate, GateId driver);
 
@@ -144,6 +153,19 @@ class Network {
 
   /// One past the largest id ever allocated — size for id-indexed vectors.
   std::size_t id_bound() const { return type_.size(); }
+
+  /// Monotone counter bumped by every structural mutation (add_gate,
+  /// delete_gate and any fanin rewiring — not set_type/set_cell, which keep
+  /// the topology). Structures that capture a topological order (Simulator)
+  /// snapshot this and assert it unchanged, turning the silent
+  /// stale-snapshot footgun into a loud failure.
+  std::uint64_t structure_revision() const { return revision_; }
+
+  /// Pending recycled ids (most recently freed last). Exposed so tests can
+  /// assert probe/undo loops restore the free stack exactly.
+  std::span<const GateId> recycling_free_ids() const {
+    return {free_ids_.data(), free_ids_.size()};
+  }
 
   /// Number of live (non-deleted) gates, including Input/Output/Const.
   std::size_t num_gates() const { return live_count_; }
@@ -247,6 +269,16 @@ class Network {
   /// Count of live gates per type.
   std::vector<std::size_t> type_histogram() const;
 
+  /// Sort every live gate's fanout list by (gate, index). Fanout order is
+  /// otherwise history-dependent — undo re-appends pins at the end and
+  /// removal swaps-with-last — so any consumer that iterates fanouts
+  /// (supergate extraction, and through it group indexing in the parallel
+  /// scheduler's canonical commit order) must run on a canonicalized
+  /// network to be independent of how many probes ran before. Set-wise the
+  /// structure is unchanged; topological validity and all caches remain
+  /// intact.
+  void canonicalize_fanout_order();
+
  private:
   void check(GateId gate) const {
     RAPIDS_ASSERT_MSG(gate < type_.size(), "gate id out of range");
@@ -275,6 +307,7 @@ class Network {
   std::size_t live_count_ = 0;
   bool recycle_ids_ = false;
   std::vector<GateId> free_ids_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace rapids

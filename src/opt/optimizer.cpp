@@ -41,7 +41,11 @@ class Optimizer {
         scheduler_(engine_,
                    SchedulerOptions{std::max(options.threads, 1), /*cone_depth=*/2,
                                     options.seed}),
-        options_(options) {}
+        options_(options) {
+    // Verify-every-commit: each committed move is SAT-proved on its window
+    // before it sticks, for every commit path (incl. parallel arbitration).
+    engine_.set_paranoid(options.paranoid);
+  }
 
   OptimizerResult run() {
     Timer timer;
@@ -103,6 +107,9 @@ class Optimizer {
     result.resizes_committed = stats.resizes_committed;
     result.inverters_added = stats.inverters_added;
     result.probes = stats.probes;
+    if (const auto* proofs = engine_.paranoid_stats()) {
+      result.moves_proved = proofs->moves_checked - engine_.paranoid_inconclusive();
+    }
     return result;
   }
 

@@ -56,6 +56,10 @@ struct OptimizerOptions {
   /// Base seed for per-worker RNG substreams (the flow plumbs its placer
   /// seed through here so one seed reproduces the whole run).
   std::uint64_t seed = 0x5eed5ULL;
+  /// Verify-every-commit mode: every committed Swap/CrossSg move is
+  /// SAT-proved function-preserving on its invalidated cone before it is
+  /// kept (engine paranoid mode). A failed proof throws InternalError.
+  bool paranoid = false;
 };
 
 struct OptimizerResult {
@@ -73,6 +77,9 @@ struct OptimizerResult {
   /// worker count they ran on.
   std::uint64_t probes = 0;
   int threads = 1;
+  /// Committed moves discharged by the paranoid SAT prover (0 unless
+  /// OptimizerOptions::paranoid).
+  std::uint64_t moves_proved = 0;
   // Supergate statistics from the first extraction (Table 1 cols 12-14).
   double coverage = 0.0;          // fraction of gates in non-trivial SGs
   int max_sg_inputs = 0;          // L

@@ -12,7 +12,7 @@ int Die::nearest_row(double y) const {
   return std::clamp(r, 0, num_rows - 1);
 }
 
-Die make_die(double total_cell_area, const DieSpec& spec) {
+Die make_die(double total_cell_area, const DieSpec& spec, double min_width) {
   RAPIDS_ASSERT(total_cell_area > 0.0);
   RAPIDS_ASSERT(spec.target_utilization > 0.05 && spec.target_utilization <= 1.0);
   const double core_area = total_cell_area / spec.target_utilization;
@@ -20,10 +20,29 @@ Die make_die(double total_cell_area, const DieSpec& spec) {
   die.row_height = spec.row_height;
   // height = aspect * width, width * height = core_area.
   const double width = std::sqrt(core_area / spec.aspect_ratio);
-  die.num_rows = std::max(1, static_cast<int>(std::ceil(width * spec.aspect_ratio /
-                                                        spec.row_height)));
+  if (width >= min_width) {
+    die.num_rows = std::max(1, static_cast<int>(std::ceil(width * spec.aspect_ratio /
+                                                          spec.row_height)));
+  } else {
+    // The aspect-ideal die is narrower than the widest cell: trade rows for
+    // width so every cell has a legal row (utilization ends up below
+    // target on such tiny netlists).
+    die.num_rows = std::max(
+        1, static_cast<int>(std::floor(core_area / min_width / spec.row_height)));
+  }
   die.height = die.num_rows * spec.row_height;
-  die.width = core_area / die.height;
+  die.width = std::max(core_area / die.height, min_width);
+  // Bin-packing guarantee: whole cells go into single rows, so global
+  // capacity is not enough — with every row narrower than (total/rows +
+  // min_width), first-fit can strand a widest cell even though area-wise it
+  // fits (3 cells of 14.6um across 2 rows of 24.3um, found by the fuzzer).
+  // (width - min_width) * rows >= total_width makes greedy assignment
+  // provably complete: if no row could take a cell of width w <= min_width,
+  // every row would hold more than (width - min_width), exceeding the total.
+  // For normally-sized dies the utilization slack already covers this and
+  // the clamp is a no-op.
+  const double total_width = total_cell_area / spec.row_height;
+  die.width = std::max(die.width, total_width / die.num_rows + min_width);
   return die;
 }
 

@@ -27,6 +27,11 @@ struct Die {
 };
 
 /// Size a die to fit `total_cell_area` at the requested utilization.
-Die make_die(double total_cell_area, const DieSpec& spec = {});
+/// `min_width` is the widest single cell: tiny netlists otherwise round to
+/// a die narrower than one cell and legalization has no legal row for it
+/// (found by the differential fuzzer on a 1-gate circuit). When the
+/// minimum binds, the row count shrinks and utilization drops below
+/// target; legality wins over density.
+Die make_die(double total_cell_area, const DieSpec& spec = {}, double min_width = 0.0);
 
 }  // namespace rapids

@@ -37,15 +37,18 @@ Placement place(const Network& net, const CellLibrary& lib, const PlacerOptions&
   // --- die sizing --------------------------------------------------------
   std::vector<GateId> cells;  // gates that occupy a row slot
   double total_area = 0.0;
+  double max_width = 0.0;
   net.for_each_gate([&](GateId g) {
     const GateType t = net.type(g);
     if (is_logic(t) || t == GateType::Const0 || t == GateType::Const1) {
       cells.push_back(g);
-      total_area += cell_width(net, lib, g, options.die.row_height) * options.die.row_height;
+      const double w = cell_width(net, lib, g, options.die.row_height);
+      total_area += w * options.die.row_height;
+      max_width = std::max(max_width, w);
     }
   });
   if (cells.empty()) total_area = 100.0;
-  const Die die = make_die(std::max(total_area, 100.0), options.die);
+  const Die die = make_die(std::max(total_area, 100.0), options.die, max_width);
 
   Placement pl(net.id_bound());
   pl.set_die(die);

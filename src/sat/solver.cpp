@@ -1,0 +1,384 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+
+namespace rapids::sat {
+
+namespace {
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...), scaled by the caller.
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence containing index i and its size.
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return 1ULL << seq;
+}
+
+constexpr double kActivityDecay = 0.95;
+constexpr double kActivityRescale = 1e100;
+constexpr std::uint64_t kRestartBase = 64;
+
+}  // namespace
+
+int Solver::new_var() {
+  const int v = num_vars();
+  assign_.push_back(kUndef);
+  model_.push_back(kUndef);
+  saved_phase_.push_back(kFalse);
+  reason_.push_back(kNoClause);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+Solver::ClauseRef Solver::alloc_clause(const std::vector<Lit>& lits) {
+  const ClauseRef ref = static_cast<ClauseRef>(arena_.size());
+  arena_.push_back(static_cast<std::int32_t>(lits.size()));
+  for (const Lit l : lits) arena_.push_back(l.code());
+  return ref;
+}
+
+void Solver::watch_clause(ClauseRef c) {
+  // A clause watches the negation of its first two literals: when one of
+  // them becomes false we visit the clause.
+  watches_[(~clause_lit(c, 0)).code()].push_back(c);
+  watches_[(~clause_lit(c, 1)).code()].push_back(c);
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  RAPIDS_ASSERT_MSG(trail_lim_.empty(), "add_clause only at decision level 0");
+  // Normalize: sort, dedupe, drop tautologies and false literals.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (const Lit l : lits) {
+    RAPIDS_ASSERT(l.var() >= 0 && l.var() < num_vars());
+    if (!out.empty() && l == out.back()) continue;
+    if (!out.empty() && l == ~out.back()) return true;  // tautology
+    if (value_of(l) == kTrue && level_[l.var()] == 0) return true;  // satisfied
+    if (value_of(l) == kFalse && level_[l.var()] == 0) continue;    // falsified
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    if (value_of(out[0]) == kFalse) {
+      ok_ = false;
+      return false;
+    }
+    if (value_of(out[0]) == kUndef) {
+      enqueue(out[0], kNoClause);
+      if (propagate() != kNoClause) {
+        ok_ = false;
+        return false;
+      }
+    }
+    return true;
+  }
+  const ClauseRef c = alloc_clause(out);
+  clauses_.push_back(c);
+  watch_clause(c);
+  return true;
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  RAPIDS_ASSERT(value_of(l) == kUndef);
+  assign_[l.var()] = l.negated() ? kFalse : kTrue;
+  reason_[l.var()] = reason;
+  level_[l.var()] = static_cast<std::int32_t>(trail_lim_.size());
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    std::vector<ClauseRef>& watch_list = watches_[p.code()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const ClauseRef c = watch_list[i];
+      // Ensure the false literal (~p) sits in slot 1.
+      if (clause_lit(c, 0) == ~p) {
+        set_clause_lit(c, 0, clause_lit(c, 1));
+        set_clause_lit(c, 1, ~p);
+      }
+      const Lit first = clause_lit(c, 0);
+      if (value_of(first) == kTrue) {
+        watch_list[keep++] = c;  // clause satisfied; keep watching
+        continue;
+      }
+      // Look for a new literal to watch.
+      const int size = clause_size(c);
+      bool moved = false;
+      for (int k = 2; k < size; ++k) {
+        const Lit alt = clause_lit(c, k);
+        if (value_of(alt) != kFalse) {
+          set_clause_lit(c, 1, alt);
+          set_clause_lit(c, k, ~p);
+          watches_[(~alt).code()].push_back(c);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch migrated; drop from this list
+      watch_list[keep++] = c;
+      if (value_of(first) == kFalse) {
+        // Conflict: restore the remaining watches and report.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return c;
+      }
+      enqueue(first, c);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoClause;
+}
+
+void Solver::bump_var(int var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > kActivityRescale) {
+    for (double& a : activity_) a /= kActivityRescale;
+    var_inc_ /= kActivityRescale;
+  }
+  if (heap_pos_[var] >= 0) heap_sift_up(static_cast<std::size_t>(heap_pos_[var]));
+}
+
+void Solver::decay_activities() { var_inc_ /= kActivityDecay; }
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
+                     int& backtrack_level) {
+  // First-UIP scheme: walk the trail backwards resolving antecedents until
+  // exactly one literal of the current decision level remains.
+  learned.clear();
+  learned.push_back(Lit());  // slot for the asserting literal
+  const int current_level = static_cast<int>(trail_lim_.size());
+  int counter = 0;
+  std::size_t index = trail_.size();
+  Lit p;
+  ClauseRef reason = conflict;
+  bool have_p = false;
+
+  do {
+    RAPIDS_ASSERT(reason != kNoClause);
+    const int size = clause_size(reason);
+    for (int i = have_p ? 1 : 0; i < size; ++i) {
+      // By watched-literal convention the asserting literal of a reason
+      // clause sits in slot 0; skip it when resolving on p.
+      const Lit q = clause_lit(reason, i);
+      if (have_p && q == p) continue;
+      const int v = q.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump_var(v);
+      if (level_[v] >= current_level) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Pick the next seen literal from the trail.
+    while (!seen_[trail_[--index].var()]) {}
+    p = trail_[index];
+    have_p = true;
+    reason = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --counter;
+  } while (counter > 0);
+  learned[0] = ~p;
+
+  // Backtrack level: second-highest level in the learned clause.
+  backtrack_level = 0;
+  if (learned.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learned.size(); ++i) {
+      if (level_[learned[i].var()] > level_[learned[max_i].var()]) max_i = i;
+    }
+    std::swap(learned[1], learned[max_i]);
+    backtrack_level = level_[learned[1].var()];
+  }
+  for (const Lit l : learned) seen_[l.var()] = 0;
+  stats_.learned_literals += learned.size();
+}
+
+void Solver::backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const int v = trail_[i].var();
+    saved_phase_[v] = assign_[v];
+    assign_[v] = kUndef;
+    reason_[v] = kNoClause;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+// --- activity heap ----------------------------------------------------------
+
+void Solver::heap_insert(int var) {
+  heap_pos_[var] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(var);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const int var = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[var]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const int var = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && activity_[heap_[child + 1]] > activity_[heap_[child]]) ++child;
+    if (activity_[heap_[child]] <= activity_[var]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = static_cast<std::int32_t>(i);
+}
+
+int Solver::heap_pop() {
+  const int top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+int Solver::pick_branch_var() {
+  while (!heap_.empty()) {
+    const int v = heap_pop();
+    if (assign_[v] == kUndef) return v;
+  }
+  return -1;
+}
+
+SatStatus Solver::solve(const std::vector<Lit>& assumptions,
+                        std::int64_t max_conflicts) {
+  if (!ok_) return SatStatus::Unsat;
+  backtrack(0);
+  if (propagate() != kNoClause) {
+    ok_ = false;
+    return SatStatus::Unsat;
+  }
+
+  std::vector<Lit> learned;
+  std::uint64_t conflicts_this_restart = 0;
+  std::uint64_t restart_budget = kRestartBase * luby(0);
+  std::int64_t conflicts_left = max_conflicts;
+
+  while (true) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (trail_lim_.empty()) {
+        ok_ = false;
+        return SatStatus::Unsat;  // conflict at level 0: formula UNSAT
+      }
+      if (conflicts_left >= 0 && --conflicts_left < 0) {
+        backtrack(0);
+        return SatStatus::Unknown;
+      }
+      int back_level = 0;
+      analyze(conflict, learned, back_level);
+      // Never undo assumption decisions implicitly: if the learned clause
+      // asserts below the assumption prefix that is fine (it stays
+      // compatible — assumptions are re-enqueued as decisions below).
+      backtrack(back_level);
+      if (learned.size() == 1) {
+        if (value_of(learned[0]) == kFalse) {
+          ok_ = false;
+          return SatStatus::Unsat;
+        }
+        if (value_of(learned[0]) == kUndef) enqueue(learned[0], kNoClause);
+      } else {
+        const ClauseRef c = alloc_clause(learned);
+        learned_.push_back(c);
+        watch_clause(c);
+        enqueue(learned[0], c);
+      }
+      decay_activities();
+      continue;
+    }
+
+    if (conflicts_this_restart >= restart_budget &&
+        trail_lim_.size() > assumptions.size()) {
+      ++stats_.restarts;
+      conflicts_this_restart = 0;
+      restart_budget = kRestartBase * luby(stats_.restarts);
+      backtrack(static_cast<int>(assumptions.size()));
+      continue;
+    }
+
+    // Re-establish assumptions as the bottom decision levels.
+    if (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      if (value_of(a) == kFalse) {
+        // Unsat under assumptions only: leave the solver at level 0 so
+        // add_clause and the next solve() start from a clean trail.
+        backtrack(0);
+        return SatStatus::Unsat;
+      }
+      trail_lim_.push_back(trail_.size());
+      if (value_of(a) == kUndef) enqueue(a, kNoClause);
+      continue;
+    }
+
+    const int v = pick_branch_var();
+    if (v < 0) {
+      model_ = assign_;
+      // Free variables (never touched by any clause path) default to false.
+      for (std::int8_t& m : model_) {
+        if (m == kUndef) m = kFalse;
+      }
+      backtrack(0);
+      return SatStatus::Sat;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(trail_.size());
+    enqueue(Lit(v, saved_phase_[v] != kTrue), kNoClause);
+  }
+}
+
+}  // namespace rapids::sat

@@ -1,0 +1,151 @@
+// Small self-contained CDCL SAT solver (proof tier of the verifier).
+//
+// Random simulation (verify/equivalence) is a falsifier: it can certify a
+// rewiring bug, never its absence, and beyond the exhaustive PI limit a
+// passing run is only statistical evidence. This solver turns the miter of
+// two networks into an actual proof: UNSAT means no input assignment
+// distinguishes them. The feature set is deliberately classic MiniSat-era
+// CDCL — two-watched-literal propagation, first-UIP clause learning,
+// VSIDS-style activity decisions with phase saving, and Luby restarts —
+// with solve-under-assumptions so one solver instance proves many
+// properties incrementally (per-PO miter outputs, per-move window checks).
+// No preprocessing: the Tseitin encoder (tseitin.hpp) does the structural
+// sharing that matters for rewired-circuit miters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rapids::sat {
+
+/// A literal: variable index with sign packed in the low bit.
+/// Variables are dense 0-based indices handed out by Solver::new_var().
+class Lit {
+ public:
+  Lit() = default;
+  Lit(int var, bool negated) : code_(2 * var + (negated ? 1 : 0)) {}
+
+  int var() const { return code_ >> 1; }
+  bool negated() const { return code_ & 1; }
+  Lit operator~() const { return from_code(code_ ^ 1); }
+  int code() const { return code_; }
+
+  static Lit from_code(int code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  friend bool operator==(const Lit& a, const Lit& b) = default;
+
+ private:
+  int code_ = -2;
+};
+
+inline constexpr int kUndefLitCode = -2;
+
+enum class SatStatus : std::uint8_t {
+  Sat,      // satisfying assignment found (model() valid)
+  Unsat,    // proven unsatisfiable (under the given assumptions)
+  Unknown,  // conflict budget exhausted
+};
+
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_literals = 0;
+};
+
+class Solver {
+ public:
+  Solver() = default;
+
+  /// Allocate a fresh variable; returns its index.
+  int new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Add a clause over existing variables. Returns false if the clause (or
+  /// the formula) is already trivially unsatisfiable. Duplicate and
+  /// tautological literals are normalized away.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+
+  /// Solve under `assumptions` (all must hold). The clause database persists
+  /// across calls, so sequential property checks share learned clauses.
+  /// `max_conflicts` < 0 means no budget.
+  SatStatus solve(const std::vector<Lit>& assumptions = {},
+                  std::int64_t max_conflicts = -1);
+
+  /// Model value of a variable after SatStatus::Sat.
+  bool model_value(int var) const {
+    RAPIDS_ASSERT(var >= 0 && var < num_vars());
+    return model_[var] == 1;
+  }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  // Clause storage: all clauses live in one arena, addressed by offset. A
+  // clause is [size, lit0, lit1, ...]; watched literals are lit0/lit1.
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause = 0xFFFFFFFFu;
+
+  int clause_size(ClauseRef c) const { return arena_[c]; }
+  Lit clause_lit(ClauseRef c, int i) const { return Lit::from_code(arena_[c + 1 + i]); }
+  void set_clause_lit(ClauseRef c, int i, Lit l) { arena_[c + 1 + i] = l.code(); }
+
+  ClauseRef alloc_clause(const std::vector<Lit>& lits);
+  void watch_clause(ClauseRef c);
+
+  // Assignment trail.
+  enum : std::int8_t { kTrue = 1, kFalse = -1, kUndef = 0 };
+  std::int8_t value_of(Lit l) const {
+    const std::int8_t v = assign_[l.var()];
+    return l.negated() ? static_cast<std::int8_t>(-v) : v;
+  }
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learned, int& backtrack_level);
+  void backtrack(int level);
+  int pick_branch_var();
+  void bump_var(int var);
+  void decay_activities();
+
+  // Heap keyed by activity (lazy: may contain assigned vars).
+  void heap_insert(int var);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  int heap_pop();
+
+  std::vector<std::int32_t> arena_;           // clause pool
+  std::vector<ClauseRef> clauses_;            // problem clauses
+  std::vector<ClauseRef> learned_;            // learned clauses
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by Lit::code()
+
+  std::vector<std::int8_t> assign_;       // per-var current value
+  std::vector<std::int8_t> model_;        // snapshot at SAT
+  std::vector<std::int8_t> saved_phase_;  // phase saving
+  std::vector<ClauseRef> reason_;         // antecedent per var
+  std::vector<std::int32_t> level_;       // decision level per var
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;  // trail index at each decision level
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::int32_t> heap_;       // binary max-heap of var indices
+  std::vector<std::int32_t> heap_pos_;   // var -> heap index (-1 if absent)
+
+  std::vector<std::uint8_t> seen_;  // scratch for analyze()
+
+  bool ok_ = true;  // false once the formula is unconditionally UNSAT
+  SolverStats stats_;
+};
+
+}  // namespace rapids::sat

@@ -1,0 +1,208 @@
+#include "sat/tseitin.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rapids::sat {
+
+CnfEncoder::CnfEncoder(Solver& solver) : solver_(solver) {
+  const_true_ = Lit(solver_.new_var(), false);
+  solver_.add_clause(const_true_);
+}
+
+Lit CnfEncoder::hashed_and(std::vector<Lit>& ins) {
+  // Normalize: sort by code, dedupe, fold constants and complements.
+  std::sort(ins.begin(), ins.end(), [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> norm;
+  norm.reserve(ins.size());
+  for (const Lit l : ins) {
+    if (l == constant(true)) continue;
+    if (l == constant(false)) return constant(false);
+    if (!norm.empty() && l == norm.back()) continue;          // x & x
+    if (!norm.empty() && l == ~norm.back()) return constant(false);  // x & !x
+    norm.push_back(l);
+  }
+  if (norm.empty()) return constant(true);
+  if (norm.size() == 1) return norm[0];
+
+  NodeKey key{0, {}};
+  key.lits.reserve(norm.size());
+  for (const Lit l : norm) key.lits.push_back(l.code());
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  const Lit out = fresh();
+  // out -> each input; all inputs -> out.
+  std::vector<Lit> big;
+  big.reserve(norm.size() + 1);
+  big.push_back(out);
+  for (const Lit l : norm) {
+    solver_.add_clause(~out, l);
+    big.push_back(~l);
+  }
+  solver_.add_clause(std::move(big));
+  cache_.emplace(std::move(key), out);
+  return out;
+}
+
+Lit CnfEncoder::and_of(std::vector<Lit> ins) { return hashed_and(ins); }
+
+Lit CnfEncoder::or_of(std::vector<Lit> ins) {
+  for (Lit& l : ins) l = ~l;
+  return ~hashed_and(ins);
+}
+
+Lit CnfEncoder::xor2(Lit a, Lit b) {
+  // Canonical orientation: strip signs onto the output so xor2(a,b) and
+  // xor2(~a,b) share one node.
+  bool neg = false;
+  if (a.negated()) {
+    a = ~a;
+    neg = !neg;
+  }
+  if (b.negated()) {
+    b = ~b;
+    neg = !neg;
+  }
+  if (a.code() > b.code()) std::swap(a, b);
+  if (a == b) return constant(neg);
+  if (a == constant(true)) return neg ? b : ~b;  // const_true_ is positive
+
+  NodeKey key{1, {a.code(), b.code()}};
+  Lit out;
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++cache_hits_;
+    out = it->second;
+  } else {
+    out = fresh();
+    solver_.add_clause(~out, a, b);
+    solver_.add_clause(~out, ~a, ~b);
+    solver_.add_clause(out, ~a, b);
+    solver_.add_clause(out, a, ~b);
+    cache_.emplace(std::move(key), out);
+  }
+  return neg ? ~out : out;
+}
+
+Lit CnfEncoder::xor_of(std::vector<Lit> ins) {
+  // Fold signs and constants into a parity bit, cancel duplicate variables.
+  bool neg = false;
+  std::vector<int> vars;
+  vars.reserve(ins.size());
+  for (Lit l : ins) {
+    if (l.negated()) {
+      neg = !neg;
+      l = ~l;
+    }
+    if (l == constant(true)) {
+      neg = !neg;
+      continue;
+    }
+    vars.push_back(l.var());
+  }
+  std::sort(vars.begin(), vars.end());
+  std::vector<Lit> chain;
+  for (std::size_t i = 0; i < vars.size();) {
+    if (i + 1 < vars.size() && vars[i] == vars[i + 1]) {
+      i += 2;  // x ^ x == 0
+      continue;
+    }
+    chain.push_back(Lit(vars[i], false));
+    ++i;
+  }
+  if (chain.empty()) return constant(neg);
+  Lit acc = chain[0];
+  for (std::size_t i = 1; i < chain.size(); ++i) acc = xor2(acc, chain[i]);
+  return neg ? ~acc : acc;
+}
+
+Lit CnfEncoder::gate_lit(GateType type, std::vector<Lit> ins) {
+  switch (type) {
+    case GateType::Buf:
+      RAPIDS_ASSERT(ins.size() == 1);
+      return ins[0];
+    case GateType::Inv:
+      RAPIDS_ASSERT(ins.size() == 1);
+      return ~ins[0];
+    case GateType::And:
+      return and_of(std::move(ins));
+    case GateType::Nand:
+      return ~and_of(std::move(ins));
+    case GateType::Or:
+      return or_of(std::move(ins));
+    case GateType::Nor:
+      return ~or_of(std::move(ins));
+    case GateType::Xor:
+      return xor_of(std::move(ins));
+    case GateType::Xnor:
+      return ~xor_of(std::move(ins));
+    case GateType::Const0:
+      return constant(false);
+    case GateType::Const1:
+      return constant(true);
+    default:
+      RAPIDS_ASSERT_MSG(false, "gate_lit: not a logic gate type");
+      return Lit();
+  }
+}
+
+std::vector<Lit> encode_cones(
+    CnfEncoder& enc, const Network& net, std::span<const GateId> roots,
+    const std::function<bool(GateId, Lit&)>& leaf_lit,
+    std::unordered_map<GateId, Lit>& gate_lits) {
+  // Iterative post-order DFS over fanin cones.
+  std::vector<Lit> out;
+  out.reserve(roots.size());
+  std::vector<std::pair<GateId, bool>> stack;  // (gate, children_done)
+  std::vector<Lit> fanin_lits;
+
+  auto resolve_leaf = [&](GateId g, Lit& l) -> bool {
+    const GateType t = net.type(g);
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      l = enc.constant(t == GateType::Const1);
+      return true;
+    }
+    if (leaf_lit(g, l)) return true;
+    RAPIDS_ASSERT_MSG(t != GateType::Input, "encode_cones: unmapped primary input");
+    return false;
+  };
+
+  for (const GateId root : roots) {
+    if (gate_lits.contains(root)) {
+      out.push_back(gate_lits.at(root));
+      continue;
+    }
+    stack.emplace_back(root, false);
+    while (!stack.empty()) {
+      auto [g, ready] = stack.back();
+      stack.pop_back();
+      if (gate_lits.contains(g)) continue;
+      if (!ready) {
+        Lit l;
+        if (resolve_leaf(g, l)) {
+          gate_lits.emplace(g, l);
+          continue;
+        }
+        stack.emplace_back(g, true);
+        for (const GateId f : net.fanins(g)) {
+          if (!gate_lits.contains(f)) stack.emplace_back(f, false);
+        }
+        continue;
+      }
+      const GateType t = net.type(g);
+      if (t == GateType::Output) {
+        gate_lits.emplace(g, gate_lits.at(net.fanin(g, 0)));
+        continue;
+      }
+      fanin_lits.clear();
+      for (const GateId f : net.fanins(g)) fanin_lits.push_back(gate_lits.at(f));
+      gate_lits.emplace(g, enc.gate_lit(t, fanin_lits));
+    }
+    out.push_back(gate_lits.at(root));
+  }
+  return out;
+}
+
+}  // namespace rapids::sat

@@ -1,0 +1,92 @@
+// Tseitin encoding of Networks with structural hashing.
+//
+// The encoder turns gate cones into CNF over a Solver, one literal per
+// distinct (type, fanin-literals) node. Hashing is what makes rewired-
+// circuit miters cheap: the two sides of a miter are structurally identical
+// almost everywhere, symmetric gate types canonicalize their fanin order,
+// and INV/BUF chains collapse into literal negation — so identical cones
+// merge into the same variable and the SAT instance reduces to the rewired
+// region. Pin swaps inside one symmetric gate vanish entirely at encode
+// time; the solver only sees what rewiring actually restructured.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "sat/solver.hpp"
+
+namespace rapids::sat {
+
+/// Hash-consing CNF builder over AND/XOR node primitives (OR is encoded by
+/// De Morgan so AND-shaped sharing applies to both polarities).
+class CnfEncoder {
+ public:
+  explicit CnfEncoder(Solver& solver);
+
+  Solver& solver() { return solver_; }
+
+  /// The constant-true literal (a fixed unit-clause variable).
+  Lit constant(bool value) const { return value ? const_true_ : ~const_true_; }
+
+  /// A fresh unconstrained variable (primary-input / cut-point literal).
+  Lit fresh() { return Lit(solver_.new_var(), false); }
+
+  /// Hashed n-ary gates over literals. Inputs are normalized (sorting,
+  /// constant folding, duplicate/complement elimination) before lookup.
+  Lit and_of(std::vector<Lit> ins);
+  Lit or_of(std::vector<Lit> ins);
+  Lit xor_of(std::vector<Lit> ins);
+
+  /// Literal of a logic gate type applied to fanin literals (handles the
+  /// inverted families and INV/BUF; Input/Output/Const are not gates here).
+  Lit gate_lit(GateType type, std::vector<Lit> ins);
+
+  /// Literal that is true iff a != b.
+  Lit mismatch(Lit a, Lit b) { return xor_of({a, b}); }
+
+  /// Structural-sharing statistic: nodes returned from cache instead of
+  /// being freshly encoded.
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct NodeKey {
+    std::uint8_t op;  // 0 = AND, 1 = XOR
+    std::vector<std::int32_t> lits;
+    friend bool operator==(const NodeKey& a, const NodeKey& b) = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::size_t h = k.op;
+      for (const std::int32_t c : k.lits) {
+        h ^= static_cast<std::size_t>(c) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  Lit hashed_and(std::vector<Lit>& ins);
+  Lit xor2(Lit a, Lit b);
+
+  Solver& solver_;
+  Lit const_true_;
+  std::unordered_map<NodeKey, Lit, NodeKeyHash> cache_;
+  std::uint64_t cache_hits_ = 0;
+};
+
+/// Encode the fanin cones of `roots` in `net`. `leaf_lit(g)` supplies the
+/// literal for every boundary gate: a gate for which it returns a valid
+/// literal is NOT descended into. Gates where `leaf_lit` returns no literal
+/// are encoded structurally from their fanins (Const gates always encode as
+/// constants; Input gates MUST be mapped by `leaf_lit`). Returns one
+/// literal per root, in order. The per-gate literal map `gate_lits` is
+/// shared across calls so repeated encodings of one network reuse work.
+std::vector<Lit> encode_cones(
+    CnfEncoder& enc, const Network& net, std::span<const GateId> roots,
+    const std::function<bool(GateId, Lit&)>& leaf_lit,
+    std::unordered_map<GateId, Lit>& gate_lits);
+
+}  // namespace rapids::sat

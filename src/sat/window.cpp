@@ -1,0 +1,122 @@
+#include "sat/window.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rapids::sat {
+
+bool WindowChecker::leaf_lit(const Network& net, GateId g, Lit& l) {
+  if (affected_.contains(g)) return false;  // inside the window: encode
+  // Chase INV/BUF chains at the boundary before assigning a cut variable.
+  // Inverter reuse during swaps rewires a pin straight to an inverter's
+  // INPUT: the post-move window then references that input while the
+  // pre-move window references the inverter itself. A free variable for
+  // the inverter would lose the correlation and flag a spurious mismatch;
+  // chasing to the chain's source makes both windows share one variable.
+  // (Chains never re-enter the window: a boundary gate's fanins are
+  // boundary gates too, or the gate would be in the fanout cone.)
+  bool negate = false;
+  while (net.type(g) == GateType::Inv || net.type(g) == GateType::Buf) {
+    negate ^= net.type(g) == GateType::Inv;
+    g = net.fanin(g, 0);
+    if (affected_.contains(g)) {
+      RAPIDS_ASSERT_MSG(false, "window boundary chain re-enters the window");
+    }
+  }
+  if (net.type(g) == GateType::Const0 || net.type(g) == GateType::Const1) {
+    l = enc_->constant((net.type(g) == GateType::Const1) != negate);
+    return true;
+  }
+  if (const auto it = cut_vars_.find(g); it != cut_vars_.end()) {
+    l = negate ? ~it->second : it->second;
+    return true;
+  }
+  const Lit v = enc_->fresh();
+  cut_vars_.emplace(g, v);
+  l = negate ? ~v : v;
+  return true;
+}
+
+void WindowChecker::begin(const Network& net, std::span<const GateId> roots,
+                          std::span<const GateId> changed) {
+  solver_ = std::make_unique<Solver>();
+  enc_ = std::make_unique<CnfEncoder>(*solver_);
+  affected_.clear();
+  cut_vars_.clear();
+  lits_pre_.clear();
+  lits_post_.clear();
+  pre_lits_.clear();
+  roots_.assign(roots.begin(), roots.end());
+  escaped_ = false;
+
+  // Affected set: fanout cone of the changed gates, truncated at the
+  // observation roots. Fanout edges of unchanged gates are move-invariant,
+  // so this same set bounds the post-move cone (plus created gates, which
+  // check() adds). If the cone reaches a primary-output marker without
+  // passing a root, the roots do not dominate the move and the windowed
+  // proof would be vacuous — record the escape and fail in check().
+  const std::unordered_set<GateId> root_set(roots_.begin(), roots_.end());
+  std::vector<GateId> queue(changed.begin(), changed.end());
+  for (const GateId g : queue) affected_.insert(g);
+  while (!queue.empty()) {
+    const GateId g = queue.back();
+    queue.pop_back();
+    if (net.type(g) == GateType::Output) {
+      escaped_ = true;
+      escape_gate_ = g;
+      continue;
+    }
+    if (root_set.contains(g)) continue;  // dominated: stop expanding
+    for (const Pin& sink : net.fanouts(g)) {
+      if (affected_.insert(sink.gate).second) queue.push_back(sink.gate);
+    }
+  }
+
+  const auto leaf = [this, &net](GateId g, Lit& l) { return leaf_lit(net, g, l); };
+  pre_lits_ = encode_cones(*enc_, net, roots_, leaf, lits_pre_);
+  stats_.window_gates += lits_pre_.size();
+}
+
+bool WindowChecker::check(const Network& net, std::span<const GateId> created,
+                          std::string* diagnostic) {
+  RAPIDS_ASSERT_MSG(enc_ != nullptr, "WindowChecker::check without begin");
+  ++stats_.moves_checked;
+  if (escaped_) {
+    if (diagnostic) {
+      *diagnostic = "move's affected cone reaches primary output " +
+                    net.name(escape_gate_) + " without passing an observation root (" +
+                    (roots_.empty() ? std::string("none") : net.name(roots_[0])) + ")";
+    }
+    return false;
+  }
+  for (const GateId g : created) affected_.insert(g);
+
+  const auto leaf = [this, &net](GateId g, Lit& l) { return leaf_lit(net, g, l); };
+  const std::vector<Lit> post_lits = encode_cones(*enc_, net, roots_, leaf, lits_post_);
+  stats_.window_gates += lits_post_.size();
+
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    if (pre_lits_[i] == post_lits[i]) {
+      ++stats_.roots_proved_structurally;
+      continue;
+    }
+    const Lit diff = enc_->mismatch(pre_lits_[i], post_lits[i]);
+    const SatStatus status = solver_->solve({diff}, conflict_limit_);
+    if (status == SatStatus::Unsat) {
+      ++stats_.roots_proved_by_sat;
+      continue;
+    }
+    if (diagnostic) {
+      *diagnostic = (status == SatStatus::Unknown ? "proof budget exhausted at root "
+                                                  : "function changed at root ") +
+                    net.name(roots_[i]);
+    }
+    stats_.conflicts += solver_->stats().conflicts;
+    return false;
+  }
+  stats_.conflicts += solver_->stats().conflicts;
+  return true;
+}
+
+}  // namespace rapids::sat

@@ -1,59 +1,13 @@
 #include "verify/equivalence.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "verify/interface_map.hpp"
 #include "verify/simulator.hpp"
 
 namespace rapids {
-
-namespace {
-
-/// Maps b's PI order onto a's and checks PO name correspondence.
-/// Returns (pi_perm, po_pairs) where pi_perm[i] = index in b of a's i-th PI.
-struct InterfaceMap {
-  std::vector<std::size_t> pi_perm;
-  std::vector<std::pair<GateId, GateId>> po_pairs;  // (po in a, po in b)
-};
-
-InterfaceMap map_interfaces(const Network& a, const Network& b) {
-  InterfaceMap m;
-  const auto a_pis = a.primary_inputs();
-  const auto b_pis = b.primary_inputs();
-  if (a_pis.size() != b_pis.size()) {
-    throw InputError("equivalence: PI count mismatch");
-  }
-  std::unordered_map<std::string, std::size_t> b_pi_index;
-  for (std::size_t i = 0; i < b_pis.size(); ++i) b_pi_index[b.name(b_pis[i])] = i;
-  m.pi_perm.reserve(a_pis.size());
-  for (const GateId pi : a_pis) {
-    auto it = b_pi_index.find(a.name(pi));
-    if (it == b_pi_index.end()) {
-      throw InputError("equivalence: PI '" + a.name(pi) + "' missing in second network");
-    }
-    m.pi_perm.push_back(it->second);
-  }
-
-  const auto a_pos = a.primary_outputs();
-  const auto b_pos = b.primary_outputs();
-  if (a_pos.size() != b_pos.size()) {
-    throw InputError("equivalence: PO count mismatch");
-  }
-  std::unordered_map<std::string, GateId> b_po_by_name;
-  for (const GateId po : b_pos) b_po_by_name[b.name(po)] = po;
-  for (const GateId po : a_pos) {
-    auto it = b_po_by_name.find(a.name(po));
-    if (it == b_po_by_name.end()) {
-      throw InputError("equivalence: PO '" + a.name(po) + "' missing in second network");
-    }
-    m.po_pairs.emplace_back(po, it->second);
-  }
-  return m;
-}
-
-}  // namespace
 
 EquivalenceResult check_equivalence(const Network& a, const Network& b,
                                     const EquivalenceOptions& options) {
@@ -79,6 +33,7 @@ EquivalenceResult check_equivalence(const Network& a, const Network& b,
       n <= static_cast<std::size_t>(options.exhaustive_pi_limit) && n <= 63;
   if (exhaustive) {
     result.exhaustive = true;
+    result.proved = true;
     const std::uint64_t blocks = n <= 6 ? 1 : (1ULL << (n - 6));
     std::vector<std::uint64_t> words_a(n), words_b(n);
     for (std::uint64_t block = 0; block < blocks; ++block) {
@@ -92,7 +47,10 @@ EquivalenceResult check_equivalence(const Network& a, const Network& b,
       for (std::size_t i = 0; i < n; ++i) words_b[m.pi_perm[i]] = words_a[i];
       sim_b.run(words_b);
       result.patterns += 64;
-      if (!compare_outputs()) return result;
+      if (!compare_outputs()) {
+        result.proved = false;
+        return result;
+      }
     }
     return result;
   }
@@ -113,6 +71,24 @@ EquivalenceResult check_equivalence(const Network& a, const Network& b,
     sim_b.run(words_b);
     result.patterns += 64;
     if (!compare_outputs()) return result;
+  }
+
+  // Random vectors found nothing; escalate to a proof when asked.
+  if (options.sat_proof) {
+    SatEquivalenceOptions sopt;
+    sopt.conflict_limit = options.sat_conflict_limit;
+    const SatEquivalenceResult sr = check_equivalence_sat(a, b, sopt);
+    switch (sr.status) {
+      case SatEquivalenceResult::Status::Proved:
+        result.proved = true;
+        break;
+      case SatEquivalenceResult::Status::NotEquivalent:
+        result.equivalent = false;
+        result.failing_output = sr.failing_output;
+        break;
+      case SatEquivalenceResult::Status::Unknown:
+        break;  // keep the (unproven) random verdict
+    }
   }
   return result;
 }

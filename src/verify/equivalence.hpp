@@ -2,14 +2,25 @@
 //
 // Rewiring must never change network function; every optimizer in this
 // repository runs through these checks in tests and (optionally) in the
-// flow. Small interfaces are verified exhaustively, larger ones with
-// bit-parallel random vectors — random simulation is a falsifier, not a
-// proof, which is sufficient for regression purposes and mirrors how the
-// original SIS-era flows sanity-checked rewrites.
+// flow. Three tiers, weakest to strongest:
+//
+//   1. random   — 64-bit-parallel random vectors. A falsifier: it can only
+//                 certify a bug, never its absence.
+//   2. exhaustive — full enumeration up to `exhaustive_pi_limit` PIs; a
+//                 proof, but limited to small interfaces.
+//   3. SAT      — a miter of the two networks proved UNSAT by the built-in
+//                 CDCL solver (src/sat). A proof at any width; this is the
+//                 tier that makes "function-preserving" an actual theorem
+//                 on the large circuits where random vectors are weakest.
+//
+// check_equivalence() runs tier 1/2 as before and escalates to tier 3 when
+// `options.sat_proof` is set and the verdict would otherwise rest on random
+// sampling. check_equivalence_sat() exposes tier 3 directly.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "netlist/network.hpp"
 
@@ -21,6 +32,10 @@ struct EquivalenceOptions {
   /// Number of random 64-pattern batches for larger interfaces.
   int random_batches = 256;
   std::uint64_t seed = 0xeda00001ULL;
+  /// Escalate to a SAT proof when the random tier finds no mismatch.
+  bool sat_proof = false;
+  /// Conflict budget per primary output for the SAT tier (< 0: unlimited).
+  std::int64_t sat_conflict_limit = 4'000'000;
 };
 
 struct EquivalenceResult {
@@ -29,6 +44,9 @@ struct EquivalenceResult {
   std::string failing_output;
   /// Whether the verdict came from exhaustive enumeration.
   bool exhaustive = false;
+  /// Whether equivalence was PROVED (exhaustively or by SAT) rather than
+  /// merely not falsified by random vectors.
+  bool proved = false;
   /// Patterns simulated.
   std::uint64_t patterns = 0;
 
@@ -40,5 +58,42 @@ struct EquivalenceResult {
 /// not by order.
 EquivalenceResult check_equivalence(const Network& a, const Network& b,
                                     const EquivalenceOptions& options = {});
+
+// --- SAT tier ---------------------------------------------------------------
+
+struct SatEquivalenceOptions {
+  /// Conflict budget per primary output (< 0: unlimited).
+  std::int64_t conflict_limit = 4'000'000;
+};
+
+struct SatEquivalenceResult {
+  enum class Status : std::uint8_t {
+    Proved,         // every PO pair proved equal (UNSAT miter)
+    NotEquivalent,  // counterexample found (and replayed in simulation)
+    Unknown,        // conflict budget exhausted on some PO
+  };
+  Status status = Status::Proved;
+  /// First differing primary output (NotEquivalent) or first PO whose proof
+  /// exceeded the budget (Unknown).
+  std::string failing_output;
+  /// Distinguishing PI assignment, in `a.primary_inputs()` order
+  /// (NotEquivalent only).
+  std::vector<bool> counterexample;
+  /// POs discharged by structural hashing alone (identical literals — no
+  /// SAT call needed).
+  std::size_t outputs_proved_structurally = 0;
+  std::size_t outputs_proved_by_sat = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+
+  explicit operator bool() const { return status == Status::Proved; }
+};
+
+/// Prove (or refute) equivalence of `a` and `b` with the built-in SAT
+/// solver. Interfaces are matched by name as in check_equivalence().
+/// Counterexamples are replayed through the bit-parallel simulator before
+/// being reported — a defense against encoder bugs.
+SatEquivalenceResult check_equivalence_sat(const Network& a, const Network& b,
+                                           const SatEquivalenceOptions& options = {});
 
 }  // namespace rapids

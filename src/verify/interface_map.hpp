@@ -1,0 +1,57 @@
+// Name-based PI/PO correspondence between two networks, shared by the
+// random-simulation checker and the SAT miter.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "util/assert.hpp"
+
+namespace rapids {
+
+/// Maps b's PI order onto a's and checks PO name correspondence:
+/// pi_perm[i] = index in b of a's i-th PI; po_pairs = (po in a, po in b).
+struct InterfaceMap {
+  std::vector<std::size_t> pi_perm;
+  std::vector<std::pair<GateId, GateId>> po_pairs;
+};
+
+inline InterfaceMap map_interfaces(const Network& a, const Network& b) {
+  InterfaceMap m;
+  const auto a_pis = a.primary_inputs();
+  const auto b_pis = b.primary_inputs();
+  if (a_pis.size() != b_pis.size()) {
+    throw InputError("equivalence: PI count mismatch");
+  }
+  std::unordered_map<std::string, std::size_t> b_pi_index;
+  for (std::size_t i = 0; i < b_pis.size(); ++i) b_pi_index[b.name(b_pis[i])] = i;
+  m.pi_perm.reserve(a_pis.size());
+  for (const GateId pi : a_pis) {
+    auto it = b_pi_index.find(a.name(pi));
+    if (it == b_pi_index.end()) {
+      throw InputError("equivalence: PI '" + a.name(pi) + "' missing in second network");
+    }
+    m.pi_perm.push_back(it->second);
+  }
+
+  const auto a_pos = a.primary_outputs();
+  const auto b_pos = b.primary_outputs();
+  if (a_pos.size() != b_pos.size()) {
+    throw InputError("equivalence: PO count mismatch");
+  }
+  std::unordered_map<std::string, GateId> b_po_by_name;
+  for (const GateId po : b_pos) b_po_by_name[b.name(po)] = po;
+  for (const GateId po : a_pos) {
+    auto it = b_po_by_name.find(a.name(po));
+    if (it == b_po_by_name.end()) {
+      throw InputError("equivalence: PO '" + a.name(po) + "' missing in second network");
+    }
+    m.po_pairs.emplace_back(po, it->second);
+  }
+  return m;
+}
+
+}  // namespace rapids

@@ -5,12 +5,15 @@
 namespace rapids {
 
 Simulator::Simulator(const Network& net)
-    : net_(net), order_(topological_order(net)), values_(net.id_bound(), 0) {
+    : net_(net), revision_(net.structure_revision()), order_(topological_order(net)),
+      values_(net.id_bound(), 0) {
   const auto pis = net.primary_inputs();
   pis_.assign(pis.begin(), pis.end());
 }
 
 void Simulator::run(const std::vector<std::uint64_t>& pi_words) {
+  RAPIDS_ASSERT_MSG(net_.structure_revision() == revision_,
+                    "network structurally edited since Simulator construction");
   RAPIDS_ASSERT_MSG(pi_words.size() == pis_.size(), "stimulus width mismatch");
   for (std::size_t i = 0; i < pis_.size(); ++i) values_[pis_[i]] = pi_words[i];
   std::uint64_t fanin_buf[64];

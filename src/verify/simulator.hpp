@@ -15,8 +15,10 @@ namespace rapids {
 
 class Simulator {
  public:
-  /// Prepares a simulator bound to `net` (topological order is captured;
-  /// re-create the simulator after structural edits).
+  /// Prepares a simulator bound to `net`. The topological order is captured
+  /// at construction and the network's structure_revision() is snapshotted:
+  /// running a simulator over a structurally-edited network asserts instead
+  /// of silently evaluating in a stale order.
   explicit Simulator(const Network& net);
 
   /// Number of primary inputs.
@@ -42,6 +44,7 @@ class Simulator {
 
  private:
   const Network& net_;
+  std::uint64_t revision_;
   std::vector<GateId> order_;
   std::vector<GateId> pis_;
   std::vector<std::uint64_t> values_;

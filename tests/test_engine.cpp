@@ -145,6 +145,49 @@ TEST(RewireEngine, ProbeLoopsDoNotGrowIdSpace) {
   EXPECT_EQ(bound, f.net.id_bound());
 }
 
+TEST(RewireEngine, ChurnRestoresFreeStackAndTombstonesExactly) {
+  // Arena churn: repeated insert/delete/undo cycles must restore the
+  // recycled-id free stack AND the tombstone set bit-exactly, not just
+  // keep id_bound() flat. This is the direct statement of the reverse-order
+  // undo guarantee: any drift in the stack would make probe results depend
+  // on probe history (recycled ids would come back in a different order).
+  EngineFixture f;
+  Sta sta(f.net, f.lib, f.pl);
+  RewireEngine engine(f.net, f.pl, f.lib, sta);
+  std::vector<SwapCandidate> inverting;
+  for (const SwapCandidate& c : enumerate_all_swaps(engine.partition(), f.net)) {
+    if (c.polarity == SwapPolarity::Inverting) inverting.push_back(c);
+  }
+  ASSERT_GT(inverting.size(), 3u);
+
+  // Warm up so the id space and free stack reach steady state.
+  for (const SwapCandidate& c : inverting) engine.probe(EngineMove::swap(c));
+
+  const std::vector<GateId> stack_before(engine.net().recycling_free_ids().begin(),
+                                         engine.net().recycling_free_ids().end());
+  std::vector<bool> tombstones_before;
+  for (GateId g = 0; g < f.net.id_bound(); ++g) {
+    tombstones_before.push_back(f.net.is_deleted(g));
+  }
+
+  Rng rng(0xc4u);
+  for (int cycle = 0; cycle < 500; ++cycle) {
+    engine.probe(EngineMove::swap(inverting[rng.next_below(inverting.size())]));
+    const auto stack_now = engine.net().recycling_free_ids();
+    ASSERT_EQ(stack_before.size(), stack_now.size()) << "cycle " << cycle;
+    for (std::size_t i = 0; i < stack_now.size(); ++i) {
+      ASSERT_EQ(stack_before[i], stack_now[i])
+          << "free-stack entry " << i << " drifted at cycle " << cycle;
+    }
+    ASSERT_EQ(tombstones_before.size(), f.net.id_bound()) << "cycle " << cycle;
+    for (GateId g = 0; g < f.net.id_bound(); ++g) {
+      ASSERT_EQ(tombstones_before[g], f.net.is_deleted(g))
+          << "tombstone " << g << " drifted at cycle " << cycle;
+    }
+  }
+  EXPECT_TRUE(validate(f.net).empty());
+}
+
 TEST(RewireEngine, InverterReuseAndInsertionUndo) {
   // h = NAND(INV(c), d) with d = INV(e) kept multi-fanout (drives an extra
   // output) so it is NOT absorbed into the supergate. The inverting swap of

@@ -1,0 +1,91 @@
+// Fault-injection self-test: seeded mutants of suite circuits must be
+// REJECTED by both the random-simulation checker and the SAT checker.
+// This guards the verifiers themselves — a vacuously-true checker (e.g. an
+// encoder that proves everything equal, or a simulator that never
+// propagates the fault) would silently certify broken rewiring forever.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "test_helpers.hpp"
+#include "verify/equivalence.hpp"
+
+namespace rapids {
+namespace {
+
+struct Mutation {
+  std::string description;
+  Network net;
+};
+
+/// Candidate single-fault mutants: gate-function flips (type -> inverted
+/// type) and pin faults (a fanin rewired to another gate's output).
+std::vector<Mutation> make_mutants(const Network& golden, int count, std::uint64_t seed) {
+  std::vector<Mutation> out;
+  Rng rng(seed);
+  const std::vector<GateId> gates = rapids::testing::live_gates(golden);
+  int guard = count * 30;
+  while (static_cast<int>(out.size()) < count && guard-- > 0) {
+    const GateId g = gates[rng.next_below(gates.size())];
+    if (!is_logic(golden.type(g)) || golden.fanout_count(g) == 0) continue;
+    if (out.size() % 2 == 0) {
+      // Gate-function fault: complement the output everywhere.
+      Mutation m{"type flip at " + golden.name(g), golden.clone()};
+      m.net.set_type(g, inverted_type(m.net.type(g)));
+      out.push_back(std::move(m));
+    } else {
+      // Pin fault: reconnect one in-pin of g to a random other driver
+      // (skip when it would create a cycle: only pick drivers below g).
+      if (golden.fanin_count(g) == 0) continue;
+      const std::uint32_t pin = static_cast<std::uint32_t>(
+          rng.next_below(golden.fanin_count(g)));
+      const GateId new_driver = gates[rng.next_below(gates.size())];
+      if (new_driver >= g || golden.type(new_driver) == GateType::Output) continue;
+      if (new_driver == golden.fanin(g, pin)) continue;
+      Mutation m{"pin fault at " + golden.name(g), golden.clone()};
+      m.net.set_fanin(Pin{g, pin}, new_driver);
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+class FaultInjection : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultInjection, BothCheckersRejectSeededMutants) {
+  const Network src = make_benchmark(GetParam());
+  const Network golden = rapids::testing::mapped(src);
+
+  int rejected = 0, redundant = 0;
+  for (Mutation& m : make_mutants(golden, 8, 0xfa17ULL + std::hash<std::string>{}(GetParam()))) {
+    const SatEquivalenceResult sat = check_equivalence_sat(golden, m.net);
+    ASSERT_NE(sat.status, SatEquivalenceResult::Status::Unknown) << m.description;
+    const EquivalenceResult sim = check_equivalence(golden, m.net);
+
+    if (sat.status == SatEquivalenceResult::Status::Proved) {
+      // The fault hit functionally redundant logic (the suite injects
+      // synthesis residue on purpose). Simulation must agree it is
+      // equivalent — a sim "reject" here would mean a simulator bug.
+      EXPECT_TRUE(sim.equivalent) << GetParam() << ": " << m.description;
+      ++redundant;
+      continue;
+    }
+    // A real fault: BOTH tiers must reject it. SAT already did; the
+    // random-vector tier catching a whole-output complement or a rewired
+    // pin is the property this self-test exists to pin down.
+    EXPECT_FALSE(sim.equivalent)
+        << GetParam() << ": random-sim checker missed " << m.description
+        << " (SAT counterexample at " << sat.failing_output << ")";
+    ++rejected;
+  }
+  // The test must not pass vacuously on an all-redundant draw.
+  EXPECT_GE(rejected, 4) << "only " << redundant << " redundant mutants drawn";
+}
+
+INSTANTIATE_TEST_SUITE_P(SuiteCircuits, FaultInjection,
+                         ::testing::Values("alu2", "c432", "c499"));
+
+}  // namespace
+}  // namespace rapids

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/random_circuit.hpp"
 #include "library/cell_library.hpp"
 #include "mapping/mapper.hpp"
 #include "netlist/builder.hpp"
@@ -38,33 +39,16 @@ inline GateId random_tree(NetworkBuilder& b, Rng& rng, int depth, int max_fanin,
 }
 
 /// Random multi-output DAG with reconvergence (mapped-network shaped after
-/// map_network). `seed` controls everything.
+/// map_network). `seed` controls everything. Thin wrapper over the library
+/// generator (src/gen/random_circuit) that the fuzz harness also uses; the
+/// default profile reproduces the exact networks this helper always made.
 inline Network random_mapped_network(std::uint64_t seed, int num_inputs = 12,
                                      int num_gates = 60, int num_outputs = 6) {
-  NetworkBuilder b;
-  Rng rng(seed);
-  std::vector<GateId> pool;
-  for (int i = 0; i < num_inputs; ++i) pool.push_back(b.input("x" + std::to_string(i)));
-  static constexpr GateType kTypes[8] = {GateType::And,  GateType::Nand, GateType::Or,
-                                         GateType::Nor,  GateType::Xor,  GateType::Xnor,
-                                         GateType::Inv,  GateType::Buf};
-  for (int i = 0; i < num_gates; ++i) {
-    const GateType type = kTypes[rng.next_below(8)];
-    if (is_multi_input(type)) {
-      const int fanins = rng.next_int(2, 4);
-      std::vector<GateId> kids;
-      for (int k = 0; k < fanins; ++k) kids.push_back(pool[rng.next_below(pool.size())]);
-      pool.push_back(b.gate(type, kids));
-    } else {
-      pool.push_back(b.gate(type, {pool[rng.next_below(pool.size())]}));
-    }
-  }
-  for (int o = 0; o < num_outputs; ++o) {
-    b.output("y" + std::to_string(o), pool[pool.size() - 1 - static_cast<std::size_t>(o)]);
-  }
-  Network net = b.take();
-  net.sweep_dangling();
-  return net;
+  RandomCircuitOptions opt;
+  opt.num_inputs = num_inputs;
+  opt.num_gates = num_gates;
+  opt.num_outputs = num_outputs;
+  return random_network(seed, opt);
 }
 
 /// Materialized list of live gate ids (tests that need random indexing).

@@ -38,6 +38,46 @@ TEST(Die, NearestRowClamped) {
   EXPECT_EQ(die.nearest_row(35.0), 3);
 }
 
+TEST(Die, WiderThanTheWidestCell) {
+  // Fuzzer regression: a 1-gate netlist mapped to a wide cell used to get a
+  // die narrower than that single cell, and legalization had no legal row.
+  DieSpec spec;
+  const double cell_w = 126.15 / spec.row_height;  // XOR2_X2
+  const Die die = make_die(126.15, spec, cell_w);
+  EXPECT_GE(die.width, cell_w);
+  EXPECT_GE(die.num_rows, 1);
+}
+
+TEST(Die, RowCapacityCoversBinPacking) {
+  // Fuzzer regression: 3 cells of 14.6um across 2 rows of 24.3um fit
+  // area-wise but not as whole cells. Every cell must have a row that can
+  // take it under greedy assignment: (width - max_w) * rows >= total_width.
+  DieSpec spec;
+  const double max_w = 14.6115;
+  const Die die = make_die(442.25, spec, max_w);
+  const double total_width = 442.25 / spec.row_height;
+  EXPECT_GE((die.width - max_w) * die.num_rows, total_width - 1e-9);
+}
+
+TEST(Placer, TinyNetlistsPlaceLegally) {
+  // End-to-end version of the two regressions above: single-gate and
+  // few-wide-cells networks must place without capacity asserts.
+  for (const int gates : {1, 2, 3, 5}) {
+    NetworkBuilder b;
+    std::vector<GateId> pool;
+    for (int i = 0; i < 4; ++i) pool.push_back(b.input("x" + std::to_string(i)));
+    for (int i = 0; i < gates; ++i) {
+      pool.push_back(b.xor_({pool[pool.size() - 2], pool[pool.size() - 1]}));
+    }
+    b.output("f", pool.back());
+    const Network net = mapped(b.take());
+    const Placement pl = place(net, lib035(), fast_options());
+    const auto errors = check_legal(net, lib035(), pl);
+    EXPECT_TRUE(errors.empty()) << gates << " gates: "
+                                << (errors.empty() ? "" : errors.front());
+  }
+}
+
 TEST(Placement, ManhattanDistance) {
   EXPECT_DOUBLE_EQ(manhattan(Point{0, 0}, Point{3, 4}), 7.0);
   EXPECT_DOUBLE_EQ(manhattan(Point{-1, 2}, Point{1, -2}), 6.0);

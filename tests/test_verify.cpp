@@ -54,6 +54,68 @@ TEST(Simulator, SignatureStableAndSensitive) {
   EXPECT_NE(output_signature(a, 99), output_signature(c, 99));
 }
 
+TEST(Simulator, AgreesWithTruthTableOnAllSmallNetworks) {
+  // Property: on every generated <= 6-PI network, the bit-parallel
+  // simulator and the cofactor-based truth-table evaluator agree on EVERY
+  // primary output at EVERY assignment (both claim exactness; any
+  // disagreement means one oracle is broken).
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const int pis = 2 + static_cast<int>(seed % 5);  // 2..6
+    const Network net =
+        rapids::testing::random_mapped_network(seed * 31 + 7, pis, 25, 4);
+    const std::size_t n = net.primary_inputs().size();
+    ASSERT_LE(n, 6u);
+    Simulator sim(net);
+    sim.run_exhaustive_block(0);
+    for (const GateId po : net.primary_outputs()) {
+      const TruthTable6 tt = truth_table_of(net, net.po_driver(po));
+      for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+        ASSERT_EQ((sim.value(po) >> m) & 1ULL, tt.value_at(m) ? 1ULL : 0ULL)
+            << "seed " << seed << " output " << net.name(po) << " assignment " << m;
+      }
+    }
+  }
+}
+
+TEST(Simulator, StructuralEditAfterConstructionIsCaught) {
+  // Regression for the stale-snapshot footgun: a Simulator captures the
+  // topological order at construction; running it after a structural edit
+  // must assert instead of silently evaluating in a stale order.
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y");
+  const GateId g = b.and_({x, y});
+  b.output("f", g);
+  Network net = b.take();
+
+  Simulator sim(net);
+  sim.run({0b01, 0b11});  // fine: no edits yet
+
+  const GateId inv = net.add_gate(GateType::Inv);
+  net.add_fanin(inv, x);
+  net.set_fanin(Pin{g, 1}, inv);
+  EXPECT_THROW(sim.run({0b01, 0b11}), InternalError);
+
+  // A fresh simulator sees the edited network correctly: g is now
+  // AND(x, INV(x)) == constant 0.
+  Simulator fresh(net);
+  fresh.run({0b01, 0b11});
+  EXPECT_EQ(fresh.value(g) & 0b11, 0b00u);
+}
+
+TEST(Simulator, NonStructuralEditsDoNotTripTheEpoch) {
+  // set_type / set_cell keep the topology; the captured order stays valid
+  // and the simulator reads types live, so these must NOT assert.
+  NetworkBuilder b;
+  const GateId x = b.input("x"), y = b.input("y");
+  const GateId g = b.and_({x, y});
+  b.output("f", g);
+  Network net = b.take();
+  Simulator sim(net);
+  net.set_type(g, GateType::Or);
+  sim.run({0b0011, 0b0101});
+  EXPECT_EQ(sim.value(g) & 0xF, 0b0111u);
+}
+
 TEST(TruthTable, VariableAndConstant) {
   const TruthTable6 x0 = TruthTable6::variable(2, 0);
   EXPECT_EQ(x0.to_string(), "0101");

@@ -3,9 +3,18 @@
 //   rapids flow <circuit|file.blif|file.bench> [--mode gsg|gs|gsg+gs]
 //          [--seed N] [--effort F] [--iters N] [--threads N] [--buffers]
 //          [--out out.blif] [--place-out placement.txt] [--no-verify]
+//          [--sat-verify] [--paranoid]
 //       Map, place, optimize and report; optionally write results.
 //       --threads N fans probe evaluation out to N workers; the result is
 //       bit-identical to --threads 1 (deterministic commit arbitration).
+//       --sat-verify escalates the final equivalence check to a SAT proof;
+//       --paranoid SAT-proves every committed move on its window.
+//
+//   rapids fuzz [--seed N] [--iters N] [--threads N] [--max-gates N]
+//          [--max-inputs N] [--no-sat] [--no-shrink] [--out-dir DIR]
+//       Differential fuzzing: random circuits through the full flow at
+//       --threads 1 vs N and across optimizer modes, cross-checked by
+//       random vectors + SAT. Failures shrink to minimal reproducers.
 //
 //   rapids symmetry <circuit|file.blif|file.bench>
 //       Supergate / symmetry / redundancy report for a mapped circuit.
@@ -21,6 +30,7 @@
 #include <vector>
 
 #include "flow/flow.hpp"
+#include "fuzz/fuzz.hpp"
 #include "gen/suite.hpp"
 #include "io/bench_reader.hpp"
 #include "io/blif_reader.hpp"
@@ -117,6 +127,10 @@ int cmd_flow(const std::vector<std::string>& args) {
       out_place = next();
     } else if (a == "--no-verify") {
       options.verify = false;
+    } else if (a == "--sat-verify") {
+      options.verify_sat = true;
+    } else if (a == "--paranoid") {
+      options.opt.paranoid = true;
     } else if (!a.empty() && a[0] == '-') {
       throw InputError("unknown flag: " + a);
     } else {
@@ -142,6 +156,10 @@ int cmd_flow(const std::vector<std::string>& args) {
             << (options.verify ? (run.verified ? ", verified" : ", VERIFY FAILED")
                                : "")
             << "\n";
+  if (options.opt.paranoid) {
+    std::cout << "paranoid: " << r.moves_proved
+              << " committed moves SAT-proved on their windows\n";
+  }
 
   if (buffers) {
     Placement pl = prepared.placement;
@@ -204,11 +222,46 @@ int cmd_table1(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_fuzz(const std::vector<std::string>& args) {
+  FuzzOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) throw InputError("missing value after " + a);
+      return args[++i];
+    };
+    if (a == "--seed") {
+      options.seed = std::stoull(next());
+    } else if (a == "--iters") {
+      options.iterations = std::stoi(next());
+    } else if (a == "--threads") {
+      options.threads = std::stoi(next());
+      if (options.threads < 1) throw InputError("--threads must be >= 1");
+    } else if (a == "--max-gates") {
+      options.max_gates = std::stoi(next());
+    } else if (a == "--max-inputs") {
+      options.max_inputs = std::stoi(next());
+    } else if (a == "--no-sat") {
+      options.sat_crosscheck = false;
+    } else if (a == "--no-shrink") {
+      options.shrink = false;
+    } else if (a == "--out-dir") {
+      options.repro_dir = next();
+    } else {
+      throw InputError("unknown fuzz flag: " + a);
+    }
+  }
+  const FuzzResult result = run_fuzz(options, std::cout);
+  return result.ok() ? 0 : 1;
+}
+
 int usage() {
-  std::cerr << "usage: rapids <flow|symmetry|table1|list> [args]\n"
+  std::cerr << "usage: rapids <flow|symmetry|table1|fuzz|list> [args]\n"
                "  rapids flow c432 --mode gsg+gs --threads 4 --out c432_opt.blif\n"
+               "  rapids flow c499 --sat-verify --paranoid\n"
                "  rapids symmetry k2\n"
                "  rapids table1 --quick\n"
+               "  rapids fuzz --seed 7 --iters 25 --threads 3\n"
                "  rapids list\n";
   return 2;
 }
@@ -227,6 +280,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "flow") return cmd_flow(args);
     if (cmd == "table1") return cmd_table1(args);
+    if (cmd == "fuzz") return cmd_fuzz(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
