@@ -167,12 +167,59 @@ void RewireEngine::count_commit(const EngineMove& move) {
   }
 }
 
-void RewireEngine::set_paranoid(bool on) {
-  if (on && !paranoid_) {
-    paranoid_ = std::make_unique<sat::WindowChecker>();
-  } else if (!on) {
+void RewireEngine::set_paranoid(bool on, const ParanoidOptions& options) {
+  paranoid_options_ = options;
+  paranoid_on_ = on;
+  // Prover construction is LAZY (ensure_prover, on the first proof):
+  // replica engines inherit the paranoid configuration on every sync but
+  // never commit, so an eager solver+encoder per worker per epoch would be
+  // pure allocation churn on the parallel hot path.
+  if (!on) {
     paranoid_.reset();
+    session_.reset();
+  } else if (options.session) {
+    paranoid_.reset();
+  } else {
+    session_.reset();
   }
+}
+
+void RewireEngine::ensure_prover() {
+  RAPIDS_ASSERT(paranoid_on_);
+  if (paranoid_options_.session) {
+    if (!session_) {
+      sat::ProofSession::Options sopt;
+      sopt.conflict_limit = paranoid_options_.window_conflict_limit;
+      session_ = std::make_unique<sat::ProofSession>(sopt);
+      session_harvested_ = sat::ProofSessionStats{};
+    }
+  } else if (!paranoid_) {
+    paranoid_ = std::make_unique<sat::WindowChecker>(
+        paranoid_options_.window_conflict_limit);
+  }
+}
+
+std::uint64_t RewireEngine::paranoid_moves_checked() const {
+  if (session_) return session_->stats().moves_checked;
+  if (paranoid_) return paranoid_->stats().moves_checked;
+  return 0;
+}
+
+const sat::ProofSessionStats& RewireEngine::merged_session_stats() const {
+  merged_session_scratch_ = session_ ? session_->stats() : sat::ProofSessionStats{};
+  merged_session_scratch_ += absorbed_session_stats_;
+  return merged_session_scratch_;
+}
+
+sat::ProofSessionStats RewireEngine::take_session_stats() {
+  sat::ProofSessionStats window;
+  if (session_) {
+    // Counter-wise delta since the last harvest (all fields are monotone).
+    window = session_->stats();
+    window -= session_harvested_;
+    session_harvested_ = session_->stats();
+  }
+  return window;
 }
 
 void RewireEngine::begin_paranoid_proof(const EngineMove& move) {
@@ -231,11 +278,16 @@ void RewireEngine::begin_paranoid_proof(const EngineMove& move) {
         std::remove(paranoid_changed_.begin(), paranoid_changed_.end(), c),
         paranoid_changed_.end());
   }
-  paranoid_->begin(net_, std::span<const GateId>{&root, 1}, paranoid_changed_);
+  ensure_prover();
+  if (session_) {
+    session_->begin(net_, std::span<const GateId>{&root, 1}, paranoid_changed_);
+  } else {
+    paranoid_->begin(net_, std::span<const GateId>{&root, 1}, paranoid_changed_);
+  }
 }
 
 EngineObjective RewireEngine::commit(const EngineMove& move) {
-  const bool prove = paranoid_ && move.kind != EngineMove::Kind::Resize;
+  const bool prove = paranoid() && move.kind != EngineMove::Kind::Resize;
   if (prove) begin_paranoid_proof(move);
   sta_.begin();
   apply_and_invalidate(scratch_, move);
@@ -248,7 +300,10 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
         move.kind == EngineMove::Kind::Swap ? scratch_.swap_edit.added_inverters
                                             : scratch_.cross_edit.added_inverters;
     std::string diag;
-    if (!paranoid_->check(net_, paranoid_created_, &diag)) {
+    const bool window_ok =
+        session_ ? session_->check(net_, paranoid_created_, &diag)
+                 : paranoid_->check(net_, paranoid_created_, &diag);
+    if (!window_ok) {
       // The window proof is sound but can be incomplete (a correlation
       // between cut points the window abstraction cannot see). Escalate to
       // a whole-network miter before declaring the move buggy: slow, but
@@ -256,13 +311,18 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
       // complete — a move is rejected iff it truly changes some output.
       undo_network_edit(scratch_, move);
       sta_.rollback();
+      // The session cache must track the rolled-back network before the
+      // escalation mutates anything else.
+      if (session_) session_->abandon();
       log_warn() << "paranoid: window proof failed (" << diag
                  << "); escalating to a full miter";
       const Network pre = net_.clone();
       sta_.begin();
       apply_and_invalidate(scratch_, move);
       sta_.propagate();
-      const SatEquivalenceResult full = check_equivalence_sat(pre, net_);
+      SatEquivalenceOptions full_opts;
+      full_opts.conflict_limit = paranoid_options_.miter_conflict_limit;
+      const SatEquivalenceResult full = check_equivalence_sat(pre, net_, full_opts);
       if (full.status == SatEquivalenceResult::Status::NotEquivalent) {
         undo_network_edit(scratch_, move);
         sta_.rollback();
@@ -277,10 +337,20 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
         undo_network_edit(scratch_, move);
         sta_.rollback();
         ++paranoid_inconclusive_;
+        paranoid_verdicts_.push_back(ProofVerdict::Inconclusive);
         log_warn() << "paranoid: full miter inconclusive (conflict budget); "
                       "rejecting the move conservatively";
         return EngineObjective{sta_.critical_delay(), sta_.sum_po_arrival()};
       }
+      // Kept on the strength of the whole-network miter alone: the ROOT
+      // function may have changed unobservably (downstream don't-cares),
+      // which breaks the session's cached-cone grounding — wipe it; fresh
+      // encodings of the post-move structure restore the invariant.
+      if (session_) session_->invalidate_all();
+      paranoid_verdicts_.push_back(ProofVerdict::EscalatedProved);
+    } else {
+      if (session_) session_->keep();
+      paranoid_verdicts_.push_back(ProofVerdict::WindowProved);
     }
   }
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};

@@ -33,6 +33,7 @@
 #include "place/placement.hpp"
 #include "rewire/cross_sg.hpp"
 #include "rewire/swap.hpp"
+#include "sat/proof_session.hpp"
 #include "sat/window.hpp"
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
@@ -75,6 +76,29 @@ struct EngineMove {
     m.cross_cand = c;
     return m;
   }
+};
+
+/// Paranoid-mode prover configuration.
+struct ParanoidOptions {
+  /// Persistent incremental proof session (sat/proof_session.hpp) instead
+  /// of one throwaway solver+encoding per move (sat/window.hpp). Both
+  /// prove the same move set; the session amortizes encodings and learned
+  /// clauses across the run. Default on; `flow --no-sat-session` is the
+  /// escape hatch.
+  bool session = true;
+  /// Conflict budget per window-root miter (< 0: unlimited).
+  std::int64_t window_conflict_limit = 1'000'000;
+  /// Conflict budget per PO for the full-miter escalation tier.
+  std::int64_t miter_conflict_limit = 4'000'000;
+};
+
+/// Per-commit proof outcome, recorded in order so differential tests can
+/// assert session mode and per-move mode prove the SAME move set
+/// move-for-move.
+enum class ProofVerdict : std::uint8_t {
+  WindowProved,     // window miter UNSAT (structurally or by SAT)
+  EscalatedProved,  // window failed, whole-network miter proved; move kept
+  Inconclusive,     // even the full miter ran out of budget; move rejected
 };
 
 /// Commit counters, accumulated across the engine's lifetime (the optimizer
@@ -141,8 +165,13 @@ class RewireEngine {
   /// Force full re-extraction on the next partition() call. Commits do
   /// this automatically; call it only after mutating the network OUTSIDE
   /// the engine (redundancy removal, buffering, ...) — re-extraction is
-  /// O(network), not free.
-  void invalidate_partition() { partition_valid_ = false; }
+  /// O(network), not free. An external mutation also invalidates every
+  /// cone the paranoid proof session cached (the session only tracks the
+  /// proved commit stream), so the session cache is wiped here too.
+  void invalidate_partition() {
+    partition_valid_ = false;
+    if (session_) session_->invalidate_all();
+  }
 
   /// Bumped by every commit; moves extracted under an older epoch are
   /// stale and must not be committed. Swap/Resize moves remain probe/undo
@@ -175,23 +204,53 @@ class RewireEngine {
   EngineObjective commit(const EngineMove& move);
 
   /// Verify-every-commit mode: each committed Swap/CrossSg move is proved
-  /// function-preserving at its supergate root by a windowed SAT miter
-  /// (sat/window.hpp) before it is kept. Resize moves do not change logic
+  /// function-preserving at its supergate root before it is kept — by the
+  /// persistent ProofSession (options.session, the default) or by a
+  /// throwaway per-move WindowChecker. Resize moves do not change logic
   /// and are exempt. All commit paths — serial, parallel arbitration,
   /// commit_best — run through this check.
-  void set_paranoid(bool on);
-  bool paranoid() const { return paranoid_ != nullptr; }
-  /// Proof counters (null when paranoid mode is off).
+  void set_paranoid(bool on) { set_paranoid(on, ParanoidOptions{}); }
+  void set_paranoid(bool on, const ParanoidOptions& options);
+  bool paranoid() const { return paranoid_on_; }
+  bool paranoid_session_mode() const { return paranoid_on_ && paranoid_options_.session; }
+  const ParanoidOptions& paranoid_options() const { return paranoid_options_; }
+
+  /// Per-move prover counters (null when that prover is not active).
   const sat::WindowCheckerStats* paranoid_stats() const {
     return paranoid_ ? &paranoid_->stats() : nullptr;
   }
+  /// Session prover counters: this engine's own session plus everything
+  /// absorbed from per-worker replica sessions (null when paranoid session
+  /// mode is off or no proof has run yet — provers build lazily).
+  const sat::ProofSessionStats* session_stats() const {
+    return session_ ? &merged_session_stats() : nullptr;
+  }
+  /// The live session itself (solver-level stats for benches; null unless
+  /// session mode).
+  const sat::ProofSession* proof_session() const { return session_.get(); }
+  /// Moves checked by whichever paranoid prover is active.
+  std::uint64_t paranoid_moves_checked() const;
   /// Moves rejected because even the escalated full miter ran out of
   /// conflict budget (neither proved nor refuted).
   std::uint64_t paranoid_inconclusive() const { return paranoid_inconclusive_; }
+  /// Ordered per-commit proof outcomes (empty unless paranoid). Session
+  /// and per-move modes must produce identical sequences on the same
+  /// commit stream — the property the differential tests pin.
+  const std::vector<ProofVerdict>& paranoid_verdicts() const {
+    return paranoid_verdicts_;
+  }
 
   /// Merge a replica engine's counters (probe workers evaluate on replicas;
   /// their probe counts belong to this engine's lifetime totals).
   void absorb_stats(const EngineStats& s) { stats_ += s; }
+  /// Merge a replica engine's proof-session counters (per-worker sessions;
+  /// the scheduler harvests them alongside EngineStats).
+  void absorb_session_stats(const sat::ProofSessionStats& s) {
+    absorbed_session_stats_ += s;
+  }
+  /// This engine's session counters accumulated since the last harvest;
+  /// resets the window (replica-side pair of absorb_session_stats).
+  sat::ProofSessionStats take_session_stats();
 
   /// Bench helper: commit `move`, then commit its exact inverse, leaving
   /// the circuit in its pre-call state (two committed transactions).
@@ -240,12 +299,28 @@ class RewireEngine {
   ProbeScratch scratch_;
   bool prev_recycling_ = false;
 
-  // Paranoid-mode move prover (null when off) and its reusable scratch for
-  // the changed/created gate sets of the move under proof.
+  /// Construct the configured prover if it does not exist yet (lazy:
+  /// replica engines carry the configuration but never prove).
+  void ensure_prover();
+
+  // Paranoid-mode move provers (at most one non-null — per-move window
+  // checker or persistent proof session — created lazily by the first
+  // proof) and the reusable scratch for the changed/created gate sets of
+  // the move under proof.
   std::unique_ptr<sat::WindowChecker> paranoid_;
+  std::unique_ptr<sat::ProofSession> session_;
+  bool paranoid_on_ = false;
+  ParanoidOptions paranoid_options_;
   std::vector<GateId> paranoid_changed_;
   std::vector<GateId> paranoid_created_;
   std::uint64_t paranoid_inconclusive_ = 0;
+  std::vector<ProofVerdict> paranoid_verdicts_;
+  // Per-worker session merge: counters absorbed from replicas plus the
+  // harvest cursor for this engine's own session (replica side).
+  sat::ProofSessionStats absorbed_session_stats_;
+  sat::ProofSessionStats session_harvested_;
+  const sat::ProofSessionStats& merged_session_stats() const;
+  mutable sat::ProofSessionStats merged_session_scratch_;
 };
 
 }  // namespace rapids

@@ -94,6 +94,18 @@ ModeRun run_mode(const PreparedCircuit& prepared, const CellLibrary& lib, OptMod
   // seed that placed the circuit.
   if (oopt.seed == OptimizerOptions{}.seed) oopt.seed = options.placer.seed;
   run.result = optimize(run.optimized, placement, lib, sta, oopt);
+  if (oopt.paranoid) {
+    log_info() << prepared.name << " " << to_string(mode) << ": paranoid proved "
+               << run.result.moves_proved << " commits ("
+               << (oopt.sat_session ? "session" : "per-move solver") << " mode, "
+               << run.result.proof_gates_encoded << " gates encoded, "
+               << run.result.proof_conflicts << " conflicts"
+               << (run.result.paranoid_inconclusive > 0
+                       ? ", " + std::to_string(run.result.paranoid_inconclusive) +
+                             " inconclusive rejects"
+                       : std::string())
+               << ")";
+  }
   if (options.verify) {
     EquivalenceOptions eopt;
     eopt.sat_proof = options.verify_sat;

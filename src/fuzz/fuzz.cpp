@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "engine/rewire_engine.hpp"
 #include "flow/flow.hpp"
 #include "gen/random_circuit.hpp"
 #include "io/blif_writer.hpp"
@@ -38,7 +39,7 @@ OptMode mode_for_iteration(int iter) {
 /// source network. Returns empty string on success, else a "kind: detail"
 /// failure description.
 std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_seed,
-                           int threads, bool sat_crosscheck) {
+                           int threads, bool sat_crosscheck, bool paranoid_diff) {
   const CellLibrary& lib = builtin_library_035();
   FlowOptions fopt;
   fopt.placer.seed = flow_seed;
@@ -57,6 +58,59 @@ std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_
     if (threads > 1 && blif_string(serial.optimized) != blif_string(parallel.optimized)) {
       return "determinism: threads=1 and threads=" + std::to_string(threads) +
              " produced different netlists";
+    }
+
+    if (paranoid_diff) {
+      // Prover differential: the incremental proof session and the
+      // per-move throwaway solver must accept the same commit stream with
+      // move-for-move compatible verdicts, and neither may perturb the
+      // optimization result. "Compatible" because the session window is
+      // strictly STRONGER than the per-move window (cached cones carry
+      // more structure): where per-move incompleteness forces a full-miter
+      // escalation, the session may window-prove the same move directly.
+      // Both still keep the move, so the netlists must stay byte-equal.
+      // An Inconclusive reject (conservative, budget-driven) legitimately
+      // drops a move the plain run kept, so the netlist cross-checks only
+      // apply to inconclusive-free runs — at the default budgets on fuzz-
+      // sized circuits that is every run.
+      FlowOptions popt = fopt;
+      popt.opt.threads = 1;
+      popt.opt.paranoid = true;
+      popt.opt.sat_session = true;
+      const ModeRun with_session = run_mode(prepared, lib, mode, popt);
+      popt.opt.sat_session = false;
+      const ModeRun per_move = run_mode(prepared, lib, mode, popt);
+      const auto& sv = with_session.result.paranoid_verdicts;
+      const auto& pv = per_move.result.paranoid_verdicts;
+      if (sv.size() != pv.size()) {
+        return "paranoid: prover modes checked different move counts (" +
+               std::to_string(sv.size()) + " vs " + std::to_string(pv.size()) + ")";
+      }
+      constexpr auto kWindow = static_cast<std::uint8_t>(ProofVerdict::WindowProved);
+      constexpr auto kEscalated =
+          static_cast<std::uint8_t>(ProofVerdict::EscalatedProved);
+      bool any_inconclusive = false;
+      for (std::size_t i = 0; i < sv.size(); ++i) {
+        const bool compatible =
+            sv[i] == pv[i] || (sv[i] == kWindow && pv[i] == kEscalated);
+        if (!compatible) {
+          return "paranoid: incompatible proof verdicts at move " +
+                 std::to_string(i) + " (session " + std::to_string(sv[i]) +
+                 " vs per-move " + std::to_string(pv[i]) + ")";
+        }
+        if (sv[i] != kWindow && sv[i] != kEscalated) any_inconclusive = true;
+      }
+      if (!any_inconclusive) {
+        if (blif_string(with_session.optimized) != blif_string(serial.optimized)) {
+          return "paranoid: session-mode paranoid flow diverged from the plain flow";
+        }
+        if (blif_string(with_session.optimized) != blif_string(per_move.optimized)) {
+          return "paranoid: session-mode and per-move-solver netlists differ";
+        }
+        if (with_session.result.moves_proved != per_move.result.moves_proved) {
+          return "paranoid: proved-move counts differ between prover modes";
+        }
+      }
     }
 
     EquivalenceOptions eopt;
@@ -143,7 +197,8 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
     const std::uint64_t flow_seed = options.seed + static_cast<std::uint64_t>(iter);
 
     const std::string failure = run_experiment(src, mode, flow_seed, options.threads,
-                                               options.sat_crosscheck);
+                                               options.sat_crosscheck,
+                                               options.paranoid_diff);
     if (failure.empty()) {
       log << "[fuzz] iter " << iter << " mode " << mode_name << " ("
           << src.num_logic_gates() << " gates): ok\n";
@@ -166,7 +221,8 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
       // an unrelated reason (e.g. a mapper exception) must not be accepted.
       const auto still_fails = [&](const Network& candidate) {
         const std::string err = run_experiment(candidate, mode, flow_seed,
-                                               options.threads, options.sat_crosscheck);
+                                               options.threads, options.sat_crosscheck,
+                                               options.paranoid_diff);
         return !err.empty() && err.compare(0, f.kind.size(), f.kind) == 0;
       };
       minimal = shrink_network(src, still_fails, options.shrink_budget);

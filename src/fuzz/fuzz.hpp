@@ -35,6 +35,11 @@ struct FuzzOptions {
   int max_gates = 140;
   /// Escalate equivalence to a SAT proof (random vectors always run).
   bool sat_crosscheck = true;
+  /// Paranoid prover differential: additionally run the serial flow with
+  /// --paranoid in incremental-session mode AND per-move-solver mode, and
+  /// require byte-identical netlists plus move-for-move identical proof
+  /// verdicts between the two (and against the plain run's netlist).
+  bool paranoid_diff = false;
   /// Shrink failing circuits to minimal reproducers.
   bool shrink = true;
   /// Budget for the shrinker, in flow re-runs per failure.

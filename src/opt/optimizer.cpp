@@ -44,7 +44,9 @@ class Optimizer {
         options_(options) {
     // Verify-every-commit: each committed move is SAT-proved on its window
     // before it sticks, for every commit path (incl. parallel arbitration).
-    engine_.set_paranoid(options.paranoid);
+    ParanoidOptions popt;
+    popt.session = options.sat_session;
+    engine_.set_paranoid(options.paranoid, popt);
   }
 
   OptimizerResult run() {
@@ -107,8 +109,32 @@ class Optimizer {
     result.resizes_committed = stats.resizes_committed;
     result.inverters_added = stats.inverters_added;
     result.probes = stats.probes;
-    if (const auto* proofs = engine_.paranoid_stats()) {
-      result.moves_proved = proofs->moves_checked - engine_.paranoid_inconclusive();
+    if (engine_.paranoid()) {
+      result.moves_proved =
+          engine_.paranoid_moves_checked() - engine_.paranoid_inconclusive();
+      result.paranoid_inconclusive = engine_.paranoid_inconclusive();
+      result.paranoid_verdicts.reserve(engine_.paranoid_verdicts().size());
+      for (const ProofVerdict v : engine_.paranoid_verdicts()) {
+        result.paranoid_verdicts.push_back(static_cast<std::uint8_t>(v));
+      }
+      if (const auto* proofs = engine_.paranoid_stats()) {
+        result.proof_gates_encoded = proofs->window_gates;
+        result.proof_conflicts = proofs->conflicts;
+        result.proof_roots_structural = proofs->roots_proved_structurally;
+        result.proof_roots_by_sat = proofs->roots_proved_by_sat;
+      }
+      if (const auto* proofs = engine_.session_stats()) {
+        result.proof_gates_encoded = proofs->gates_encoded;
+        result.proof_conflicts = proofs->conflicts;
+        result.proof_cache_hits = proofs->cache_hits;
+        result.proof_roots_structural = proofs->roots_proved_structurally;
+        result.proof_roots_by_sat = proofs->roots_proved_by_sat;
+      }
+      if (const sat::ProofSession* session = engine_.proof_session()) {
+        result.solver_learned_kept = session->solver_learned_clauses();
+        result.solver_learned_deleted = session->solver_stats().learned_deleted;
+        result.solver_reduce_dbs = session->solver_stats().reduce_dbs;
+      }
     }
     return result;
   }

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "library/cell_library.hpp"
 #include "netlist/network.hpp"
@@ -60,6 +61,12 @@ struct OptimizerOptions {
   /// SAT-proved function-preserving on its invalidated cone before it is
   /// kept (engine paranoid mode). A failed proof throws InternalError.
   bool paranoid = false;
+  /// Paranoid prover backend: true (default) keeps ONE incremental proof
+  /// session alive for the whole run (sat/proof_session.hpp — cached cone
+  /// encodings, shared learned clauses, per-move activation literals);
+  /// false builds a throwaway solver per move (sat/window.hpp). Both prove
+  /// the same move set; `flow --no-sat-session` is the escape hatch.
+  bool sat_session = true;
 };
 
 struct OptimizerResult {
@@ -80,6 +87,25 @@ struct OptimizerResult {
   /// Committed moves discharged by the paranoid SAT prover (0 unless
   /// OptimizerOptions::paranoid).
   std::uint64_t moves_proved = 0;
+  /// Moves rejected with neither proof nor refutation (full-miter budget).
+  std::uint64_t paranoid_inconclusive = 0;
+  /// Ordered per-commit proof outcomes (engine ProofVerdict values; empty
+  /// unless paranoid). Differential tests assert session and per-move
+  /// prover modes agree move-for-move.
+  std::vector<std::uint8_t> paranoid_verdicts;
+  /// Prover work counters (paranoid only). `proof_gates_encoded` is the
+  /// window_gates / gates_encoded analogue of whichever prover ran — the
+  /// headline the session exists to shrink. Session-only counters are 0 in
+  /// per-move mode.
+  std::uint64_t proof_gates_encoded = 0;
+  std::uint64_t proof_conflicts = 0;
+  std::uint64_t proof_cache_hits = 0;
+  std::uint64_t proof_roots_structural = 0;
+  std::uint64_t proof_roots_by_sat = 0;
+  /// Session solver clause-DB health (retention/eviction breakdown).
+  std::uint64_t solver_learned_kept = 0;
+  std::uint64_t solver_learned_deleted = 0;
+  std::uint64_t solver_reduce_dbs = 0;
   // Supergate statistics from the first extraction (Table 1 cols 12-14).
   double coverage = 0.0;          // fraction of gates in non-trivial SGs
   int max_sg_inputs = 0;          // L

@@ -23,6 +23,12 @@ void ProbeContext::sync(RewireEngine& source) {
   sta_ = std::make_unique<Sta>(net_, lib_, pl_, StaOptions{}, Sta::DeferInit{});
   sta_->copy_state_from(source.sta());
   engine_ = std::make_unique<RewireEngine>(net_, pl_, lib_, *sta_);
+  // Replicas inherit the paranoid configuration: each worker owns a
+  // PRIVATE prover (per-worker proof sessions — solvers are not
+  // thread-safe and must never be shared), so any replica-side commit
+  // path is held to the same proof discipline as the live engine. The
+  // scheduler harvests the per-worker proof counters after each round.
+  engine_->set_paranoid(source.paranoid(), source.paranoid_options());
 
   epoch_ = source.epoch();
   has_state_ = true;

@@ -55,6 +55,13 @@ class ProbeContext {
   /// window. The scheduler folds these into the live engine's totals.
   EngineStats take_stats();
 
+  /// Replica proof-session counters since the last harvest (zero when the
+  /// replica is not in paranoid session mode); merged into the live
+  /// engine's session stats by the scheduler.
+  sat::ProofSessionStats take_session_stats() {
+    return engine_ ? engine_->take_session_stats() : sat::ProofSessionStats{};
+  }
+
  private:
   const CellLibrary& lib_;
   Rng rng_;

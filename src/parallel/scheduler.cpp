@@ -185,10 +185,13 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
   });
 
   // Harvest replica probe counters into the live engine's lifetime totals
-  // (workers are quiescent past the pool barrier).
+  // (workers are quiescent past the pool barrier). Proof-session counters
+  // ride along: per-worker sessions merge into the live engine's view.
   for (int w = 0; w < workers; ++w) {
-    const EngineStats window = contexts_[static_cast<std::size_t>(w)]->take_stats();
+    ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
+    const EngineStats window = ctx.take_stats();
     engine_.absorb_stats(window);
+    engine_.absorb_session_stats(ctx.take_session_stats());
     stats_.worker_probes += window.probes;
   }
   return results;

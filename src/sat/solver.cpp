@@ -1,6 +1,7 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace rapids::sat {
 
@@ -44,9 +45,10 @@ int Solver::new_var() {
   return v;
 }
 
-Solver::ClauseRef Solver::alloc_clause(const std::vector<Lit>& lits) {
+Solver::ClauseRef Solver::alloc_clause(const std::vector<Lit>& lits, std::int32_t lbd) {
   const ClauseRef ref = static_cast<ClauseRef>(arena_.size());
   arena_.push_back(static_cast<std::int32_t>(lits.size()));
+  arena_.push_back(lbd);
   for (const Lit l : lits) arena_.push_back(l.code());
   return ref;
 }
@@ -167,7 +169,7 @@ void Solver::bump_var(int var) {
 void Solver::decay_activities() { var_inc_ /= kActivityDecay; }
 
 void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
-                     int& backtrack_level) {
+                     int& backtrack_level, std::int32_t& lbd) {
   // First-UIP scheme: walk the trail backwards resolving antecedents until
   // exactly one literal of the current decision level remains.
   learned.clear();
@@ -181,6 +183,9 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
 
   do {
     RAPIDS_ASSERT(reason != kNoClause);
+    // Conflict participation is the clause-usefulness signal reduce_db
+    // keys on: a clause resolved here survives the next reduction round.
+    mark_clause_used(reason);
     const int size = clause_size(reason);
     for (int i = have_p ? 1 : 0; i < size; ++i) {
       // By watched-literal convention the asserting literal of a reason
@@ -217,6 +222,14 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
     std::swap(learned[1], learned[max_i]);
     backtrack_level = level_[learned[1].var()];
   }
+  // Learning-time LBD: distinct decision levels in the clause (the glue
+  // metric reduce_db ranks deletable clauses by). Clauses are short; a
+  // sort beats a stamp array.
+  lbd_scratch_.clear();
+  for (const Lit l : learned) lbd_scratch_.push_back(level_[l.var()]);
+  std::sort(lbd_scratch_.begin(), lbd_scratch_.end());
+  lbd = static_cast<std::int32_t>(
+      std::unique(lbd_scratch_.begin(), lbd_scratch_.end()) - lbd_scratch_.begin());
   for (const Lit l : learned) seen_[l.var()] = 0;
   stats_.learned_literals += learned.size();
 }
@@ -234,6 +247,91 @@ void Solver::backtrack(int target_level) {
   trail_.resize(bound);
   trail_lim_.resize(target_level);
   propagate_head_ = trail_.size();
+}
+
+void Solver::reduce_db() {
+  RAPIDS_ASSERT_MSG(trail_lim_.empty(), "reduce_db only at decision level 0");
+  RAPIDS_ASSERT_MSG(propagate_head_ == trail_.size(), "reduce_db needs a fixpoint");
+  // Root assignments are permanent and analyze() skips level-0 variables,
+  // so root reasons are never resolved again: dropping them here means no
+  // clause is "locked" and every clause is a compaction candidate.
+  for (const Lit l : trail_) reason_[l.var()] = kNoClause;
+
+  // Eviction set: among deletable learned clauses (LBD > 2, longer than
+  // binary, not used since the last reduction), the worst half by LBD
+  // (ties: older first — stable sort on allocation order).
+  struct Cand {
+    ClauseRef ref;
+    std::int32_t lbd;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(learned_.size());
+  for (const ClauseRef c : learned_) {
+    if (clause_size(c) <= 2 || clause_lbd(c) <= 2 || clause_used(c)) continue;
+    cands.push_back({c, clause_lbd(c)});
+  }
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& a, const Cand& b) { return a.lbd > b.lbd; });
+  std::unordered_set<ClauseRef> victims;
+  for (std::size_t i = 0; i < cands.size() / 2; ++i) victims.insert(cands[i].ref);
+
+  // Compact the arena. Copying also simplifies against the root
+  // assignment: a root-true literal drops the whole clause (this is how a
+  // deactivated window guard reclaims its clauses), a root-false literal
+  // is stripped. At the root fixpoint a surviving clause keeps >= 2
+  // unassigned literals, so rebuilding the watches on slots 0/1 is valid.
+  std::vector<std::int32_t> new_arena;
+  new_arena.reserve(arena_.size());
+  std::vector<Lit> keep_lits;
+  const auto copy_clause = [&](ClauseRef c) -> ClauseRef {
+    const int size = clause_size(c);
+    keep_lits.clear();
+    for (int i = 0; i < size; ++i) {
+      const Lit l = clause_lit(c, i);
+      const std::int8_t v = value_of(l);
+      if (v == kTrue) return kNoClause;  // root-satisfied: drop entirely
+      if (v == kFalse) continue;         // root-false: strip
+      keep_lits.push_back(l);
+    }
+    RAPIDS_ASSERT_MSG(keep_lits.size() >= 2, "unit clause survived root fixpoint");
+    const ClauseRef n = static_cast<ClauseRef>(new_arena.size());
+    new_arena.push_back(static_cast<std::int32_t>(keep_lits.size()));
+    new_arena.push_back(clause_lbd(c));  // used flag cleared: one-round amnesty
+    for (const Lit l : keep_lits) new_arena.push_back(l.code());
+    return n;
+  };
+
+  std::vector<ClauseRef> new_clauses, new_learned;
+  new_clauses.reserve(clauses_.size());
+  new_learned.reserve(learned_.size());
+  for (const ClauseRef c : clauses_) {
+    const ClauseRef n = copy_clause(c);
+    if (n != kNoClause) {
+      new_clauses.push_back(n);
+    } else {
+      ++stats_.problem_deleted;
+    }
+  }
+  for (const ClauseRef c : learned_) {
+    if (victims.contains(c)) {
+      ++stats_.learned_deleted;
+      continue;
+    }
+    const ClauseRef n = copy_clause(c);
+    if (n != kNoClause) {
+      new_learned.push_back(n);
+    } else {
+      ++stats_.learned_deleted;
+    }
+  }
+  arena_ = std::move(new_arena);
+  clauses_ = std::move(new_clauses);
+  learned_ = std::move(new_learned);
+
+  for (std::vector<ClauseRef>& w : watches_) w.clear();
+  for (const ClauseRef c : clauses_) watch_clause(c);
+  for (const ClauseRef c : learned_) watch_clause(c);
+  ++stats_.reduce_dbs;
 }
 
 // --- activity heap ----------------------------------------------------------
@@ -295,6 +393,20 @@ int Solver::pick_branch_var() {
 
 SatStatus Solver::solve(const std::vector<Lit>& assumptions,
                         std::int64_t max_conflicts) {
+  const SatStatus status = solve_internal(assumptions, max_conflicts);
+  // Root-level exit contract: EVERY return path — Sat, Unsat (global or
+  // assumptions-only), Unknown (budget) — must leave the trail at decision
+  // level 0, or a subsequent add_clause()/solve() on this solver would
+  // normalize against phantom assignments (the bug class the PR-3
+  // assumptions fix closed; enforced structurally here so new exit paths
+  // such as the reduce_db trigger cannot reintroduce it).
+  backtrack(0);
+  RAPIDS_ASSERT(trail_lim_.empty());
+  return status;
+}
+
+SatStatus Solver::solve_internal(const std::vector<Lit>& assumptions,
+                                 std::int64_t max_conflicts) {
   if (!ok_) return SatStatus::Unsat;
   backtrack(0);
   if (propagate() != kNoClause) {
@@ -321,7 +433,8 @@ SatStatus Solver::solve(const std::vector<Lit>& assumptions,
         return SatStatus::Unknown;
       }
       int back_level = 0;
-      analyze(conflict, learned, back_level);
+      std::int32_t lbd = 0;
+      analyze(conflict, learned, back_level, lbd);
       // Never undo assumption decisions implicitly: if the learned clause
       // asserts below the assumption prefix that is fine (it stays
       // compatible — assumptions are re-enqueued as decisions below).
@@ -333,12 +446,28 @@ SatStatus Solver::solve(const std::vector<Lit>& assumptions,
         }
         if (value_of(learned[0]) == kUndef) enqueue(learned[0], kNoClause);
       } else {
-        const ClauseRef c = alloc_clause(learned);
+        const ClauseRef c = alloc_clause(learned, lbd);
         learned_.push_back(c);
         watch_clause(c);
         enqueue(learned[0], c);
       }
+      if (reduce_cap_ > 0 && learned_.size() >= reduce_cap_) pending_reduce_ = true;
       decay_activities();
+      continue;
+    }
+
+    // Clause-DB reduction runs only from a fully-propagated root state:
+    // backtrack first, let the loop re-propagate (a no-op at the root
+    // fixpoint) and re-establish assumptions afterwards.
+    if (pending_reduce_) {
+      if (!trail_lim_.empty()) {
+        backtrack(0);
+        continue;
+      }
+      reduce_db();
+      pending_reduce_ = false;
+      reduce_cap_ = static_cast<std::uint64_t>(
+          static_cast<double>(reduce_cap_) * reduce_growth_) + 1;
       continue;
     }
 

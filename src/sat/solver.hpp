@@ -11,6 +11,15 @@
 // properties incrementally (per-PO miter outputs, per-move window checks).
 // No preprocessing: the Tseitin encoder (tseitin.hpp) does the structural
 // sharing that matters for rewired-circuit miters.
+//
+// Long-lived solvers (one ProofSession per optimization run, multiplier-
+// class miters) additionally need a bounded clause database: learned
+// clauses carry their LBD (number of distinct decision levels at learning
+// time) and a used-since-last-reduction flag, and a periodic reduce_db()
+// evicts the high-LBD, unused half, compacts the clause arena, drops
+// root-satisfied problem clauses (how retracted proof windows are
+// reclaimed) and strips root-false literals. Glue clauses (LBD <= 2) and
+// binary clauses are kept unconditionally.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +67,10 @@ struct SolverStats {
   std::uint64_t propagations = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_literals = 0;
+  /// Clause-database hygiene (see reduce_db()).
+  std::uint64_t reduce_dbs = 0;
+  std::uint64_t learned_deleted = 0;
+  std::uint64_t problem_deleted = 0;  // root-satisfied (e.g. retracted windows)
 };
 
 class Solver {
@@ -90,18 +103,48 @@ class Solver {
 
   const SolverStats& stats() const { return stats_; }
 
+  /// Learned-clause reduction policy: once the learned DB exceeds
+  /// `first_cap` clauses, the next root-level point inside solve() runs
+  /// reduce_db() and the cap grows by `growth`. `first_cap` 0 disables
+  /// reduction (the pre-session behavior). Deterministic: the trigger
+  /// depends only on the clause stream, never on wall clock.
+  void set_reduce_policy(std::uint32_t first_cap, double growth) {
+    RAPIDS_ASSERT(growth >= 1.0);
+    reduce_cap_ = first_cap;
+    reduce_growth_ = growth;
+  }
+
+  std::size_t num_problem_clauses() const { return clauses_.size(); }
+  std::size_t num_learned_clauses() const { return learned_.size(); }
+
  private:
   // Clause storage: all clauses live in one arena, addressed by offset. A
-  // clause is [size, lit0, lit1, ...]; watched literals are lit0/lit1.
+  // clause is [size, meta, lit0, lit1, ...]; watched literals are
+  // lit0/lit1. `meta` packs the learning-time LBD (low bits) and a
+  // used-since-last-reduction flag (bit 30); problem clauses carry meta 0.
   using ClauseRef = std::uint32_t;
   static constexpr ClauseRef kNoClause = 0xFFFFFFFFu;
+  static constexpr std::int32_t kClauseUsedBit = 1 << 30;
 
   int clause_size(ClauseRef c) const { return arena_[c]; }
-  Lit clause_lit(ClauseRef c, int i) const { return Lit::from_code(arena_[c + 1 + i]); }
-  void set_clause_lit(ClauseRef c, int i, Lit l) { arena_[c + 1 + i] = l.code(); }
+  Lit clause_lit(ClauseRef c, int i) const { return Lit::from_code(arena_[c + 2 + i]); }
+  void set_clause_lit(ClauseRef c, int i, Lit l) { arena_[c + 2 + i] = l.code(); }
+  std::int32_t clause_lbd(ClauseRef c) const { return arena_[c + 1] & ~kClauseUsedBit; }
+  bool clause_used(ClauseRef c) const { return arena_[c + 1] & kClauseUsedBit; }
+  void mark_clause_used(ClauseRef c) { arena_[c + 1] |= kClauseUsedBit; }
 
-  ClauseRef alloc_clause(const std::vector<Lit>& lits);
+  ClauseRef alloc_clause(const std::vector<Lit>& lits, std::int32_t lbd = 0);
   void watch_clause(ClauseRef c);
+
+  /// Clause-database reduction at decision level 0: evict the worst half of
+  /// the deletable learned clauses (LBD > 2, size > 2, not used since the
+  /// last reduction), drop root-satisfied clauses of either kind, strip
+  /// root-false literals, and compact the arena. Root-satisfied PROBLEM
+  /// clauses are how deactivated proof windows (a root-false activation
+  /// guard) get reclaimed.
+  void reduce_db();
+  SatStatus solve_internal(const std::vector<Lit>& assumptions,
+                           std::int64_t max_conflicts);
 
   // Assignment trail.
   enum : std::int8_t { kTrue = 1, kFalse = -1, kUndef = 0 };
@@ -111,7 +154,8 @@ class Solver {
   }
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();
-  void analyze(ClauseRef conflict, std::vector<Lit>& learned, int& backtrack_level);
+  void analyze(ClauseRef conflict, std::vector<Lit>& learned, int& backtrack_level,
+               std::int32_t& lbd);
   void backtrack(int level);
   int pick_branch_var();
   void bump_var(int var);
@@ -142,7 +186,13 @@ class Solver {
   std::vector<std::int32_t> heap_;       // binary max-heap of var indices
   std::vector<std::int32_t> heap_pos_;   // var -> heap index (-1 if absent)
 
-  std::vector<std::uint8_t> seen_;  // scratch for analyze()
+  std::vector<std::uint8_t> seen_;       // scratch for analyze()
+  std::vector<std::int32_t> lbd_scratch_;  // scratch for the LBD count
+
+  // Learned-DB reduction schedule (see set_reduce_policy).
+  std::uint64_t reduce_cap_ = 4000;
+  double reduce_growth_ = 1.5;
+  bool pending_reduce_ = false;
 
   bool ok_ = true;  // false once the formula is unconditionally UNSAT
   SolverStats stats_;

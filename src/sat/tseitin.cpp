@@ -11,6 +11,44 @@ CnfEncoder::CnfEncoder(Solver& solver) : solver_(solver) {
   solver_.add_clause(const_true_);
 }
 
+void CnfEncoder::emit(std::vector<Lit> lits) {
+  if (guard_.code() >= 0) lits.push_back(~guard_);
+  solver_.add_clause(std::move(lits));
+}
+
+void CnfEncoder::cache_insert(NodeKey key, Lit out) {
+  if (guard_.code() >= 0) group_journal_.push_back(key);
+  cache_.emplace(std::move(key), out);
+}
+
+Lit CnfEncoder::begin_group() {
+  RAPIDS_ASSERT_MSG(guard_.code() < 0, "encoder group already open");
+  guard_ = fresh();
+  group_journal_.clear();
+  return guard_;
+}
+
+void CnfEncoder::commit_group() {
+  RAPIDS_ASSERT_MSG(guard_.code() >= 0, "no encoder group open");
+  // Permanently activate: the group's ~guard weakenings become root-false
+  // and the next reduce_db() strips them, leaving plain definitions.
+  solver_.add_clause(guard_);
+  guard_ = Lit::from_code(kUndefLitCode);
+  group_journal_.clear();
+}
+
+void CnfEncoder::rollback_group() {
+  RAPIDS_ASSERT_MSG(guard_.code() >= 0, "no encoder group open");
+  // Retract: every clause of the group is root-satisfied through ~guard
+  // (reclaimed by the solver's next reduce_db). The nodes must leave the
+  // hash-cons cache too — their literals no longer carry definitions, and
+  // a later cache hit on one would encode an unconstrained variable.
+  solver_.add_clause(~guard_);
+  for (const NodeKey& key : group_journal_) cache_.erase(key);
+  guard_ = Lit::from_code(kUndefLitCode);
+  group_journal_.clear();
+}
+
 Lit CnfEncoder::hashed_and(std::vector<Lit>& ins) {
   // Normalize: sort by code, dedupe, fold constants and complements.
   std::sort(ins.begin(), ins.end(), [](Lit a, Lit b) { return a.code() < b.code(); });
@@ -36,14 +74,14 @@ Lit CnfEncoder::hashed_and(std::vector<Lit>& ins) {
   const Lit out = fresh();
   // out -> each input; all inputs -> out.
   std::vector<Lit> big;
-  big.reserve(norm.size() + 1);
+  big.reserve(norm.size() + 2);
   big.push_back(out);
   for (const Lit l : norm) {
-    solver_.add_clause(~out, l);
+    emit(~out, l);
     big.push_back(~l);
   }
-  solver_.add_clause(std::move(big));
-  cache_.emplace(std::move(key), out);
+  emit(std::move(big));
+  cache_insert(std::move(key), out);
   return out;
 }
 
@@ -77,11 +115,11 @@ Lit CnfEncoder::xor2(Lit a, Lit b) {
     out = it->second;
   } else {
     out = fresh();
-    solver_.add_clause(~out, a, b);
-    solver_.add_clause(~out, ~a, ~b);
-    solver_.add_clause(out, ~a, b);
-    solver_.add_clause(out, a, ~b);
-    cache_.emplace(std::move(key), out);
+    emit(~out, a, b);
+    emit(~out, ~a, ~b);
+    emit(out, ~a, b);
+    emit(out, a, ~b);
+    cache_insert(std::move(key), out);
   }
   return neg ? ~out : out;
 }

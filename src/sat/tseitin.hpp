@@ -51,6 +51,26 @@ class CnfEncoder {
   /// Structural-sharing statistic: nodes returned from cache instead of
   /// being freshly encoded.
   std::uint64_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
+  // --- activation-guarded clause groups (incremental proof sessions) --------
+  //
+  // While a group is open, every emitted definitional clause is weakened
+  // with ~act — the definitions only bind when `act` is assumed (or later
+  // asserted). commit_group() asserts `act` as a root unit, making the
+  // group's encodings permanent (safe for cache reuse by later encodings).
+  // rollback_group() asserts ~act — the group's clauses become root-
+  // satisfied garbage the solver's next reduce_db() reclaims — and evicts
+  // the nodes the group inserted from the hash-cons cache, so no later
+  // encoding can reuse a literal whose definitions were retracted.
+
+  /// Open a group under fresh activation literal; returns it. No nesting.
+  Lit begin_group();
+  /// Close the group, keeping its encodings forever.
+  void commit_group();
+  /// Close the group, retracting its encodings.
+  void rollback_group();
+  bool group_open() const { return guard_.code() >= 0; }
 
  private:
   struct NodeKey {
@@ -70,11 +90,18 @@ class CnfEncoder {
 
   Lit hashed_and(std::vector<Lit>& ins);
   Lit xor2(Lit a, Lit b);
+  /// Emit a definitional clause, weakened by the open group's guard.
+  void emit(std::vector<Lit> lits);
+  void emit(Lit a, Lit b) { emit(std::vector<Lit>{a, b}); }
+  void emit(Lit a, Lit b, Lit c) { emit(std::vector<Lit>{a, b, c}); }
+  void cache_insert(NodeKey key, Lit out);
 
   Solver& solver_;
   Lit const_true_;
   std::unordered_map<NodeKey, Lit, NodeKeyHash> cache_;
   std::uint64_t cache_hits_ = 0;
+  Lit guard_ = Lit::from_code(kUndefLitCode);  // open group's activation lit
+  std::vector<NodeKey> group_journal_;  // nodes inserted by the open group
 };
 
 /// Encode the fanin cones of `roots` in `net`. `leaf_lit(g)` supplies the

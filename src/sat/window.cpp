@@ -40,6 +40,11 @@ bool WindowChecker::leaf_lit(const Network& net, GateId g, Lit& l) {
 
 void WindowChecker::begin(const Network& net, std::span<const GateId> roots,
                           std::span<const GateId> changed) {
+  // begin() must be a COMPLETE reset: a begin-begin sequence without an
+  // intervening check (a probe abandoned mid-flight) would otherwise leak
+  // the first window's affected set, cut variables or pre literals into
+  // the second move's proof. Every per-move member is re-initialized here;
+  // the fresh solver+encoder pair drops the first window's clauses.
   solver_ = std::make_unique<Solver>();
   enc_ = std::make_unique<CnfEncoder>(*solver_);
   affected_.clear();
@@ -49,6 +54,9 @@ void WindowChecker::begin(const Network& net, std::span<const GateId> roots,
   pre_lits_.clear();
   roots_.assign(roots.begin(), roots.end());
   escaped_ = false;
+  escape_gate_ = kNullGate;
+  checked_ = false;
+  conflicts_seen_ = 0;
 
   // Affected set: fanout cone of the changed gates, truncated at the
   // observation roots. Fanout edges of unchanged gates are move-invariant,
@@ -81,6 +89,8 @@ void WindowChecker::begin(const Network& net, std::span<const GateId> roots,
 bool WindowChecker::check(const Network& net, std::span<const GateId> created,
                           std::string* diagnostic) {
   RAPIDS_ASSERT_MSG(enc_ != nullptr, "WindowChecker::check without begin");
+  RAPIDS_ASSERT_MSG(!checked_, "WindowChecker::check called twice on one window");
+  checked_ = true;
   ++stats_.moves_checked;
   if (escaped_) {
     if (diagnostic) {
@@ -96,6 +106,14 @@ bool WindowChecker::check(const Network& net, std::span<const GateId> created,
   const std::vector<Lit> post_lits = encode_cones(*enc_, net, roots_, leaf, lits_post_);
   stats_.window_gates += lits_post_.size();
 
+  // Delta accounting against the per-begin snapshot: the solver here is
+  // fresh per move so the delta equals the cumulative count, but a caller
+  // escalating a failed check (or any future solver reuse) must never see
+  // this move's conflicts counted twice. moves_checked / window_gates are
+  // bumped exactly once per begin/check pair for the same reason, whatever
+  // the caller does with the failure afterwards.
+  const std::uint64_t conflicts_before = conflicts_seen_;
+  bool ok = true;
   for (std::size_t i = 0; i < roots_.size(); ++i) {
     if (pre_lits_[i] == post_lits[i]) {
       ++stats_.roots_proved_structurally;
@@ -112,11 +130,12 @@ bool WindowChecker::check(const Network& net, std::span<const GateId> created,
                                                   : "function changed at root ") +
                     net.name(roots_[i]);
     }
-    stats_.conflicts += solver_->stats().conflicts;
-    return false;
+    ok = false;
+    break;
   }
-  stats_.conflicts += solver_->stats().conflicts;
-  return true;
+  conflicts_seen_ = solver_->stats().conflicts;
+  stats_.conflicts += conflicts_seen_ - conflicts_before;
+  return ok;
 }
 
 }  // namespace rapids::sat

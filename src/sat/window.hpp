@@ -15,8 +15,10 @@
 //
 // Protocol: begin() snapshots and encodes the pre-move window; the caller
 // applies the move; check() encodes the post-move window into the same
-// solver and discharges the per-root miters. One solver per move; clause
-// reuse across moves is an open item (see ROADMAP).
+// solver and discharges the per-root miters. One throwaway solver per
+// move — the reference prover and the escape hatch for the persistent
+// incremental variant (sat/proof_session.hpp), which reuses encoded cones
+// and learned clauses across all the moves of an optimization run.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +83,8 @@ class WindowChecker {
   std::vector<Lit> pre_lits_;
   bool escaped_ = false;  // the affected cone reached a PO bypassing roots
   GateId escape_gate_ = kNullGate;
+  bool checked_ = false;  // guards against double-check on one window
+  std::uint64_t conflicts_seen_ = 0;  // per-window delta base for stats_.conflicts
   WindowCheckerStats stats_;
 };
 

@@ -64,6 +64,13 @@ EquivalenceResult check_equivalence(const Network& a, const Network& b,
 struct SatEquivalenceOptions {
   /// Conflict budget per primary output (< 0: unlimited).
   std::int64_t conflict_limit = 4'000'000;
+  /// Learned-clause DB reduction schedule (Solver::set_reduce_policy):
+  /// once the learned DB exceeds `reduce_db_first` clauses the solver
+  /// periodically evicts the high-LBD unused half and compacts. This is
+  /// what keeps multiplier-class miters (c6288) from drowning in learned
+  /// clauses; 0 disables reduction.
+  std::uint32_t reduce_db_first = 4000;
+  double reduce_db_growth = 1.5;
 };
 
 struct SatEquivalenceResult {
@@ -85,6 +92,11 @@ struct SatEquivalenceResult {
   std::size_t outputs_proved_by_sat = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
+  /// Clause-DB hygiene over the whole proof (reduce_db rounds and learned
+  /// clauses evicted/retained; see SatEquivalenceOptions::reduce_db_first).
+  std::uint64_t reduce_dbs = 0;
+  std::uint64_t learned_deleted = 0;
+  std::uint64_t learned_retained = 0;
 
   explicit operator bool() const { return status == Status::Proved; }
 };

@@ -34,6 +34,7 @@ SatEquivalenceResult check_equivalence_sat(const Network& a, const Network& b,
   const InterfaceMap m = map_interfaces(a, b);
 
   sat::Solver solver;
+  solver.set_reduce_policy(options.reduce_db_first, options.reduce_db_growth);
   sat::CnfEncoder enc(solver);
 
   // One shared variable per primary input, matched by name.
@@ -85,6 +86,9 @@ SatEquivalenceResult check_equivalence_sat(const Network& a, const Network& b,
   }
   result.conflicts = solver.stats().conflicts;
   result.decisions = solver.stats().decisions;
+  result.reduce_dbs = solver.stats().reduce_dbs;
+  result.learned_deleted = solver.stats().learned_deleted;
+  result.learned_retained = solver.num_learned_clauses();
   return result;
 }
 

@@ -131,6 +131,187 @@ TEST(SatSolver, ConflictBudgetReturnsUnknown) {
   EXPECT_EQ(s.solve({}, 10), SatStatus::Unknown);
 }
 
+TEST(SatSolver, AddClauseAfterBudgetUnknown) {
+  // Regression: a budget-exhausted solve (Unknown) must leave the trail at
+  // decision level 0 — add_clause and a re-solve on the same solver is a
+  // legal sequence and must see no phantom assignments (same class as the
+  // assumptions-Unsat bug fixed previously; the root-backtrack is now
+  // enforced structurally on every exit path of solve()).
+  Solver s;
+  constexpr int P = 8, H = 7;
+  std::vector<std::vector<int>> var(P, std::vector<int>(H));
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) var[p][h] = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(Lit(var[p][h], false));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.add_clause(Lit(var[p1][h], true), Lit(var[p2][h], true));
+      }
+    }
+  }
+  ASSERT_EQ(s.solve({}, 10), SatStatus::Unknown);
+  // Adding clauses and re-solving (to completion) must work and agree with
+  // the instance's real verdict.
+  const int x = s.new_var();
+  EXPECT_TRUE(s.add_clause(Lit(x, false), Lit(var[0][0], true)));
+  EXPECT_EQ(s.solve(), SatStatus::Unsat);
+
+  // Same sequence with the budget exhausted mid-assumptions.
+  Solver u;
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) var[p][h] = u.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(Lit(var[p][h], false));
+    u.add_clause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        u.add_clause(Lit(var[p1][h], true), Lit(var[p2][h], true));
+      }
+    }
+  }
+  ASSERT_EQ(u.solve({Lit(var[0][0], false), Lit(var[1][1], false)}, 5),
+            SatStatus::Unknown);
+  EXPECT_TRUE(u.add_clause(Lit(var[0][0], true)));
+  EXPECT_EQ(u.solve(), SatStatus::Unsat);
+}
+
+TEST(SatSolver, ReduceDbPreservesUnsatVerdicts) {
+  // Aggressive clause-DB reduction must not lose completeness: the 9/8
+  // pigeonhole is UNSAT no matter how many learned clauses get evicted.
+  Solver s;
+  s.set_reduce_policy(60, 1.2);
+  constexpr int P = 9, H = 8;
+  std::vector<std::vector<int>> var(P, std::vector<int>(H));
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) var[p][h] = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(Lit(var[p][h], false));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.add_clause(Lit(var[p1][h], true), Lit(var[p2][h], true));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SatStatus::Unsat);
+  EXPECT_GT(s.stats().reduce_dbs, 0u);
+  EXPECT_GT(s.stats().learned_deleted, 0u);
+}
+
+TEST(SatSolver, ReduceDbAgreesWithBruteForceOnRandomFormulas) {
+  // Same cross-check as RandomFormulasAgreeWithBruteForce, but with the
+  // reduction schedule tight enough to trigger repeatedly on hard draws.
+  Rng rng(0xdb0001);
+  int reduced_rounds = 0;
+  for (int round = 0; round < 40; ++round) {
+    const int n = 12 + static_cast<int>(rng.next_below(5));       // 12..16 vars
+    const int m = static_cast<int>(4.3 * n + rng.next_below(5));  // ~hard density
+    std::vector<std::vector<int>> clauses;
+    for (int c = 0; c < m; ++c) {
+      std::vector<int> cl;
+      for (int k = 0; k < 3; ++k) {
+        const int v = 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+        cl.push_back(rng.next_bool() ? v : -v);
+      }
+      clauses.push_back(cl);
+    }
+    bool brute_sat = false;
+    for (std::uint32_t m2 = 0; m2 < (1u << n) && !brute_sat; ++m2) {
+      bool all = true;
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (const int l : cl) {
+          if ((l > 0) == (((m2 >> (std::abs(l) - 1)) & 1) != 0)) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    Solver s;
+    s.set_reduce_policy(4, 1.0);  // reduce almost constantly
+    for (int v = 0; v < n; ++v) s.new_var();
+    bool consistent = true;
+    for (const auto& cl : clauses) {
+      std::vector<Lit> lits;
+      for (const int l : cl) lits.push_back(Lit(std::abs(l) - 1, l < 0));
+      consistent = s.add_clause(lits) && consistent;
+    }
+    const SatStatus st = consistent ? s.solve() : SatStatus::Unsat;
+    EXPECT_EQ(st == SatStatus::Sat, brute_sat) << "round " << round;
+    if (st == SatStatus::Sat) {
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (const int l : cl) {
+          if ((l > 0) == s.model_value(std::abs(l) - 1)) any = true;
+        }
+        EXPECT_TRUE(any);
+      }
+    }
+    if (consistent && s.stats().reduce_dbs > 0) ++reduced_rounds;
+  }
+  // The schedule must actually have fired, or the test is vacuous.
+  EXPECT_GT(reduced_rounds, 5);
+}
+
+TEST(SatSolver, ReduceDbReclaimsRetractedEncoderGroups) {
+  // A rolled-back activation group leaves root-satisfied problem clauses;
+  // the next reduce_db() must sweep them (this is how abandoned proof
+  // windows are physically reclaimed).
+  Solver s;
+  s.set_reduce_policy(40, 1.2);
+  sat::CnfEncoder enc(s);
+  enc.begin_group();
+  std::vector<Lit> ins;
+  for (int i = 0; i < 12; ++i) ins.push_back(enc.fresh());
+  for (int i = 0; i + 1 < 12; ++i) enc.and_of({ins[i], ins[i + 1]});
+  const std::size_t clauses_with_group = s.num_problem_clauses();
+  enc.rollback_group();
+  ASSERT_GT(clauses_with_group, 0u);
+
+  // A hard instance to force conflicts (and with them, reductions).
+  constexpr int P = 8, H = 7;
+  std::vector<std::vector<int>> var(P, std::vector<int>(H));
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) var[p][h] = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(Lit(var[p][h], false));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.add_clause(Lit(var[p1][h], true), Lit(var[p2][h], true));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SatStatus::Unsat);
+  EXPECT_GT(s.stats().reduce_dbs, 0u);
+  // Every clause of the retracted group was root-satisfied via ~act.
+  EXPECT_GE(s.stats().problem_deleted, clauses_with_group);
+}
+
 TEST(SatSolver, RandomFormulasAgreeWithBruteForce) {
   // Cross-check the solver against exhaustive enumeration on small random
   // 3-CNF instances around the phase-transition density.
@@ -380,6 +561,73 @@ TEST(WindowChecker, ProvesNoOpAndRefutesRealEdit) {
   EXPECT_NE(diag.find("function changed"), std::string::npos);
 }
 
+TEST(WindowChecker, DoubleBeginResetsCleanly) {
+  // begin-begin without an intervening check (a probe abandoned mid-
+  // flight): the second window must not see the first window's affected
+  // set, cut variables or pre literals.
+  NetworkBuilder b;
+  const GateId a = b.input("a"), x = b.input("b"), c = b.input("c");
+  const GateId g = b.and_({a, x, c});
+  const GateId h = b.or_({a, c});
+  b.output("f", g);
+  b.output("f2", h);
+  Network net = b.take();
+
+  sat::WindowChecker checker;
+  // First begin: a window at h that is then abandoned mid-flight.
+  const GateId changed_h[] = {h};
+  checker.begin(net, {&h, 1}, changed_h);
+  // Second begin on a DIFFERENT window; verdicts must be exactly what a
+  // fresh checker would produce.
+  const GateId changed_g[] = {g};
+  checker.begin(net, {&g, 1}, changed_g);
+  net.set_fanin(Pin{g, 0}, x);
+  net.set_fanin(Pin{g, 1}, a);  // symmetric swap: function preserved
+  EXPECT_TRUE(checker.check(net, {}));
+  EXPECT_EQ(checker.stats().moves_checked, 1u);
+
+  // And the failing direction after another double begin.
+  checker.begin(net, {&h, 1}, changed_h);
+  checker.begin(net, {&g, 1}, changed_g);
+  net.set_fanin(Pin{g, 2}, a);  // drops input c: function changed
+  std::string diag;
+  EXPECT_FALSE(checker.check(net, {}, &diag));
+  EXPECT_NE(diag.find("function changed"), std::string::npos);
+}
+
+TEST(WindowChecker, StatsCountEachMoveExactlyOnce) {
+  // moves_checked / window_gates / conflicts are bumped once per
+  // begin/check pair — a failed check that the caller escalates must not
+  // have double-counted the re-encoded cone, and a second begin/check
+  // accumulates deltas, not cumulative solver counters.
+  NetworkBuilder b;
+  const GateId a = b.input("a"), x = b.input("b"), c = b.input("c");
+  const GateId g = b.and_({a, x, c});
+  b.output("f", g);
+  Network net = b.take();
+
+  sat::WindowChecker checker;
+  const GateId changed[] = {g};
+  checker.begin(net, {&g, 1}, changed);
+  net.set_fanin(Pin{g, 0}, x);
+  net.set_fanin(Pin{g, 1}, a);
+  ASSERT_TRUE(checker.check(net, {}));
+  const auto after_first = checker.stats();
+  EXPECT_EQ(after_first.moves_checked, 1u);
+
+  // Identical second move: every counter must advance by the same delta
+  // (cumulative re-adds would at least double the previous total).
+  checker.begin(net, {&g, 1}, changed);
+  net.set_fanin(Pin{g, 0}, a);
+  net.set_fanin(Pin{g, 1}, x);
+  ASSERT_TRUE(checker.check(net, {}));
+  const auto after_second = checker.stats();
+  EXPECT_EQ(after_second.moves_checked, 2u);
+  EXPECT_EQ(after_second.window_gates - after_first.window_gates,
+            after_first.window_gates);
+  EXPECT_EQ(after_second.conflicts - after_first.conflicts, after_first.conflicts);
+}
+
 TEST(WindowChecker, DetectsUndominatedEdit) {
   // Changed gate drives a PO directly; observation root elsewhere cannot
   // dominate it — the checker must refuse rather than vacuously pass.
@@ -446,29 +694,45 @@ TEST(ParanoidFlowSlow, EveryCommittedMoveIsProved) {
 
 TEST(Paranoid, EngineCommitRunsTheProver) {
   // A legitimate swap committed through a paranoid engine must pass the
-  // prover and be counted (the prover's rejection paths are pinned down by
-  // the WindowChecker tests above).
+  // prover and be counted, for BOTH prover backends (the rejection paths
+  // are pinned down by the WindowChecker/ProofSession tests above).
   const CellLibrary& lib = rapids::testing::lib035();
   const Network src = make_benchmark("alu2");
-  Network net = rapids::testing::mapped(src);
-  Placement pl = place(net, lib, PlacerOptions{});
-  Sta sta(net, lib, pl);
-  sta.run_full();
-  RewireEngine engine(net, pl, lib, sta);
-  engine.set_paranoid(true);
+  for (const bool session : {false, true}) {
+    Network net = rapids::testing::mapped(src);
+    Placement pl = place(net, lib, PlacerOptions{});
+    Sta sta(net, lib, pl);
+    sta.run_full();
+    RewireEngine engine(net, pl, lib, sta);
+    ParanoidOptions popt;
+    popt.session = session;
+    engine.set_paranoid(true, popt);
+    EXPECT_EQ(engine.paranoid_session_mode(), session);
 
-  const GisgPartition& part = engine.partition();
-  // Find a swappable candidate.
-  std::vector<SwapCandidate> cands;
-  for (std::size_t s = 0; s < part.sgs.size() && cands.empty(); ++s) {
-    if (part.sgs[s].is_trivial()) continue;
-    cands = enumerate_swaps(part, static_cast<int>(s), net);
+    const GisgPartition& part = engine.partition();
+    // Find a swappable candidate.
+    std::vector<SwapCandidate> cands;
+    for (std::size_t s = 0; s < part.sgs.size() && cands.empty(); ++s) {
+      if (part.sgs[s].is_trivial()) continue;
+      cands = enumerate_swaps(part, static_cast<int>(s), net);
+    }
+    ASSERT_FALSE(cands.empty());
+    // A legitimate commit proves fine.
+    engine.commit(EngineMove::swap(cands[0]));
+    EXPECT_EQ(engine.paranoid_moves_checked(), 1u);
+    ASSERT_EQ(engine.paranoid_verdicts().size(), 1u);
+    EXPECT_EQ(engine.paranoid_verdicts()[0], ProofVerdict::WindowProved);
+    if (session) {
+      ASSERT_NE(engine.session_stats(), nullptr);
+      EXPECT_EQ(engine.session_stats()->moves_checked, 1u);
+      EXPECT_EQ(engine.session_stats()->windows_kept, 1u);
+      EXPECT_EQ(engine.paranoid_stats(), nullptr);
+    } else {
+      ASSERT_NE(engine.paranoid_stats(), nullptr);
+      EXPECT_EQ(engine.paranoid_stats()->moves_checked, 1u);
+      EXPECT_EQ(engine.session_stats(), nullptr);
+    }
   }
-  ASSERT_FALSE(cands.empty());
-  // A legitimate commit proves fine.
-  engine.commit(EngineMove::swap(cands[0]));
-  ASSERT_NE(engine.paranoid_stats(), nullptr);
-  EXPECT_EQ(engine.paranoid_stats()->moves_checked, 1u);
 }
 
 TEST(WindowChecker, InverterReuseCorrelationIsKept) {

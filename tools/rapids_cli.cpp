@@ -3,18 +3,23 @@
 //   rapids flow <circuit|file.blif|file.bench> [--mode gsg|gs|gsg+gs]
 //          [--seed N] [--effort F] [--iters N] [--threads N] [--buffers]
 //          [--out out.blif] [--place-out placement.txt] [--no-verify]
-//          [--sat-verify] [--paranoid]
+//          [--sat-verify] [--paranoid] [--sat-session|--no-sat-session]
 //       Map, place, optimize and report; optionally write results.
 //       --threads N fans probe evaluation out to N workers; the result is
 //       bit-identical to --threads 1 (deterministic commit arbitration).
 //       --sat-verify escalates the final equivalence check to a SAT proof;
-//       --paranoid SAT-proves every committed move on its window.
+//       --paranoid SAT-proves every committed move on its window, through
+//       one persistent incremental proof session by default
+//       (--no-sat-session falls back to a throwaway solver per move).
 //
 //   rapids fuzz [--seed N] [--iters N] [--threads N] [--max-gates N]
-//          [--max-inputs N] [--no-sat] [--no-shrink] [--out-dir DIR]
+//          [--max-inputs N] [--no-sat] [--paranoid-diff] [--no-shrink]
+//          [--out-dir DIR]
 //       Differential fuzzing: random circuits through the full flow at
 //       --threads 1 vs N and across optimizer modes, cross-checked by
-//       random vectors + SAT. Failures shrink to minimal reproducers.
+//       random vectors + SAT. --paranoid-diff additionally cross-checks
+//       the incremental proof session against the per-move solver,
+//       move-for-move. Failures shrink to minimal reproducers.
 //
 //   rapids symmetry <circuit|file.blif|file.bench>
 //       Supergate / symmetry / redundancy report for a mapped circuit.
@@ -131,6 +136,10 @@ int cmd_flow(const std::vector<std::string>& args) {
       options.verify_sat = true;
     } else if (a == "--paranoid") {
       options.opt.paranoid = true;
+    } else if (a == "--sat-session") {
+      options.opt.sat_session = true;  // the default; kept as an explicit flag
+    } else if (a == "--no-sat-session") {
+      options.opt.sat_session = false;
     } else if (!a.empty() && a[0] == '-') {
       throw InputError("unknown flag: " + a);
     } else {
@@ -158,7 +167,17 @@ int cmd_flow(const std::vector<std::string>& args) {
             << "\n";
   if (options.opt.paranoid) {
     std::cout << "paranoid: " << r.moves_proved
-              << " committed moves SAT-proved on their windows\n";
+              << " committed moves SAT-proved on their windows ("
+              << (options.opt.sat_session ? "incremental session" : "per-move solver")
+              << ": " << r.proof_gates_encoded << " gates encoded, "
+              << r.proof_conflicts << " conflicts";
+    if (options.opt.sat_session) {
+      std::cout << ", " << r.proof_cache_hits << " cone cache hits, "
+                << r.solver_learned_kept << " learned clauses retained / "
+                << r.solver_learned_deleted << " evicted over "
+                << r.solver_reduce_dbs << " reduce_db rounds";
+    }
+    std::cout << ")\n";
   }
 
   if (buffers) {
@@ -243,6 +262,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       options.max_inputs = std::stoi(next());
     } else if (a == "--no-sat") {
       options.sat_crosscheck = false;
+    } else if (a == "--paranoid-diff") {
+      options.paranoid_diff = true;
     } else if (a == "--no-shrink") {
       options.shrink = false;
     } else if (a == "--out-dir") {
