@@ -37,17 +37,94 @@ RewireEngine::~RewireEngine() { net_.set_id_recycling(prev_recycling_); }
 
 const GisgPartition& RewireEngine::partition() {
   if (!partition_valid_) {
-    // Probe undo restores fanout SETS, not their order; extraction iterates
-    // fanouts, so without this normalization the supergate indexing — and
-    // with it the scheduler's (gain, group) canonical commit order — would
-    // depend on how many probes the live engine ran (serial probes on the
-    // live net, parallel probes on replicas: the differential fuzzer caught
-    // the resulting --threads divergence).
+    // Probe undo restores fanout SETS, not their order; full extraction's
+    // reverse-topological walk iterates fanouts, so without this
+    // normalization the supergate indexing — and with it the scheduler's
+    // (gain, group) canonical commit order — would depend on how many
+    // probes the live engine ran (serial probes on the live net, parallel
+    // probes on replicas: the differential fuzzer caught the resulting
+    // --threads divergence). Incremental updates walk fanins and single
+    // fanouts only, so they are order-independent by construction.
     net_.canonicalize_fanout_order();
-    partition_ = extract_gisg(net_);
+    extract_gisg_into(partition_, net_);
     partition_valid_ = true;
+    pending_dirty_.clear();
+    ++pstats_.full_rebuilds;
+  } else if (!pending_dirty_.empty()) {
+    pstats_ += reextract_region(partition_, net_, pending_dirty_, &gisg_scratch_);
+    pending_dirty_.clear();
+    if (extract_diff_) {
+      // Differential self-check: the incrementally maintained partition
+      // must be canonically identical to a fresh full extraction of the
+      // current network.
+      const GisgPartition fresh = extract_gisg(net_);
+      std::string diag;
+      if (!partitions_canonically_equal(partition_, fresh, &diag)) {
+        throw InternalError("extract-diff mismatch: " + diag);
+      }
+    }
   }
   return partition_;
+}
+
+bool RewireEngine::cross_sg_fresh(const CrossSgCandidate& cand) {
+  const GisgPartition& part = partition();
+  return part.slot_fresh(cand.enclosing_sg, cand.gen_enclosing) &&
+         part.slot_fresh(cand.sg_a, cand.gen_a) &&
+         part.slot_fresh(cand.sg_b, cand.gen_b);
+}
+
+PartitionStats RewireEngine::take_partition_stats() {
+  // Counter-wise delta since the last harvest (all fields are monotone).
+  PartitionStats window = pstats_;
+  window -= pstats_harvested_;
+  pstats_harvested_ = pstats_;
+  return window;
+}
+
+void RewireEngine::mark_commit_dirty(const EngineMove& move) {
+  if (!incremental_on_) {
+    partition_valid_ = false;
+    return;
+  }
+  // Nothing to record while the partition awaits a full rebuild anyway.
+  if (!partition_valid_) return;
+  // A touched gate's own supergate must be re-derived, and so must the
+  // supergates of its CURRENT fanout gates: a fanout-count change flips the
+  // gate's absorbability, which is owned by the covering supergate above it
+  // (sym/gisg's region closure catches anything subtler).
+  auto touch = [this](GateId g) {
+    if (g == kNullGate || g >= net_.id_bound() || net_.is_deleted(g)) return;
+    pending_dirty_.push_back(g);
+    for (const Pin& p : net_.fanouts(g)) pending_dirty_.push_back(p.gate);
+  };
+  switch (move.kind) {
+    case EngineMove::Kind::Swap:
+      touch(move.swap_cand.pin_a.gate);
+      touch(move.swap_cand.pin_b.gate);
+      touch(net_.driver_of(move.swap_cand.pin_a));
+      touch(net_.driver_of(move.swap_cand.pin_b));
+      // dirty_nets holds the old drivers, reused inverter inputs and added
+      // inverters — every driver whose fanout set changed.
+      for (const GateId d : scratch_.swap_edit.dirty_nets) touch(d);
+      for (const GateId g : scratch_.swap_edit.added_inverters) touch(g);
+      break;
+    case EngineMove::Kind::Resize:
+      // Cell bindings are invisible to extraction: a resize leaves the
+      // partition untouched (the first commit kind with zero re-extraction
+      // cost — GS-heavy flows reuse every supergate across rounds).
+      break;
+    case EngineMove::Kind::CrossSg:
+      for (const CrossSgEdit::PinRestore& pr : scratch_.cross_edit.moved_pins) {
+        touch(pr.pin.gate);
+        touch(pr.old_driver);
+        touch(net_.driver_of(pr.pin));
+      }
+      for (const CrossSgEdit::Retype& r : scratch_.cross_edit.retyped) touch(r.gate);
+      for (const GateId g : scratch_.cross_edit.added_inverters) touch(g);
+      for (const GateId d : scratch_.cross_edit.dirty_nets) touch(d);
+      break;
+  }
 }
 
 void RewireEngine::invalidate_dirty(ProbeScratch& scratch,
@@ -84,15 +161,16 @@ void RewireEngine::apply_and_invalidate(ProbeScratch& scratch,
     }
     case EngineMove::Kind::CrossSg: {
       const GisgPartition& part = partition();
-      // CrossSg candidates hold supergate INDICES into the partition they
-      // were extracted from; unlike swap/resize moves they are not even
-      // probe-safe across epochs. Catch stale indices before they read out
-      // of bounds (in-range-but-stale candidates are the caller's contract).
+      // CrossSg candidates hold supergate SLOTS into the partition they
+      // were enumerated from, stamped with those slots' generations; they
+      // are probe-safe exactly while all three slots still carry the same
+      // stamps (callers gate on cross_sg_fresh(), which commits elsewhere
+      // in the network no longer violate).
       RAPIDS_ASSERT_MSG(
-          static_cast<std::size_t>(move.cross_cand.enclosing_sg) < part.sgs.size() &&
-              static_cast<std::size_t>(move.cross_cand.sg_a) < part.sgs.size() &&
-              static_cast<std::size_t>(move.cross_cand.sg_b) < part.sgs.size(),
-          "cross-sg candidate references a stale partition");
+          part.slot_fresh(move.cross_cand.enclosing_sg, move.cross_cand.gen_enclosing) &&
+              part.slot_fresh(move.cross_cand.sg_a, move.cross_cand.gen_a) &&
+              part.slot_fresh(move.cross_cand.sg_b, move.cross_cand.gen_b),
+          "cross-sg candidate references a stale partition slot");
       apply_cross_sg_swap_into(net_, placement_, lib_, part, move.cross_cand,
                                scratch.cross_edit);
       for (const GateId d : scratch.cross_edit.dirty_nets) sta_.invalidate_net(d);
@@ -355,13 +433,15 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
   }
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
   sta_.commit();
+  // Record the move's dirty region for incremental partition maintenance
+  // BEFORE count_commit detaches the edit records it reads.
+  mark_commit_dirty(move);
   count_commit(move);
   // Committed inserts consumed reserve ids; top it back up HERE (commit
   // sequences are identical for every worker count) so probe-time id
   // allocation stays a pure function of the commit history.
   net_.reserve_recycled_ids(kIdReserve);
   ++epoch_;
-  partition_valid_ = false;
   return obj;
 }
 
@@ -391,12 +471,13 @@ int RewireEngine::commit_best(std::vector<RankedMove>& ranked, double min_gain) 
   std::sort(ranked.begin(), ranked.end(),
             [](const RankedMove& a, const RankedMove& b) { return a.gain > b.gain; });
   int committed = 0;
-  const std::uint64_t entry_epoch = epoch_;
   for (const RankedMove& rm : ranked) {
-    // CrossSg moves index the partition they were extracted from; once any
-    // commit in this batch bumps the epoch they are unusable (not even
-    // probe-safe) and must be re-extracted by the caller.
-    if (rm.move.kind == EngineMove::Kind::CrossSg && epoch_ != entry_epoch) {
+    // CrossSg moves reference partition slots; earlier commits in this
+    // batch may have re-extracted one of their supergates, which stales
+    // them (not even probe-safe) — the per-slot generation stamps decide,
+    // so cross moves over untouched supergates survive unrelated commits.
+    if (rm.move.kind == EngineMove::Kind::CrossSg &&
+        !cross_sg_fresh(rm.move.cross_cand)) {
       continue;
     }
     // Re-validate against the current state: earlier commits may have

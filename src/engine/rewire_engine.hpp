@@ -12,11 +12,16 @@
 //   Resize  — drive-strength reassignment    (sizing)
 //   CrossSg — cross-supergate group exchange (rewire/cross_sg, Theorem 2)
 //
-// The engine also owns the GisgPartition lifecycle: committing a swap
-// restructures its supergate, so candidates extracted before the commit are
-// stale (see rewire/swap.hpp's contract). Every commit bumps an epoch;
-// batch helpers re-extract between commits, and probe loops can run
-// unrestricted against one epoch.
+// The engine also owns the GisgPartition lifecycle. The partition is a
+// LONG-LIVED index maintained incrementally: every commit records its
+// affected gates (the rewired pins, old/new drivers, created inverters and
+// their fanout frontier) into a dirty set, and the next partition() call
+// re-extracts only the intersecting fanout-free regions (sym/gisg's
+// reextract_region), splicing them into stable supergate slots. Candidates
+// extracted before a commit are stale exactly when their supergate's slot
+// generation changed (see rewire/swap.hpp's contract); the epoch remains as
+// the coarse whole-partition counter, and invalidate_partition() as the
+// full-rebuild escape hatch for out-of-engine mutations.
 //
 // Probing is allocation-free after warm-up: the swap edit record, the
 // dirty-net scratch and the STA journal all reuse their storage, which is
@@ -158,26 +163,68 @@ class RewireEngine {
 
   // --- partition lifecycle -------------------------------------------------
 
-  /// Current supergate partition, extracted lazily. Valid for the current
-  /// epoch only: any commit invalidates it.
+  /// Current supergate partition, maintained lazily: the first call (or the
+  /// first after invalidate_partition()) runs a full extraction; later
+  /// calls splice committed moves' dirty regions into the persistent
+  /// partition incrementally — O(affected region), not O(network). Slots of
+  /// untouched supergates keep their index and generation across commits.
   const GisgPartition& partition();
 
-  /// Force full re-extraction on the next partition() call. Commits do
-  /// this automatically; call it only after mutating the network OUTSIDE
-  /// the engine (redundancy removal, buffering, ...) — re-extraction is
-  /// O(network), not free. An external mutation also invalidates every
-  /// cone the paranoid proof session cached (the session only tracks the
-  /// proved commit stream), so the session cache is wiped here too.
+  /// Force full re-extraction on the next partition() call. Commits no
+  /// longer need this (they accumulate dirty regions instead); call it
+  /// after mutating the network OUTSIDE the engine (redundancy removal,
+  /// dangling-inverter cleanup, buffering, ...) — in particular after ANY
+  /// gate deletion, which incremental maintenance does not model. An
+  /// external mutation also invalidates every cone the paranoid proof
+  /// session cached (the session only tracks the proved commit stream), so
+  /// the session cache is wiped here too.
   void invalidate_partition() {
     partition_valid_ = false;
+    pending_dirty_.clear();
     if (session_) session_->invalidate_all();
   }
 
-  /// Bumped by every commit; moves extracted under an older epoch are
-  /// stale and must not be committed. Swap/Resize moves remain probe/undo
-  /// safe across epochs (they reference gates, which have stable ids);
-  /// CrossSg moves reference partition indices and are not even probe-safe
-  /// once the epoch advances — re-extract them first.
+  /// Adopt a slot-exact copy of another engine's partition (replica sync):
+  /// moves carrying slot indices and generation stamps probe identically on
+  /// the replica. `source` must be materialized (its pending dirt applied).
+  void adopt_partition(const GisgPartition& source) {
+    partition_ = source;
+    partition_valid_ = true;
+    pending_dirty_.clear();
+  }
+
+  /// Incremental maintenance switch (default on). When off, every commit
+  /// invalidates the whole partition and the next partition() call pays a
+  /// full O(network) re-extraction — the pre-incremental behavior, kept as
+  /// an A/B lever for bench/incremental_extract and as a fallback.
+  void set_incremental_extraction(bool on) { incremental_on_ = on; }
+  bool incremental_extraction() const { return incremental_on_; }
+
+  /// Self-check mode: after every incremental partition update, run a full
+  /// extraction and require canonical equality (throws InternalError with a
+  /// diagnostic on mismatch). O(network) per commit — for tests and the
+  /// fuzzer's --extract-diff mode only.
+  void set_extract_diff(bool on) { extract_diff_ = on; }
+
+  /// True when a CrossSg candidate's three supergate slots still carry the
+  /// generation stamps the candidate was enumerated under — the per-sg
+  /// staleness test (commits elsewhere in the network no longer stale
+  /// cross-supergate moves). Applies pending dirt first.
+  bool cross_sg_fresh(const CrossSgCandidate& cand);
+
+  /// Partition maintenance counters over the engine's lifetime (plus
+  /// everything absorbed from replicas).
+  const PartitionStats& partition_stats() const { return pstats_; }
+  void absorb_partition_stats(const PartitionStats& s) { pstats_ += s; }
+  /// Counters accumulated since the last harvest; resets the window
+  /// (replica-side pair of absorb_partition_stats).
+  PartitionStats take_partition_stats();
+
+  /// Bumped by every commit. Swap/Resize moves remain probe/undo safe
+  /// across epochs (they reference gates, which have stable ids); CrossSg
+  /// moves reference partition slots and are probe-safe exactly while
+  /// cross_sg_fresh() holds — their slots' generations are finer-grained
+  /// than the epoch, so commits in unrelated regions do not stale them.
   std::uint64_t epoch() const { return epoch_; }
 
   // --- transactional move evaluation ---------------------------------------
@@ -261,9 +308,12 @@ class RewireEngine {
   /// critical delay by more than `min_gain` (earlier commits may have
   /// absorbed the gain). Returns the number committed.
   ///
-  /// NOTE: the ranked moves must come from the current epoch and at most
-  /// one swap per supergate may appear (the stale-candidate contract);
-  /// the optimizer's per-group "best move" selection guarantees both.
+  /// NOTE: the ranked moves must be derived from the current partition
+  /// state and at most one swap per supergate may appear (the
+  /// stale-candidate contract); the optimizer's per-group "best move"
+  /// selection guarantees both. CrossSg entries are dropped automatically
+  /// when an earlier commit in the batch re-extracted one of their
+  /// supergate slots (per-generation freshness).
   int commit_best(std::vector<RankedMove>& ranked, double min_gain);
 
   const EngineStats& stats() const { return stats_; }
@@ -278,6 +328,10 @@ class RewireEngine {
   void undo_network_edit(ProbeScratch& scratch, const EngineMove& move);
   void invalidate_dirty(ProbeScratch& scratch, std::span<const GateId> dirty);
   void count_commit(const EngineMove& move);
+  /// Record a committed move's affected gates (and their fanout frontier)
+  /// into the pending dirty set consumed by the next partition() call.
+  /// Must run before count_commit() detaches the edit records.
+  void mark_commit_dirty(const EngineMove& move);
   /// Paranoid mode: derive the move's exact rewired-gate set (throwaway
   /// apply/undo) and encode the pre-move window of its observation root.
   void begin_paranoid_proof(const EngineMove& move);
@@ -290,6 +344,16 @@ class RewireEngine {
   GisgPartition partition_;
   bool partition_valid_ = false;
   std::uint64_t epoch_ = 0;
+  /// Gates touched by commits since the last partition() materialization;
+  /// consumed (and cleared) by the next incremental update.
+  std::vector<GateId> pending_dirty_;
+  /// Reusable region-update scratch: keeps incremental partition updates
+  /// allocation-free (stamped visit arrays, held-capacity worklists).
+  GisgRegionScratch gisg_scratch_;
+  bool incremental_on_ = true;
+  bool extract_diff_ = false;
+  PartitionStats pstats_;
+  PartitionStats pstats_harvested_;
 
   EngineStats stats_;
 

@@ -39,12 +39,17 @@ OptMode mode_for_iteration(int iter) {
 /// source network. Returns empty string on success, else a "kind: detail"
 /// failure description.
 std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_seed,
-                           int threads, bool sat_crosscheck, bool paranoid_diff) {
+                           int threads, bool sat_crosscheck, bool paranoid_diff,
+                           bool extract_diff) {
   const CellLibrary& lib = builtin_library_035();
   FlowOptions fopt;
   fopt.placer.seed = flow_seed;
   fopt.placer.effort = 1.0;
   fopt.opt.max_iterations = 2;
+  // Arm the engine's incremental-vs-full partition self-check: every
+  // committed move cross-checks the spliced partition against a fresh full
+  // extraction (throws "extract-diff mismatch" on any canonical drift).
+  fopt.opt.extract_diff = extract_diff;
   fopt.verify = false;  // the harness does its own, stronger checks
 
   try {
@@ -58,6 +63,20 @@ std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_
     if (threads > 1 && blif_string(serial.optimized) != blif_string(parallel.optimized)) {
       return "determinism: threads=1 and threads=" + std::to_string(threads) +
              " produced different netlists";
+    }
+
+    if (extract_diff) {
+      // Flow-level parity: incremental partition maintenance must commit
+      // the exact same move stream as full re-extraction per commit.
+      FlowOptions xopt = fopt;
+      xopt.opt.threads = 1;
+      xopt.opt.extract_diff = false;
+      xopt.opt.incremental_extraction = false;
+      const ModeRun full = run_mode(prepared, lib, mode, xopt);
+      if (blif_string(full.optimized) != blif_string(serial.optimized)) {
+        return "extract-parity: incremental and full-rebuild-per-commit flows "
+               "produced different netlists";
+      }
     }
 
     if (paranoid_diff) {
@@ -125,7 +144,11 @@ std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_
       return "structure: " + problems.front();
     }
   } catch (const std::exception& e) {
-    return std::string("exception: ") + e.what();
+    const std::string what = e.what();
+    if (what.find("extract-diff mismatch") != std::string::npos) {
+      return "extract-diff: " + what;  // distinct kind: the shrinker chases it
+    }
+    return "exception: " + what;
   }
   return "";
 }
@@ -198,7 +221,8 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
 
     const std::string failure = run_experiment(src, mode, flow_seed, options.threads,
                                                options.sat_crosscheck,
-                                               options.paranoid_diff);
+                                               options.paranoid_diff,
+                                               options.extract_diff);
     if (failure.empty()) {
       log << "[fuzz] iter " << iter << " mode " << mode_name << " ("
           << src.num_logic_gates() << " gates): ok\n";
@@ -222,7 +246,8 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
       const auto still_fails = [&](const Network& candidate) {
         const std::string err = run_experiment(candidate, mode, flow_seed,
                                                options.threads, options.sat_crosscheck,
-                                               options.paranoid_diff);
+                                               options.paranoid_diff,
+                                               options.extract_diff);
         return !err.empty() && err.compare(0, f.kind.size(), f.kind) == 0;
       };
       minimal = shrink_network(src, still_fails, options.shrink_budget);
@@ -256,6 +281,12 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
             << "       " << base << " --threads " << options.threads << " --out "
             << stem << "_tN.blif\n"
             << "       cmp " << stem << "_t1.blif " << stem << "_tN.blif\n";
+      } else if (f.kind == "extract-diff" || f.kind == "extract-parity") {
+        txt << "repro: " << base << " --extract-diff --threads 1 --out " << stem
+            << "_inc.blif\n"
+            << "       " << base << " --no-incremental --threads 1 --out " << stem
+            << "_full.blif\n"
+            << "       cmp " << stem << "_inc.blif " << stem << "_full.blif\n";
       } else {
         txt << "repro: " << base << " --sat-verify --threads 1\n";
       }

@@ -40,6 +40,13 @@ struct FuzzOptions {
   /// require byte-identical netlists plus move-for-move identical proof
   /// verdicts between the two (and against the plain run's netlist).
   bool paranoid_diff = false;
+  /// Incremental-extraction differential: run the flows with the engine's
+  /// extract-diff self-check armed (incremental partition cross-checked
+  /// against a fresh full extraction after EVERY committed move), and
+  /// additionally require the incremental flow's netlist to be
+  /// byte-identical to a full-rebuild-per-commit flow. Failures shrink to
+  /// minimal reproducers like every other kind.
+  bool extract_diff = false;
   /// Shrink failing circuits to minimal reproducers.
   bool shrink = true;
   /// Budget for the shrinker, in flow re-runs per failure.

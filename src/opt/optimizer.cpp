@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "engine/rewire_engine.hpp"
@@ -47,6 +48,8 @@ class Optimizer {
     ParanoidOptions popt;
     popt.session = options.sat_session;
     engine_.set_paranoid(options.paranoid, popt);
+    engine_.set_incremental_extraction(options.incremental_extraction);
+    engine_.set_extract_diff(options.extract_diff);
   }
 
   OptimizerResult run() {
@@ -68,10 +71,11 @@ class Optimizer {
     double best = result.initial_delay;
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
       ++result.iterations;
-      // Groups are rebuilt per phase: committed swaps restructure their
-      // supergate (inverter insertion, subtree exchange), so candidate pin
-      // sets must be re-derived from a fresh extraction (the engine's epoch
-      // discipline).
+      // Groups are refreshed per phase: a committed swap restructures its
+      // supergate (inverter insertion, subtree exchange), which bumps that
+      // slot's generation — only THOSE groups re-derive their candidate
+      // pin sets. Clean supergates keep their cached swap groups across
+      // phases and iterations (per-slot generation discipline).
       const int committed_a =
           scheduler_.run_round(build_groups(), ProbePolicy::MinCritical,
                                options_.min_gain);
@@ -97,6 +101,10 @@ class Optimizer {
       // driver loads. Inverter-pair collapse would re-time paths that were
       // evaluated with the pair in place and can lose committed gains.
       result.inverters_removed = static_cast<int>(remove_dangling_inverters(net_));
+      // Gate deletion happens OUTSIDE the engine's commit stream, which is
+      // exactly what incremental maintenance cannot model: force the
+      // full-rebuild escape hatch (also wipes the proof-session cache).
+      if (result.inverters_removed > 0) engine_.invalidate_partition();
     }
     sta_.run_full();
     sta_.refresh_required();
@@ -136,51 +144,100 @@ class Optimizer {
         result.solver_reduce_dbs = session->solver_stats().reduce_dbs;
       }
     }
+    result.partition = engine_.partition_stats();
+    result.partition.groups_reused = groups_reused_;
     return result;
   }
 
  private:
   // --- group construction ---------------------------------------------------
 
-  std::vector<ProbeGroup> build_groups() {
-    std::vector<ProbeGroup> groups;
+  /// Pop the next pooled ProbeGroup (capacity retained across rounds: a
+  /// steady optimization loop rebuilds its group lists without allocating).
+  ProbeGroup& next_group() {
+    if (groups_used_ < groups_.size()) {
+      groups_[groups_used_].moves.clear();
+    } else {
+      groups_.emplace_back();
+    }
+    return groups_[groups_used_++];
+  }
+
+  /// Drop the last pooled group (it stayed empty).
+  void discard_group() { --groups_used_; }
+
+  std::span<const ProbeGroup> build_groups() {
+    groups_used_ = 0;
     const bool want_swaps = options_.mode != OptMode::GateSizing;
     const bool want_resizes = options_.mode != OptMode::Gsg;
 
-    std::vector<bool> covered_nontrivial(net_.id_bound(), false);
+    // Reused id_bound-sized scratch (satellite: no per-phase reallocation).
+    covered_nontrivial_.assign(net_.id_bound(), 0);
     if (want_swaps) {
-      // All optimizer mutations go through engine commits, which already
-      // invalidate the partition; partition() here is cached when the
-      // previous phase committed nothing.
+      // All optimizer mutations go through engine commits, which dirty
+      // exactly the supergates they restructure; partition() splices those
+      // regions in and leaves every other slot's generation untouched.
       const GisgPartition& part = engine_.partition();
+      if (swap_cache_.size() < part.sgs.size()) swap_cache_.resize(part.sgs.size());
+      // Canonical group order: by supergate ROOT id, not slot index. Slot
+      // numbering is maintenance-history-dependent (recycled slots), and
+      // the arbiter breaks exact gain ties by group index — root order
+      // makes the committed move stream a function of partition CONTENT,
+      // so incremental and full-rebuild maintenance produce byte-identical
+      // netlists.
+      slot_order_.clear();
       for (std::size_t s = 0; s < part.sgs.size(); ++s) {
+        if (!part.sgs[s].is_trivial()) slot_order_.push_back(s);
+      }
+      std::sort(slot_order_.begin(), slot_order_.end(),
+                [&part](std::size_t a, std::size_t b) {
+                  return part.sgs[a].root < part.sgs[b].root;
+                });
+      for (const std::size_t s : slot_order_) {
         const SuperGate& sg = part.sgs[s];
-        if (sg.is_trivial()) continue;
-        for (const GateId g : sg.covered) covered_nontrivial[g] = true;
-        ProbeGroup group;
-        group.moves = swap_moves(part, static_cast<int>(s));
-        if (!group.moves.empty()) groups.push_back(std::move(group));
+        for (const GateId g : sg.covered) covered_nontrivial_[g] = 1;
+        SwapGroupCache& entry = swap_cache_[s];
+        if (entry.generation != 0 && entry.generation == sg.generation) {
+          // Clean slot: the supergate — and therefore its feasible swap
+          // set — is untouched since the moves were enumerated. A cached
+          // EMPTY list never becomes a group, so it is not counted reused.
+          if (entry.moves.empty()) continue;
+          next_group().moves = entry.moves;
+          ++groups_reused_;
+        } else {
+          ProbeGroup& group = next_group();
+          swap_moves(part, static_cast<int>(s), group.moves);
+          entry.moves = group.moves;
+          // An arrival-gap-pruned move list depends on CURRENT timing, not
+          // just on the supergate: never serve it from the cache, so the
+          // committed move stream is identical with the cache on or off.
+          entry.generation = entry.pruned ? 0 : sg.generation;
+          if (group.moves.empty()) discard_group();
+        }
       }
     }
     if (want_resizes) {
       for (const GateId g : net_.gates()) {
         if (!is_logic(net_.type(g)) || net_.cell(g) < 0) continue;
         // gsg+GS sizes only gates NOT covered by a non-trivial supergate.
-        if (options_.mode == OptMode::GsgPlusGS && covered_nontrivial[g]) continue;
-        ProbeGroup group;
+        if (options_.mode == OptMode::GsgPlusGS && covered_nontrivial_[g]) continue;
+        ProbeGroup& group = next_group();
         for (const int cell : resize_candidates(net_, lib_, g)) {
           group.moves.push_back(EngineMove::resize(g, cell));
         }
-        if (!group.moves.empty()) groups.push_back(std::move(group));
+        if (group.moves.empty()) discard_group();
       }
     }
-    return groups;
+    return {groups_.data(), groups_used_};
   }
 
-  std::vector<EngineMove> swap_moves(const GisgPartition& part, int sg_index) {
+  void swap_moves(const GisgPartition& part, int sg_index,
+                  std::vector<EngineMove>& moves) {
     std::vector<SwapCandidate> cands =
         enumerate_swaps(part, sg_index, net_, options_.leaves_only_swaps);
-    if (static_cast<int>(cands.size()) > options_.max_swaps_per_sg) {
+    const bool pruned = static_cast<int>(cands.size()) > options_.max_swaps_per_sg;
+    swap_cache_[static_cast<std::size_t>(sg_index)].pruned = pruned;
+    if (pruned) {
       // Keep the pairs with the largest arrival mismatch between the two
       // drivers: those are where rewiring can shift the critical path.
       std::sort(cands.begin(), cands.end(),
@@ -189,10 +246,8 @@ class Optimizer {
                 });
       cands.resize(static_cast<std::size_t>(options_.max_swaps_per_sg));
     }
-    std::vector<EngineMove> moves;
     moves.reserve(cands.size());
     for (const SwapCandidate& c : cands) moves.push_back(EngineMove::swap(c));
-    return moves;
   }
 
   double arrival_gap(const SwapCandidate& c) const {
@@ -208,20 +263,20 @@ class Optimizer {
   /// that keeps the critical delay within budget wins, and the arbiter
   /// re-validates each against the live state in gate order.
   void phase_area_recovery() {
-    std::vector<bool> covered_nontrivial(net_.id_bound(), false);
+    groups_used_ = 0;
+    covered_nontrivial_.assign(net_.id_bound(), 0);
     if (options_.mode == OptMode::GsgPlusGS) {
       const GisgPartition& part = engine_.partition();
       for (const SuperGate& sg : part.sgs) {
         if (sg.is_trivial()) continue;
-        for (const GateId g : sg.covered) covered_nontrivial[g] = true;
+        for (const GateId g : sg.covered) covered_nontrivial_[g] = 1;
       }
     }
     const double budget = sta_.critical_delay() + options_.min_gain;
-    std::vector<ProbeGroup> groups;
     for (const GateId g : net_.gates()) {
       if (!is_logic(net_.type(g)) || net_.cell(g) < 0) continue;
-      if (options_.mode == OptMode::GsgPlusGS && g < covered_nontrivial.size() &&
-          covered_nontrivial[g]) {
+      if (options_.mode == OptMode::GsgPlusGS && g < covered_nontrivial_.size() &&
+          covered_nontrivial_[g]) {
         continue;
       }
       const Cell& current = lib_.cell(net_.cell(g));
@@ -229,14 +284,15 @@ class Optimizer {
       std::sort(cands.begin(), cands.end(), [this](int a, int b) {
         return lib_.cell(a).area < lib_.cell(b).area;
       });
-      ProbeGroup group;
+      ProbeGroup& group = next_group();
       for (const int cand : cands) {
         if (lib_.cell(cand).area >= current.area) break;
         group.moves.push_back(EngineMove::resize(g, cand));
       }
-      if (!group.moves.empty()) groups.push_back(std::move(group));
+      if (group.moves.empty()) discard_group();
     }
-    scheduler_.run_round(groups, ProbePolicy::FirstFit, budget);
+    scheduler_.run_round({groups_.data(), groups_used_}, ProbePolicy::FirstFit,
+                         budget);
   }
 
   Network& net_;
@@ -245,6 +301,25 @@ class Optimizer {
   RewireEngine engine_;
   ParallelRewireScheduler scheduler_;
   OptimizerOptions options_;
+
+  /// Per-supergate-slot cache of enumerated swap moves, valid while the
+  /// slot's generation is unchanged. `pruned` marks move lists truncated by
+  /// the arrival-gap heuristic — those depend on live timing and are
+  /// re-derived every phase (generation pinned to 0).
+  struct SwapGroupCache {
+    std::uint64_t generation = 0;
+    bool pruned = false;
+    std::vector<EngineMove> moves;
+  };
+  std::vector<SwapGroupCache> swap_cache_;
+  std::uint64_t groups_reused_ = 0;
+  std::vector<std::size_t> slot_order_;  // root-sorted live slots (reused)
+
+  // Held-capacity pools: the per-phase group lists and the id_bound-sized
+  // coverage scratch reuse their storage across rounds and phases.
+  std::vector<ProbeGroup> groups_;
+  std::size_t groups_used_ = 0;
+  std::vector<std::uint8_t> covered_nontrivial_;
 };
 
 }  // namespace

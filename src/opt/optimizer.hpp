@@ -31,6 +31,7 @@
 #include "library/cell_library.hpp"
 #include "netlist/network.hpp"
 #include "place/placement.hpp"
+#include "sym/gisg.hpp"
 #include "timing/sta.hpp"
 
 namespace rapids {
@@ -67,6 +68,17 @@ struct OptimizerOptions {
   /// false builds a throwaway solver per move (sat/window.hpp). Both prove
   /// the same move set; `flow --no-sat-session` is the escape hatch.
   bool sat_session = true;
+  /// Incremental GISG partition maintenance (default on): commits splice
+  /// their dirty regions into a persistent partition and probe groups of
+  /// untouched supergates are reused across rounds. false re-extracts the
+  /// whole network after every commit and rebuilds every group — the
+  /// pre-incremental behavior, kept as an A/B lever (the final netlist is
+  /// identical either way; bench/incremental_extract measures the gap).
+  bool incremental_extraction = true;
+  /// Self-check: after every incremental partition update, cross-check
+  /// against a fresh full extraction and abort on any canonical difference
+  /// (engine extract-diff mode; O(network) per commit — tests/fuzzing).
+  bool extract_diff = false;
 };
 
 struct OptimizerResult {
@@ -110,6 +122,12 @@ struct OptimizerResult {
   double coverage = 0.0;          // fraction of gates in non-trivial SGs
   int max_sg_inputs = 0;          // L
   std::size_t redundancies_found = 0;
+  /// Partition-reuse counters: supergates re-extracted vs reused per
+  /// incremental update, probe groups served from the per-slot cache, and
+  /// full rebuilds (1 = only the initial extraction; more means an
+  /// out-of-engine mutation forced the escape hatch). Merged across
+  /// parallel workers.
+  PartitionStats partition;
 
   double improvement_percent() const {
     return initial_delay > 0 ? 100.0 * (initial_delay - final_delay) / initial_delay : 0.0;

@@ -7,7 +7,18 @@ ProbeContext::ProbeContext(const CellLibrary& lib, std::uint64_t base_seed, int 
 
 ProbeContext::~ProbeContext() = default;
 
-void ProbeContext::sync(RewireEngine& source) {
+void ProbeContext::adopt_partition_from(RewireEngine& source) {
+  // Slot-exact copy: replica cross-sg probes must resolve the same slot
+  // indices and generation stamps as the live engine (a fresh replica-side
+  // extraction would renumber incrementally maintained slots), and the
+  // copy spares the replica its own O(network) extraction. The scheduler
+  // materializes the live partition before the worker pool runs, so this
+  // read is race-free.
+  engine_->adopt_partition(source.partition());
+  partition_adopted_ = true;
+}
+
+void ProbeContext::sync(RewireEngine& source, bool with_partition) {
   // Tear down in dependency order: the engine holds references into the
   // replica network/placement/STA being replaced.
   engine_.reset();
@@ -29,6 +40,8 @@ void ProbeContext::sync(RewireEngine& source) {
   // path is held to the same proof discipline as the live engine. The
   // scheduler harvests the per-worker proof counters after each round.
   engine_->set_paranoid(source.paranoid(), source.paranoid_options());
+  partition_adopted_ = false;
+  if (with_partition) adopt_partition_from(source);
 
   epoch_ = source.epoch();
   has_state_ = true;

@@ -34,11 +34,20 @@ class ProbeContext {
 
   /// Re-replicate from the live engine's state. Must be called from a
   /// single thread per context (the scheduler syncs each worker's context
-  /// on that worker); `source` is read-only here.
-  void sync(RewireEngine& source);
+  /// on that worker); `source` is read-only here. `with_partition` adopts a
+  /// slot-exact copy of the live partition — required before the replica
+  /// probes any CrossSg move (those resolve partition slots), pure waste
+  /// otherwise (the common swap/resize rounds never read it), so the
+  /// scheduler passes its per-round any-cross flag.
+  void sync(RewireEngine& source, bool with_partition = true);
 
   /// True when this replica reflects live epoch `epoch`.
   bool synced_to(std::uint64_t epoch) const { return has_state_ && epoch_ == epoch; }
+
+  /// Late partition adoption for a replica synced without one (a cross-sg
+  /// round following a plain round in the same epoch).
+  void adopt_partition_from(RewireEngine& source);
+  bool partition_adopted() const { return partition_adopted_; }
 
   /// The replica engine (valid after the first sync). Probe through
   /// probe_with(scratch(), move) — commits on a replica are meaningless and
@@ -62,6 +71,13 @@ class ProbeContext {
     return engine_ ? engine_->take_session_stats() : sat::ProofSessionStats{};
   }
 
+  /// Replica partition-maintenance counters since the last harvest (zero in
+  /// steady state: replicas adopt the live partition instead of
+  /// extracting); merged into the live engine's totals by the scheduler.
+  PartitionStats take_partition_stats() {
+    return engine_ ? engine_->take_partition_stats() : PartitionStats{};
+  }
+
  private:
   const CellLibrary& lib_;
   Rng rng_;
@@ -74,6 +90,7 @@ class ProbeContext {
 
   std::uint64_t epoch_ = 0;
   bool has_state_ = false;
+  bool partition_adopted_ = false;
   EngineStats harvested_;
 };
 

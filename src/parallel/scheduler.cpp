@@ -104,7 +104,7 @@ GroupResult ParallelRewireScheduler::probe_group(RewireEngine& eng,
 }
 
 std::vector<GroupResult> ParallelRewireScheduler::probe_round(
-    const std::vector<ProbeGroup>& groups, ProbePolicy policy, double threshold) {
+    std::span<const ProbeGroup> groups, ProbePolicy policy, double threshold) {
   std::vector<GroupResult> results(groups.size());
   if (groups.empty()) return results;
   ++stats_.rounds;
@@ -133,7 +133,9 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
   }
 
   // Signatures need the extraction partition only when cross-supergate
-  // moves are in the stream (their candidates index into it).
+  // moves are in the stream (their candidates index into it). Replicas
+  // adopt it for the same reason and only then — materializing it here,
+  // before the pool runs, keeps the worker-side copies race-free.
   bool any_cross = false;
   for (const ProbeGroup& g : groups) {
     for (const EngineMove& m : g.moves) {
@@ -169,7 +171,12 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
       return;
     }
     ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
-    if (!ctx.synced_to(epoch)) ctx.sync(engine_);
+    if (!ctx.synced_to(epoch)) {
+      ctx.sync(engine_, any_cross);
+    } else if (any_cross && !ctx.partition_adopted()) {
+      // Synced by an earlier cross-free round in this epoch: adopt late.
+      ctx.adopt_partition_from(engine_);
+    }
     std::uint64_t my_probes = 0;
     for (const int g : mine) {
       GroupResult& r = results[static_cast<std::size_t>(g)];
@@ -192,6 +199,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
     const EngineStats window = ctx.take_stats();
     engine_.absorb_stats(window);
     engine_.absorb_session_stats(ctx.take_session_stats());
+    engine_.absorb_partition_stats(ctx.take_partition_stats());
     stats_.worker_probes += window.probes;
   }
   return results;
@@ -199,7 +207,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
 
 int ParallelRewireScheduler::arbitrate_and_commit(
     std::vector<GroupResult> results, ProbePolicy policy, double threshold,
-    const std::vector<ProbeGroup>* groups) {
+    std::span<const ProbeGroup> groups) {
   // Keep only per-group winners.
   results.erase(std::remove_if(results.begin(), results.end(),
                                [](const GroupResult& r) { return !r.has_move; }),
@@ -232,12 +240,14 @@ int ParallelRewireScheduler::arbitrate_and_commit(
   }
 
   int committed = 0;
-  const std::uint64_t entry_epoch = engine_.epoch();
   ConflictSignature committed_union;
   for (const GroupResult& r : results) {
-    // CrossSg winners index the partition of the round's epoch; any commit
-    // bumped it, so they are not even probe-safe anymore.
-    if (r.move.kind == EngineMove::Kind::CrossSg && engine_.epoch() != entry_epoch) {
+    // CrossSg winners reference partition slots; an earlier commit that
+    // re-extracted one of their supergates stales them (not even
+    // probe-safe). The per-slot generation stamps decide — commits in
+    // unrelated regions no longer discard the round's cross-sg winners.
+    if (r.move.kind == EngineMove::Kind::CrossSg &&
+        !engine_.cross_sg_fresh(r.move.cross_cand)) {
       ++stats_.stale_cross_sg;
       continue;
     }
@@ -269,8 +279,8 @@ int ParallelRewireScheduler::arbitrate_and_commit(
       }
     }
     EngineMove chosen = r.move;
-    if (!take && policy == ProbePolicy::FirstFit && groups != nullptr &&
-        r.group >= 0 && static_cast<std::size_t>(r.group) < groups->size()) {
+    if (!take && policy == ProbePolicy::FirstFit && r.group >= 0 &&
+        static_cast<std::size_t>(r.group) < groups.size()) {
       // The replica-chosen candidate no longer fits the live state. Replay
       // the serial algorithm for this group: probe every candidate live,
       // in order, and take the first fit (an earlier candidate that failed
@@ -279,13 +289,13 @@ int ParallelRewireScheduler::arbitrate_and_commit(
       // arbitration; that pruning is the round's parallel win and the one
       // deliberate divergence from the serial scan.
       const std::vector<EngineMove>& moves =
-          (*groups)[static_cast<std::size_t>(r.group)].moves;
+          groups[static_cast<std::size_t>(r.group)].moves;
       for (std::size_t i = 0; i < moves.size(); ++i) {
         if (static_cast<int>(i) == r.move_index) continue;  // already probed
-        // Same stale-epoch rule as the winner path: cross-sg candidates are
-        // not probe-safe once any commit bumped the epoch.
+        // Same per-slot staleness rule as the winner path: cross-sg
+        // candidates are only probe-safe while their generations hold.
         if (moves[i].kind == EngineMove::Kind::CrossSg &&
-            engine_.epoch() != entry_epoch) {
+            !engine_.cross_sg_fresh(moves[i].cross_cand)) {
           ++stats_.stale_cross_sg;
           continue;
         }
@@ -310,10 +320,10 @@ int ParallelRewireScheduler::arbitrate_and_commit(
   return committed;
 }
 
-int ParallelRewireScheduler::run_round(const std::vector<ProbeGroup>& groups,
+int ParallelRewireScheduler::run_round(std::span<const ProbeGroup> groups,
                                        ProbePolicy policy, double threshold) {
   return arbitrate_and_commit(probe_round(groups, policy, threshold), policy,
-                              threshold, &groups);
+                              threshold, groups);
 }
 
 }  // namespace rapids

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "engine/rewire_engine.hpp"
@@ -109,8 +110,9 @@ class ParallelRewireScheduler {
 
   /// Shard `groups` by conflict signature and probe them in parallel
   /// against the live state. Returns one result per group, indexed like
-  /// `groups`, independent of worker count.
-  std::vector<GroupResult> probe_round(const std::vector<ProbeGroup>& groups,
+  /// `groups`, independent of worker count. (Spans accept plain vectors;
+  /// the optimizer passes its pooled group storage without copying.)
+  std::vector<GroupResult> probe_round(std::span<const ProbeGroup> groups,
                                        ProbePolicy policy, double threshold);
 
   /// Re-validate a round's winners against the live epoch and commit the
@@ -122,10 +124,10 @@ class ParallelRewireScheduler {
   /// win, and its one deliberate divergence from the serial algorithm.
   int arbitrate_and_commit(std::vector<GroupResult> results, ProbePolicy policy,
                            double threshold,
-                           const std::vector<ProbeGroup>* groups = nullptr);
+                           std::span<const ProbeGroup> groups = {});
 
   /// probe_round + arbitrate_and_commit.
-  int run_round(const std::vector<ProbeGroup>& groups, ProbePolicy policy,
+  int run_round(std::span<const ProbeGroup> groups, ProbePolicy policy,
                 double threshold);
 
   const SchedulerStats& stats() const { return stats_; }

@@ -143,6 +143,9 @@ std::vector<CrossSgCandidate> find_cross_sg_candidates(const GisgPartition& part
         c.sg_a = part.sg_of_gate[sa->root];
         c.sg_b = part.sg_of_gate[sb->root];
         c.inverting = (sg.type == SgType::AndOr && pol == SwapPolarity::Inverting);
+        c.gen_enclosing = sg.generation;
+        c.gen_a = sa->generation;
+        c.gen_b = sb->generation;
         out.push_back(c);
       }
     }

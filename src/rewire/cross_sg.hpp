@@ -31,6 +31,14 @@ struct CrossSgCandidate {
   int sg_a = -1;          // supergate rooted at driver_of(pin_a)
   int sg_b = -1;
   bool inverting = false; // enclosing swap polarity required (ES)
+  /// Generation stamps of the three slots at enumeration time. The
+  /// candidate is valid (probe- and commit-safe) exactly while every slot
+  /// still carries its stamp (RewireEngine::cross_sg_fresh) — incremental
+  /// partition maintenance keeps the stamps stable across commits that do
+  /// not touch these supergates.
+  std::uint64_t gen_enclosing = 0;
+  std::uint64_t gen_a = 0;
+  std::uint64_t gen_b = 0;
 };
 
 /// Find all cross-supergate swap opportunities in the partition: pairs of

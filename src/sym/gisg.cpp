@@ -1,5 +1,7 @@
 #include "sym/gisg.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <unordered_map>
 
 #include "netlist/topo.hpp"
@@ -23,6 +25,14 @@ const char* to_string(SgType type) {
 const SuperGate* GisgPartition::sg_containing(GateId g) const {
   if (g >= sg_of_gate.size() || sg_of_gate[g] < 0) return nullptr;
   return &sgs[static_cast<std::size_t>(sg_of_gate[g])];
+}
+
+std::size_t GisgPartition::num_live() const {
+  std::size_t n = 0;
+  for (const SuperGate& sg : sgs) {
+    if (sg.live()) ++n;
+  }
+  return n;
 }
 
 double GisgPartition::nontrivial_coverage(const Network& net) const {
@@ -52,23 +62,51 @@ std::size_t GisgPartition::num_nontrivial() const {
 
 namespace {
 
+/// Rebuild the flattened redundancy view from the live slots.
+void rebuild_redundancy_view(GisgPartition& part) {
+  part.redundancies.clear();
+  for (const SuperGate& sg : part.sgs) {
+    part.redundancies.insert(part.redundancies.end(), sg.redundancies.begin(),
+                             sg.redundancies.end());
+  }
+}
+
+/// Extraction core, shared by the full build and the region re-extractor.
+/// Operates on a caller-owned partition: extract_from(root, slot) builds one
+/// supergate into `slot`, honoring the sg_of_gate occupancy it finds (gates
+/// already owned by a slot are never absorbed — exactly the rule reverse-
+/// topological full extraction relies on).
 class Extractor {
  public:
-  explicit Extractor(const Network& net) : net_(net), depth_(net.id_bound(), 0) {
-    part_.sg_of_gate.assign(net.id_bound(), -1);
+  Extractor(GisgPartition& part, const Network& net, GisgRegionScratch& scratch)
+      : part_(part), net_(net), scratch_(scratch), depth_(scratch.depth) {
+    // depth_ entries are always written (cover) before read (record_pin)
+    // within one extract_from, so stale values from earlier updates are
+    // never observed — resize without clearing.
+    if (depth_.size() < net.id_bound()) depth_.resize(net.id_bound(), 0);
   }
 
-  GisgPartition run() {
+  /// Full in-place rebuild (slots end up dense, extraction order).
+  void full() {
+    ++part_.generation;
+    part_.sgs.clear();
+    part_.free_slots.clear();
+    part_.sg_of_gate.assign(net_.id_bound(), -1);
     // Reverse topological order guarantees a gate is visited only after
     // every potential absorbing parent; whatever is still uncovered when
     // visited must start its own supergate.
     for (const GateId g : reverse_topological_order(net_)) {
       if (!is_logic(net_.type(g))) continue;
       if (part_.sg_of_gate[g] >= 0) continue;
-      extract_from(g);
+      const int slot = static_cast<int>(part_.sgs.size());
+      part_.sgs.emplace_back();
+      extract_from(g, slot);
     }
-    return std::move(part_);
+    part_.live_slots = part_.sgs.size();
+    rebuild_redundancy_view(part_);
   }
+
+  PartitionStats region(std::span<const GateId> seeds);
 
  private:
   /// Can `d` be absorbed into the supergate currently being built?
@@ -78,7 +116,7 @@ class Extractor {
   }
 
   void cover(SuperGate& sg, GateId g, Pin parent, int depth) {
-    part_.sg_of_gate[g] = static_cast<std::int32_t>(part_.sgs.size());
+    part_.sg_of_gate[g] = current_slot_;
     sg.covered.push_back(g);
     sg.parent_pin.push_back(parent);
     depth_[g] = depth;
@@ -114,11 +152,13 @@ class Extractor {
     } else {
       rec.kind = RedundancyRecord::Kind::RedundantBranch;
     }
-    part_.redundancies.push_back(rec);
+    sg.redundancies.push_back(rec);
   }
 
-  void extract_from(GateId root) {
+  void extract_from(GateId root, int slot) {
+    current_slot_ = slot;
     SuperGate sg;
+    sg.generation = part_.generation;
     sg.root = root;
     stem_seen_.clear();
 
@@ -235,17 +275,268 @@ class Extractor {
   void finish(SuperGate&& sg) {
     // Single covered multi-input gate still forms a (trivial) supergate;
     // classification per the paper counts covered gates only.
-    part_.sgs.push_back(std::move(sg));
+    part_.sgs[static_cast<std::size_t>(current_slot_)] = std::move(sg);
   }
 
+  GisgPartition& part_;
   const Network& net_;
-  GisgPartition part_;
+  GisgRegionScratch& scratch_;
   std::unordered_map<GateId, std::pair<Pin, int>> stem_seen_;
-  std::vector<int> depth_;  // id-indexed: flat array keeps extraction linear
+  std::vector<int>& depth_;  // id-indexed: flat array keeps extraction linear
+  int current_slot_ = -1;
 };
+
+PartitionStats Extractor::region(std::span<const GateId> seeds) {
+  PartitionStats stats;
+  stats.incremental_updates = 1;
+  ++part_.generation;
+  // Committed moves can mint fresh ids (reserve top-up); they map to no
+  // supergate until covered below.
+  if (part_.sg_of_gate.size() < net_.id_bound()) {
+    part_.sg_of_gate.resize(net_.id_bound(), -1);
+  }
+  const std::size_t live_before = part_.live_slots;
+
+  // Phase 1 — collect the affected fanout-free regions. A supergate never
+  // crosses an FFR boundary (absorption requires fanout_count == 1), so the
+  // FFRs of the dirty seeds delimit everything that can change. Two-way
+  // closure keeps the set sound even for conservative seed lists:
+  //   (a) every gate of a dissolved supergate must land in a collected FFR
+  //       (else it seeds a further region — e.g. a supergate split by a new
+  //       multi-fanout stem strands its upper half in the parent FFR);
+  //   (b) every collected FFR gate's current owner is dissolved (e.g. two
+  //       supergates merged by a stem dropping to single fanout).
+  //
+  // Visit flags are generation-stamped scratch arrays: no O(network)
+  // allocation or zero-fill per update, only a resize when ids grew.
+  const std::uint64_t stamp = ++scratch_.stamp;
+  if (scratch_.in_ffr.size() < net_.id_bound()) {
+    scratch_.in_ffr.resize(net_.id_bound(), 0);
+    scratch_.root_seen.resize(net_.id_bound(), 0);
+  }
+  auto in_ffr = [&](GateId g) { return scratch_.in_ffr[g] == stamp; };
+  std::vector<GateId>& roots = scratch_.roots;
+  std::vector<GateId>& ffr_gates = scratch_.ffr_gates;
+  std::vector<GateId>& dfs = scratch_.dfs;
+  roots.clear();
+  ffr_gates.clear();
+
+  auto add_seed = [&](GateId g) {
+    if (g == kNullGate || g >= net_.id_bound()) return;
+    if (net_.is_deleted(g) || !is_logic(net_.type(g))) return;
+    if (in_ffr(g)) return;
+    // Walk up the single-fanout chain to the FFR root: the first gate no
+    // logic parent can absorb.
+    GateId r = g;
+    for (;;) {
+      if (net_.fanout_count(r) != 1) break;
+      const GateId up = net_.fanouts(r)[0].gate;
+      if (!is_logic(net_.type(up))) break;
+      r = up;
+    }
+    if (scratch_.root_seen[r] == stamp) return;
+    scratch_.root_seen[r] = stamp;
+    roots.push_back(r);
+    // Collect the FFR: DFS down through fanins that have this region as
+    // their only fanout.
+    dfs.assign(1, r);
+    while (!dfs.empty()) {
+      const GateId u = dfs.back();
+      dfs.pop_back();
+      if (in_ffr(u)) continue;
+      scratch_.in_ffr[u] = stamp;
+      ffr_gates.push_back(u);
+      for (const GateId d : net_.fanins(u)) {
+        if (is_logic(net_.type(d)) && net_.fanout_count(d) == 1 && !in_ffr(d)) {
+          dfs.push_back(d);
+        }
+      }
+    }
+  };
+
+  for (const GateId s : seeds) add_seed(s);
+
+  std::size_t records_removed = 0;
+  std::vector<std::int32_t>& dissolved = scratch_.dissolved;
+  dissolved.clear();
+  // ffr_gates grows as the closure reseeds; index loop on purpose.
+  for (std::size_t i = 0; i < ffr_gates.size(); ++i) {
+    const std::int32_t s = part_.sg_of_gate[ffr_gates[i]];
+    if (s < 0) continue;
+    SuperGate& sg = part_.sgs[static_cast<std::size_t>(s)];
+    if (!sg.live()) {
+      // Stale mapping onto an already-dissolved (or long-dead) slot — a
+      // recycled gate id can leave one behind; never double-free the slot.
+      part_.sg_of_gate[ffr_gates[i]] = -1;
+      continue;
+    }
+    dissolved.push_back(s);
+    records_removed += sg.redundancies.size();
+    for (const GateId c : sg.covered) {
+      part_.sg_of_gate[c] = -1;
+      if (!in_ffr(c)) add_seed(c);  // closure (a)
+    }
+    sg = SuperGate{};  // dead slot until (possibly) recycled below
+  }
+  stats.sgs_reextracted = dissolved.size();
+  stats.sgs_reused = live_before - dissolved.size();
+  stats.gates_reextracted = ffr_gates.size();
+
+  // Phase 2 — deterministic slot recycling: smallest index first, previous
+  // updates' leftovers and this update's dissolutions pooled together.
+  std::vector<std::int32_t>& avail = scratch_.avail;
+  avail.clear();
+  avail.insert(avail.end(), part_.free_slots.begin(), part_.free_slots.end());
+  part_.free_slots.clear();
+  avail.insert(avail.end(), dissolved.begin(), dissolved.end());
+  std::sort(avail.begin(), avail.end());
+  const std::size_t slots_before = part_.sgs.size();
+  std::size_t next_avail = 0;
+  auto allocate_slot = [&]() -> int {
+    if (next_avail < avail.size()) {
+      return avail[next_avail++];
+    }
+    part_.sgs.emplace_back();
+    return static_cast<int>(part_.sgs.size() - 1);
+  };
+
+  // Phase 3 — re-extract each collected FFR. Preorder from the FFR root
+  // visits every potential absorbing parent before its children, which is
+  // the only ordering property full reverse-topological extraction relies
+  // on — so the re-extracted supergates are bit-identical to what a fresh
+  // full extraction would build for these regions.
+  for (const GateId r : roots) {
+    dfs.assign(1, r);
+    while (!dfs.empty()) {
+      const GateId u = dfs.back();
+      dfs.pop_back();
+      if (part_.sg_of_gate[u] < 0) {
+        extract_from(u, allocate_slot());
+      }
+      const std::span<const GateId> fi = net_.fanins(u);
+      // Push in reverse so fanin 0's subtree is visited first (determinism;
+      // sibling order is otherwise irrelevant — subtrees are independent).
+      for (std::size_t k = fi.size(); k > 0; --k) {
+        const GateId d = fi[k - 1];
+        if (is_logic(net_.type(d)) && net_.fanout_count(d) == 1) dfs.push_back(d);
+      }
+    }
+  }
+
+  // Phase 4 — unreused slots stay dead and re-enter the free pool; the
+  // live count follows the recycled/appended slots.
+  const std::size_t reused_slots = next_avail;
+  for (; next_avail < avail.size(); ++next_avail) {
+    part_.free_slots.push_back(avail[next_avail]);
+  }
+  const std::size_t appended_slots = part_.sgs.size() - slots_before;
+  part_.live_slots = live_before - dissolved.size() + reused_slots + appended_slots;
+
+  // Redundancy records are rare; rebuild the flattened view only when this
+  // update actually removed or added some (the common splice skips the
+  // O(slots) pass).
+  std::size_t records_added = 0;
+  for (std::size_t i = 0; i < reused_slots; ++i) {
+    records_added += part_.sgs[static_cast<std::size_t>(avail[i])].redundancies.size();
+  }
+  for (std::size_t s = slots_before; s < part_.sgs.size(); ++s) {
+    records_added += part_.sgs[s].redundancies.size();
+  }
+  if (records_removed + records_added > 0) rebuild_redundancy_view(part_);
+  return stats;
+}
 
 }  // namespace
 
-GisgPartition extract_gisg(const Network& net) { return Extractor(net).run(); }
+GisgPartition extract_gisg(const Network& net) {
+  GisgPartition part;
+  GisgRegionScratch scratch;
+  Extractor(part, net, scratch).full();
+  return part;
+}
+
+void extract_gisg_into(GisgPartition& part, const Network& net) {
+  GisgRegionScratch scratch;
+  Extractor(part, net, scratch).full();
+}
+
+PartitionStats reextract_region(GisgPartition& part, const Network& net,
+                                std::span<const GateId> dirty_seeds,
+                                GisgRegionScratch* scratch) {
+  GisgRegionScratch local;
+  return Extractor(part, net, scratch != nullptr ? *scratch : local)
+      .region(dirty_seeds);
+}
+
+namespace {
+
+std::string describe_record(const RedundancyRecord& r) {
+  std::ostringstream os;
+  os << "kind=" << static_cast<int>(r.kind) << " root=" << r.sg_root
+     << " stem=" << r.stem;
+  return os.str();
+}
+
+bool fail(std::string* diag, const std::string& message) {
+  if (diag != nullptr) *diag = message;
+  return false;
+}
+
+}  // namespace
+
+bool partitions_canonically_equal(const GisgPartition& a, const GisgPartition& b,
+                                  std::string* diag) {
+  const std::size_t bound = std::max(a.sg_of_gate.size(), b.sg_of_gate.size());
+  auto slot_of = [](const GisgPartition& p, std::size_t g) -> std::int32_t {
+    return g < p.sg_of_gate.size() ? p.sg_of_gate[g] : -1;
+  };
+  for (std::size_t g = 0; g < bound; ++g) {
+    const std::int32_t sa = slot_of(a, g);
+    const std::int32_t sb = slot_of(b, g);
+    if ((sa < 0) != (sb < 0)) {
+      return fail(diag, "gate " + std::to_string(g) + " covered in one partition only");
+    }
+    if (sa < 0) continue;
+    const SuperGate& ga = a.sgs[static_cast<std::size_t>(sa)];
+    const SuperGate& gb = b.sgs[static_cast<std::size_t>(sb)];
+    // Compare each supergate once, at its root. Contents are compared
+    // exactly (not just set-wise): extraction from a given root is
+    // deterministic, so any sequence difference is a real divergence.
+    if (ga.root != gb.root) {
+      return fail(diag, "gate " + std::to_string(g) + " covered by sg root " +
+                            std::to_string(ga.root) + " vs " + std::to_string(gb.root));
+    }
+    if (g != ga.root) continue;
+    const std::string at = "sg rooted at " + std::to_string(ga.root);
+    if (ga.type != gb.type || ga.root_fn != gb.root_fn) {
+      return fail(diag, at + ": type/root_fn differ");
+    }
+    if (ga.covered != gb.covered) return fail(diag, at + ": covered sets differ");
+    if (ga.parent_pin != gb.parent_pin) return fail(diag, at + ": parent pins differ");
+    if (ga.num_leaves != gb.num_leaves) return fail(diag, at + ": leaf counts differ");
+    if (ga.pins.size() != gb.pins.size()) return fail(diag, at + ": pin counts differ");
+    for (std::size_t i = 0; i < ga.pins.size(); ++i) {
+      const CoveredPin& pa = ga.pins[i];
+      const CoveredPin& pb = gb.pins[i];
+      if (pa.pin != pb.pin || pa.imp_value != pb.imp_value || pa.driver != pb.driver ||
+          pa.leaf != pb.leaf || pa.depth != pb.depth) {
+        return fail(diag, at + ": pin " + std::to_string(i) + " differs");
+      }
+    }
+    if (ga.redundancies != gb.redundancies) {
+      return fail(diag, at + ": redundancy records differ (" +
+                            std::to_string(ga.redundancies.size()) + " vs " +
+                            std::to_string(gb.redundancies.size()) + "; first: " +
+                            (ga.redundancies.empty()
+                                 ? std::string("-")
+                                 : describe_record(ga.redundancies.front())) +
+                            ")");
+    }
+  }
+  // Same covering ⇒ same live supergates; all that can still differ is a
+  // live slot whose root is NOT covered (impossible by construction) or
+  // flattened-view drift, which rebuilds from the slots. Nothing to check.
+  return true;
+}
 
 }  // namespace rapids

@@ -4,6 +4,7 @@
 //          [--seed N] [--effort F] [--iters N] [--threads N] [--buffers]
 //          [--out out.blif] [--place-out placement.txt] [--no-verify]
 //          [--sat-verify] [--paranoid] [--sat-session|--no-sat-session]
+//          [--no-incremental] [--extract-diff]
 //       Map, place, optimize and report; optionally write results.
 //       --threads N fans probe evaluation out to N workers; the result is
 //       bit-identical to --threads 1 (deterministic commit arbitration).
@@ -11,15 +12,22 @@
 //       --paranoid SAT-proves every committed move on its window, through
 //       one persistent incremental proof session by default
 //       (--no-sat-session falls back to a throwaway solver per move).
+//       --no-incremental re-extracts the whole supergate partition after
+//       every commit (the pre-incremental behavior; same netlist);
+//       --extract-diff cross-checks the incremental partition against a
+//       fresh full extraction after every commit (slow; self-check).
 //
 //   rapids fuzz [--seed N] [--iters N] [--threads N] [--max-gates N]
-//          [--max-inputs N] [--no-sat] [--paranoid-diff] [--no-shrink]
-//          [--out-dir DIR]
+//          [--max-inputs N] [--no-sat] [--paranoid-diff] [--extract-diff]
+//          [--no-shrink] [--out-dir DIR]
 //       Differential fuzzing: random circuits through the full flow at
 //       --threads 1 vs N and across optimizer modes, cross-checked by
 //       random vectors + SAT. --paranoid-diff additionally cross-checks
 //       the incremental proof session against the per-move solver,
-//       move-for-move. Failures shrink to minimal reproducers.
+//       move-for-move; --extract-diff cross-checks incremental partition
+//       maintenance against full re-extraction after every committed move
+//       (partition canonical equality + netlist parity). Failures shrink
+//       to minimal reproducers.
 //
 //   rapids symmetry <circuit|file.blif|file.bench>
 //       Supergate / symmetry / redundancy report for a mapped circuit.
@@ -140,6 +148,10 @@ int cmd_flow(const std::vector<std::string>& args) {
       options.opt.sat_session = true;  // the default; kept as an explicit flag
     } else if (a == "--no-sat-session") {
       options.opt.sat_session = false;
+    } else if (a == "--no-incremental") {
+      options.opt.incremental_extraction = false;
+    } else if (a == "--extract-diff") {
+      options.opt.extract_diff = true;
     } else if (!a.empty() && a[0] == '-') {
       throw InputError("unknown flag: " + a);
     } else {
@@ -165,6 +177,12 @@ int cmd_flow(const std::vector<std::string>& args) {
             << (options.verify ? (run.verified ? ", verified" : ", VERIFY FAILED")
                                : "")
             << "\n";
+  std::cout << "partition: " << r.partition.sgs_reextracted
+            << " sgs re-extracted / " << r.partition.sgs_reused << " reused over "
+            << r.partition.incremental_updates << " incremental updates, "
+            << r.partition.groups_reused << " probe groups served from cache, "
+            << r.partition.full_rebuilds << " full rebuild"
+            << (r.partition.full_rebuilds == 1 ? "" : "s") << "\n";
   if (options.opt.paranoid) {
     std::cout << "paranoid: " << r.moves_proved
               << " committed moves SAT-proved on their windows ("
@@ -264,6 +282,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       options.sat_crosscheck = false;
     } else if (a == "--paranoid-diff") {
       options.paranoid_diff = true;
+    } else if (a == "--extract-diff") {
+      options.extract_diff = true;
     } else if (a == "--no-shrink") {
       options.shrink = false;
     } else if (a == "--out-dir") {
