@@ -127,6 +127,77 @@ void RewireEngine::mark_commit_dirty(const EngineMove& move) {
   }
 }
 
+void RewireEngine::record_sync_journal(const EngineMove& move,
+                                       std::size_t dirty_from) {
+  // The journal can only replay commits whose partition dirt was recorded;
+  // with incremental extraction off (or the partition awaiting a full
+  // rebuild) replicas must full-sync until the next clean commit.
+  if (!incremental_on_ || !partition_valid_) {
+    sync_journal_valid_ = false;
+    return;
+  }
+  if (!sync_journal_valid_) {
+    sync_journal_valid_ = true;
+    sync_base_epoch_ = epoch_;  // pre-increment: this commit becomes epoch_+1
+    sync_gates_.clear();
+    sync_arr_.clear();
+    sync_nets_.clear();
+    sync_dirty_.clear();
+    sync_marks_.clear();
+  }
+  auto row = [this](GateId g) {
+    if (g != kNullGate) sync_gates_.push_back(g);
+  };
+  switch (move.kind) {
+    case EngineMove::Kind::Swap:
+      row(move.swap_cand.pin_a.gate);
+      row(move.swap_cand.pin_b.gate);
+      row(net_.driver_of(move.swap_cand.pin_a));
+      row(net_.driver_of(move.swap_cand.pin_b));
+      for (const GateId d : scratch_.swap_edit.dirty_nets) row(d);
+      for (const GateId g : scratch_.swap_edit.added_inverters) row(g);
+      break;
+    case EngineMove::Kind::Resize:
+      row(move.gate);  // cell binding changed
+      break;
+    case EngineMove::Kind::CrossSg:
+      for (const CrossSgEdit::PinRestore& pr : scratch_.cross_edit.moved_pins) {
+        row(pr.pin.gate);
+        row(pr.old_driver);
+        row(net_.driver_of(pr.pin));
+      }
+      for (const CrossSgEdit::Retype& r : scratch_.cross_edit.retyped) row(r.gate);
+      for (const GateId g : scratch_.cross_edit.added_inverters) row(g);
+      for (const GateId d : scratch_.cross_edit.dirty_nets) row(d);
+      break;
+  }
+  sta_.append_txn_changed_ids(sync_arr_, sync_nets_);
+  sync_dirty_.insert(sync_dirty_.end(), pending_dirty_.begin() + dirty_from,
+                     pending_dirty_.end());
+  sync_marks_.push_back({epoch_ + 1, static_cast<std::uint32_t>(sync_gates_.size()),
+                         static_cast<std::uint32_t>(sync_arr_.size()),
+                         static_cast<std::uint32_t>(sync_nets_.size()),
+                         static_cast<std::uint32_t>(sync_dirty_.size())});
+}
+
+void RewireEngine::collect_sync_delta(std::uint64_t from_epoch,
+                                      std::vector<GateId>& gates,
+                                      std::vector<GateId>& arrivals,
+                                      std::vector<GateId>& nets,
+                                      std::vector<GateId>& dirty) const {
+  RAPIDS_ASSERT_MSG(sync_delta_available(from_epoch),
+                    "collect_sync_delta outside the journal's window");
+  // One mark per commit since the journal (re)started: the suffix past
+  // `from_epoch` starts right after mark (from_epoch - base - 1).
+  const std::size_t skip = static_cast<std::size_t>(from_epoch - sync_base_epoch_);
+  RAPIDS_ASSERT(skip <= sync_marks_.size());
+  const SyncMark start = skip == 0 ? SyncMark{} : sync_marks_[skip - 1];
+  gates.insert(gates.end(), sync_gates_.begin() + start.gates_end, sync_gates_.end());
+  arrivals.insert(arrivals.end(), sync_arr_.begin() + start.arr_end, sync_arr_.end());
+  nets.insert(nets.end(), sync_nets_.begin() + start.nets_end, sync_nets_.end());
+  dirty.insert(dirty.end(), sync_dirty_.begin() + start.dirty_end, sync_dirty_.end());
+}
+
 void RewireEngine::invalidate_dirty(ProbeScratch& scratch,
                                     std::span<const GateId> dirty) {
   // Deduplicate into the reusable scratch without sorting: dirty sets are
@@ -432,10 +503,14 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
     }
   }
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
-  sta_.commit();
-  // Record the move's dirty region for incremental partition maintenance
-  // BEFORE count_commit detaches the edit records it reads.
+  // Record the move's dirty region for incremental partition maintenance —
+  // and its replica-sync journal entry — BEFORE sta_.commit() clears the
+  // STA transaction's changed-id sets and count_commit detaches the edit
+  // records both read.
+  const std::size_t dirty_from = pending_dirty_.size();
   mark_commit_dirty(move);
+  record_sync_journal(move, dirty_from);
+  sta_.commit();
   count_commit(move);
   // Committed inserts consumed reserve ids; top it back up HERE (commit
   // sequences are identical for every worker count) so probe-time id
@@ -448,6 +523,9 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
 void RewireEngine::commit_and_revert(const EngineMove& move) {
   RAPIDS_ASSERT_MSG(move.kind == EngineMove::Kind::Swap,
                     "commit_and_revert supports swap moves");
+  // Bench-only path: commits without journal records; replicas (if any)
+  // must fall back to a full sync.
+  sync_journal_valid_ = false;
   sta_.begin();
   apply_swap_into(net_, placement_, lib_, move.swap_cand, scratch_.swap_edit);
   invalidate_dirty(scratch_, scratch_.swap_edit.dirty_nets);

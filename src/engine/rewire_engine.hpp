@@ -181,6 +181,7 @@ class RewireEngine {
   void invalidate_partition() {
     partition_valid_ = false;
     pending_dirty_.clear();
+    sync_journal_valid_ = false;
     if (session_) session_->invalidate_all();
   }
 
@@ -226,6 +227,36 @@ class RewireEngine {
   /// cross_sg_fresh() holds — their slots' generations are finer-grained
   /// than the epoch, so commits in unrelated regions do not stale them.
   std::uint64_t epoch() const { return epoch_; }
+
+  // --- replica delta sync ---------------------------------------------------
+
+  /// True when the sync journal can replay every commit in (from_epoch,
+  /// epoch()] — i.e. a replica that last synced at `from_epoch` can adopt
+  /// the delta instead of re-cloning the whole network. False after
+  /// invalidate_partition(), commit_and_revert(), or a commit made with
+  /// incremental extraction off; the journal restarts at the next clean
+  /// commit, so replicas pay one full sync and then return to deltas.
+  bool sync_delta_available(std::uint64_t from_epoch) const {
+    return sync_journal_valid_ && from_epoch >= sync_base_epoch_ &&
+           from_epoch <= epoch_;
+  }
+
+  /// Append the ids every commit in (from_epoch, epoch()] changed:
+  /// `gates` — structural rows (type/cell/fanins/fanouts) for
+  /// Network::adopt_structural_delta; `arrivals`/`nets` — the STA slices for
+  /// Sta::adopt_delta; `dirty` — partition dirty gates (with their fanout
+  /// frontier) for the replica's own incremental maintenance. Lists may
+  /// repeat ids across commits; adoption is idempotent.
+  void collect_sync_delta(std::uint64_t from_epoch, std::vector<GateId>& gates,
+                          std::vector<GateId>& arrivals, std::vector<GateId>& nets,
+                          std::vector<GateId>& dirty) const;
+
+  /// Replica-side: splice a synced commit's dirty gates into this engine's
+  /// pending set so its partition tracks the source's incrementally —
+  /// identical inputs to reextract_region produce slot-exact partitions.
+  void append_pending_dirty(std::span<const GateId> gates) {
+    pending_dirty_.insert(pending_dirty_.end(), gates.begin(), gates.end());
+  }
 
   // --- transactional move evaluation ---------------------------------------
 
@@ -332,6 +363,11 @@ class RewireEngine {
   /// into the pending dirty set consumed by the next partition() call.
   /// Must run before count_commit() detaches the edit records.
   void mark_commit_dirty(const EngineMove& move);
+  /// Append this commit's changed structural rows, STA transaction ids and
+  /// partition dirty range (pending_dirty_[dirty_from..]) to the replica
+  /// sync journal. Must run while the STA transaction is still open and
+  /// before count_commit() detaches the edit records.
+  void record_sync_journal(const EngineMove& move, std::size_t dirty_from);
   /// Paranoid mode: derive the move's exact rewired-gate set (throwaway
   /// apply/undo) and encode the pre-move window of its observation root.
   void begin_paranoid_proof(const EngineMove& move);
@@ -356,6 +392,27 @@ class RewireEngine {
   PartitionStats pstats_harvested_;
 
   EngineStats stats_;
+
+  // Replica-sync journal: flat append-only per-commit records (structural
+  // rows, STA arrival/net ids, partition dirty gates) plus one end-offset
+  // mark per epoch. Replicas replay the suffix past their last-synced
+  // epoch; any event the journal cannot model (external mutation, reverted
+  // bench commits, incremental extraction off) simply invalidates it and
+  // the next sync falls back to the full clone path.
+  struct SyncMark {
+    std::uint64_t epoch = 0;
+    std::uint32_t gates_end = 0;
+    std::uint32_t arr_end = 0;
+    std::uint32_t nets_end = 0;
+    std::uint32_t dirty_end = 0;
+  };
+  bool sync_journal_valid_ = false;
+  std::uint64_t sync_base_epoch_ = 0;
+  std::vector<GateId> sync_gates_;
+  std::vector<GateId> sync_arr_;
+  std::vector<GateId> sync_nets_;
+  std::vector<GateId> sync_dirty_;
+  std::vector<SyncMark> sync_marks_;
 
   // The engine's own probe/commit scratch (never shrinks; steady state
   // allocates nothing). External probe streams pass their own through

@@ -81,21 +81,27 @@ std::pair<Placement, double> place_timing_driven(const Network& mapped,
   return {std::move(best), best_delay};
 }
 
-ModeRun run_mode(const PreparedCircuit& prepared, const CellLibrary& lib, OptMode mode,
-                 const FlowOptions& options) {
-  ModeRun run;
-  run.optimized = prepared.mapped.clone();
-  Placement placement = prepared.placement;  // value copy; original intact
+namespace {
+
+/// Shared single-mode body. `run.optimized` and `placement` already hold
+/// the circuit to optimize in place; `reference` is the pre-opt netlist for
+/// equivalence checking (null when options.verify is off).
+void run_mode_impl(ModeRun& run, Placement& placement, const Network* reference,
+                   const std::string& name, const CellLibrary& lib, OptMode mode,
+                   const FlowOptions& options) {
   Sta sta(run.optimized, lib, placement);
   OptimizerOptions oopt = options.opt;
   oopt.mode = mode;
+  // The Sta constructor above just ran a full analysis against this exact
+  // network state; the optimizer can skip its own initial O(network) pass.
+  oopt.sta_is_fresh = true;
   // One seed reproduces the whole run: unless the caller chose an explicit
   // optimizer seed, the per-worker RNG substreams derive from the same
   // seed that placed the circuit.
   if (oopt.seed == OptimizerOptions{}.seed) oopt.seed = options.placer.seed;
   run.result = optimize(run.optimized, placement, lib, sta, oopt);
   if (oopt.paranoid) {
-    log_info() << prepared.name << " " << to_string(mode) << ": paranoid proved "
+    log_info() << name << " " << to_string(mode) << ": paranoid proved "
                << run.result.moves_proved << " commits ("
                << (oopt.sat_session ? "session" : "per-move solver") << " mode, "
                << run.result.proof_gates_encoded << " gates encoded, "
@@ -107,19 +113,45 @@ ModeRun run_mode(const PreparedCircuit& prepared, const CellLibrary& lib, OptMod
                << ")";
   }
   if (options.verify) {
+    RAPIDS_ASSERT(reference != nullptr);
     EquivalenceOptions eopt;
     eopt.sat_proof = options.verify_sat;
-    const EquivalenceResult eq = check_equivalence(prepared.mapped, run.optimized, eopt);
+    const EquivalenceResult eq = check_equivalence(*reference, run.optimized, eopt);
     run.verified = eq.equivalent;
     if (!eq.equivalent) {
-      log_error() << prepared.name << " " << to_string(mode)
+      log_error() << name << " " << to_string(mode)
                   << ": optimization broke equivalence at output " << eq.failing_output;
     } else if (options.verify_sat && !eq.proved) {
-      log_warn() << prepared.name << " " << to_string(mode)
+      log_warn() << name << " " << to_string(mode)
                  << ": SAT proof inconclusive (budget); verdict rests on "
                  << eq.patterns << " random patterns";
     }
   }
+}
+
+}  // namespace
+
+ModeRun run_mode(const PreparedCircuit& prepared, const CellLibrary& lib, OptMode mode,
+                 const FlowOptions& options) {
+  ModeRun run;
+  run.optimized = prepared.mapped.clone();
+  Placement placement = prepared.placement;  // value copy; original intact
+  run_mode_impl(run, placement, &prepared.mapped, prepared.name, lib, mode, options);
+  return run;
+}
+
+ModeRun run_mode(PreparedCircuit&& prepared, const CellLibrary& lib, OptMode mode,
+                 const FlowOptions& options) {
+  ModeRun run;
+  // The caller surrendered the prepared circuit: optimize the mapped
+  // network in place. Equivalence checking still needs the pre-opt
+  // netlist, so the clone survives exactly when verification asks for it.
+  Network reference;
+  if (options.verify) reference = prepared.mapped.clone();
+  run.optimized = std::move(prepared.mapped);
+  Placement placement = std::move(prepared.placement);
+  run_mode_impl(run, placement, options.verify ? &reference : nullptr, prepared.name,
+                lib, mode, options);
   return run;
 }
 

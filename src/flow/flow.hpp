@@ -65,6 +65,13 @@ struct ModeRun {
 ModeRun run_mode(const PreparedCircuit& prepared, const CellLibrary& lib, OptMode mode,
                  const FlowOptions& options = {});
 
+/// Single-mode flows that are done with the prepared circuit: move-adopt
+/// the mapped network and placement and optimize them in place — no
+/// whole-network clone. The pre-opt netlist is cloned only when
+/// options.verify still needs a reference to check against.
+ModeRun run_mode(PreparedCircuit&& prepared, const CellLibrary& lib, OptMode mode,
+                 const FlowOptions& options = {});
+
 /// Full Table 1 row: run gsg, GS and gsg+GS from the same starting point.
 BenchmarkRow produce_table1_row(const PreparedCircuit& prepared, const CellLibrary& lib,
                                 const FlowOptions& options = {});

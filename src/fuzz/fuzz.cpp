@@ -159,6 +159,10 @@ Network shrink_network(const Network& src,
                        const std::function<bool(const Network&)>& still_fails,
                        int budget) {
   Network best = src.clone();
+  // One scratch network for every trial mutation: copy-assignment reuses
+  // its arena/adjacency-pool capacity, so a shrink run allocates O(1)
+  // networks instead of one fresh clone per probe.
+  Network candidate;
   bool progress = true;
   while (progress && budget > 0) {
     progress = false;
@@ -170,12 +174,12 @@ Network shrink_network(const Network& src,
       for (const GateId po : pos) {
         if (budget <= 0) break;
         if (best.primary_outputs().size() <= 1) break;
-        Network candidate = best.clone();
+        candidate = best;
         candidate.delete_gate(po);
         candidate.sweep_dangling();
         --budget;
         if (still_fails(candidate)) {
-          best = std::move(candidate);
+          std::swap(best, candidate);
           progress = true;
         }
       }
@@ -190,14 +194,14 @@ Network shrink_network(const Network& src,
     for (auto it = gates.rbegin(); it != gates.rend() && budget > 0; ++it) {
       const GateId g = *it;
       if (best.is_deleted(g)) continue;  // removed by an earlier bypass sweep
-      Network candidate = best.clone();
+      candidate = best;
       candidate.replace_all_fanouts(g, candidate.fanin(g, 0));
       candidate.delete_gate(g);
       candidate.sweep_dangling();
       if (!validate(candidate).empty()) continue;
       --budget;
       if (still_fails(candidate)) {
-        best = std::move(candidate);
+        std::swap(best, candidate);
         progress = true;
       }
     }

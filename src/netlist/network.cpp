@@ -44,6 +44,7 @@ GateId Network::add_gate(GateType type, const std::string& name) {
     deleted_.push_back(0);
     fanin_ref_.push_back(ChunkRef{});
     fanout_ref_.push_back(ChunkRef{});
+    fanout_dirty_.push_back(0);  // empty fanout list: trivially canonical
   }
   if (!name.empty()) {
     // find(name) == id when the explicit name equals this gate's own
@@ -71,6 +72,7 @@ void Network::reserve_recycled_ids(std::size_t n) {
     deleted_.push_back(1);
     fanin_ref_.push_back(ChunkRef{});
     fanout_ref_.push_back(ChunkRef{});
+    fanout_dirty_.push_back(0);
     free_ids_.push_back(id);
   }
 }
@@ -86,6 +88,7 @@ void Network::add_fanin(GateId gate, GateId driver) {
   const Pin pin{gate, fanin_ref_[gate].cnt};
   fanin_pool_.push(fanin_ref_[gate], driver);
   fanout_pool_.push(fanout_ref_[driver], pin);
+  mark_fanout_order_dirty(driver);
 }
 
 void Network::remove_fanout_entry(GateId driver, Pin pin) {
@@ -95,6 +98,7 @@ void Network::remove_fanout_entry(GateId driver, Pin pin) {
     if (fo[i] == pin) {
       fo[i] = fo[r.cnt - 1];
       --r.cnt;
+      mark_fanout_order_dirty(driver);  // swap-with-last breaks sortedness
       return;
     }
   }
@@ -113,6 +117,7 @@ void Network::set_fanin(Pin pin, GateId new_driver) {
   remove_fanout_entry(old_driver, pin);
   fanin_pool_.at(fr)[pin.index] = new_driver;
   fanout_pool_.push(fanout_ref_[new_driver], pin);
+  mark_fanout_order_dirty(new_driver);
 }
 
 void Network::remove_fanin(GateId gate, std::uint32_t index) {
@@ -136,6 +141,7 @@ void Network::remove_fanin(GateId gate, std::uint32_t index) {
       }
     }
     RAPIDS_ASSERT_MSG(found, "fanout list inconsistent during remove_fanin");
+    mark_fanout_order_dirty(d);  // re-indexed entry can break sortedness
     fi[j - 1] = d;
   }
   --fr.cnt;
@@ -178,14 +184,79 @@ void Network::delete_gate(GateId gate) {
 }
 
 void Network::canonicalize_fanout_order() {
-  for (GateId g = 0; g < type_.size(); ++g) {
-    if (deleted_[g]) continue;
+  ++canonicalize_calls_;
+  auto sort_gate = [this](GateId g) {
     const ChunkRef& r = fanout_ref_[g];
     Pin* p = fanout_pool_.at(r);
     std::sort(p, p + r.cnt, [](const Pin& a, const Pin& b) {
       return a.gate != b.gate ? a.gate < b.gate : a.index < b.index;
     });
+    ++gates_canonicalized_;
+  };
+  if (all_fanouts_dirty_) {
+    // First call (or first after clone of a pre-canonicalization network):
+    // one O(network) pass, after which dirty tracking takes over.
+    for (GateId g = 0; g < type_.size(); ++g) {
+      if (!deleted_[g]) sort_gate(g);
+    }
+    all_fanouts_dirty_ = false;
+    fanout_dirty_.assign(type_.size(), 0);
+    fanout_dirty_list_.clear();
+    return;
   }
+  for (const GateId g : fanout_dirty_list_) {
+    fanout_dirty_[g] = 0;
+    if (!deleted_[g]) sort_gate(g);
+  }
+  fanout_dirty_list_.clear();
+}
+
+std::size_t Network::adopt_structural_delta(const Network& src,
+                                            std::span<const GateId> changed) {
+  RAPIDS_ASSERT_MSG(src.type_.size() >= type_.size(),
+                    "delta source must be the same network, later in time");
+  std::size_t bytes = 0;
+  const GateId old_bound = static_cast<GateId>(type_.size());
+  const GateId new_bound = static_cast<GateId>(src.type_.size());
+  if (new_bound > old_bound) {
+    type_.resize(new_bound, GateType::Buf);
+    cell_.resize(new_bound, -1);
+    deleted_.resize(new_bound, 1);
+    fanin_ref_.resize(new_bound);
+    fanout_ref_.resize(new_bound);
+    fanout_dirty_.resize(new_bound, 0);
+  }
+  auto copy_row = [&](GateId g) {
+    type_[g] = src.type_[g];
+    cell_[g] = src.cell_[g];
+    deleted_[g] = src.deleted_[g];
+    fanin_pool_.release(fanin_ref_[g]);
+    const ChunkRef& sfi = src.fanin_ref_[g];
+    const GateId* fi = src.fanin_pool_.at(sfi);
+    for (std::uint32_t i = 0; i < sfi.cnt; ++i) fanin_pool_.push(fanin_ref_[g], fi[i]);
+    fanout_pool_.release(fanout_ref_[g]);
+    const ChunkRef& sfo = src.fanout_ref_[g];
+    const Pin* fo = src.fanout_pool_.at(sfo);
+    for (std::uint32_t i = 0; i < sfo.cnt; ++i) fanout_pool_.push(fanout_ref_[g], fo[i]);
+    // The copied fanout order is src's CURRENT order, which may itself be
+    // non-canonical; conservatively mark it (harmless when already sorted).
+    if (!deleted_[g]) mark_fanout_order_dirty(g);
+    bytes += sizeof(GateType) + sizeof(std::int32_t) + 1 +
+             sfi.cnt * sizeof(GateId) + sfo.cnt * sizeof(Pin);
+  };
+  for (const GateId g : changed) {
+    RAPIDS_ASSERT(g < new_bound);
+    copy_row(g);
+  }
+  // Ids minted since the replica's snapshot (reserve_recycled_ids tops the
+  // free stack up after every commit): copy those rows wholesale.
+  for (GateId g = old_bound; g < new_bound; ++g) copy_row(g);
+  free_ids_ = src.free_ids_;
+  recycle_ids_ = src.recycle_ids_;
+  live_count_ = src.live_count_;
+  revision_ = src.revision_;
+  bytes += free_ids_.size() * sizeof(GateId);
+  return bytes;
 }
 
 void Network::set_type(GateId gate, GateType type) {

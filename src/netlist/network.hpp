@@ -269,15 +269,46 @@ class Network {
   /// Count of live gates per type.
   std::vector<std::size_t> type_histogram() const;
 
-  /// Sort every live gate's fanout list by (gate, index). Fanout order is
-  /// otherwise history-dependent — undo re-appends pins at the end and
-  /// removal swaps-with-last — so any consumer that iterates fanouts
-  /// (supergate extraction, and through it group indexing in the parallel
-  /// scheduler's canonical commit order) must run on a canonicalized
-  /// network to be independent of how many probes ran before. Set-wise the
-  /// structure is unchanged; topological validity and all caches remain
-  /// intact.
+  /// Sort every fanout list whose order may have drifted by (gate, index).
+  /// Fanout order is otherwise history-dependent — undo re-appends pins at
+  /// the end and removal swaps-with-last — so any consumer that iterates
+  /// fanouts (supergate extraction, and through it group indexing in the
+  /// parallel scheduler's canonical commit order) must run on a
+  /// canonicalized network to be independent of how many probes ran before.
+  /// Set-wise the structure is unchanged; topological validity and all
+  /// caches remain intact.
+  ///
+  /// Cost is O(dirty): every order-perturbing mutation marks its driver and
+  /// only marked gates are re-sorted (the first call after construction or
+  /// clone pays the one O(network) pass). A gate that is not marked is
+  /// guaranteed already canonical, so repeated calls on a quiescent network
+  /// are O(1).
   void canonicalize_fanout_order();
+
+  /// Fanout lists currently marked order-dirty (SIZE_MAX before the first
+  /// canonicalization, when everything is implicitly dirty).
+  std::size_t fanout_order_dirty_count() const {
+    return all_fanouts_dirty_ ? static_cast<std::size_t>(-1)
+                              : fanout_dirty_list_.size();
+  }
+  /// Lifetime counters: canonicalize_fanout_order() invocations and the
+  /// total fanout lists actually re-sorted by them (bench/scale_flow's
+  /// "gates re-canonicalized per commit" metric).
+  std::uint64_t canonicalize_calls() const { return canonicalize_calls_; }
+  std::uint64_t gates_canonicalized() const { return gates_canonicalized_; }
+
+  /// Replica delta sync: make this network structurally identical to `src`
+  /// by copying only the listed gate rows (type, cell binding, tombstone
+  /// flag, fanin list, fanout list), extending the id space to src's bound
+  /// (rows minted since are copied wholesale), and adopting src's
+  /// recycled-id free stack. `this` must be a clone of an earlier state of
+  /// `src` whose every structurally changed gate since then appears in
+  /// `changed` (duplicates fine). Boundary (Input/Output) membership and
+  /// explicit names are NOT synced — commits never change the former, and
+  /// replicas never read the latter. Returns an estimate of the bytes
+  /// shipped (replica-sync accounting).
+  std::size_t adopt_structural_delta(const Network& src,
+                                     std::span<const GateId> changed);
 
  private:
   void check(GateId gate) const {
@@ -287,6 +318,15 @@ class Network {
   void remove_fanout_entry(GateId driver, Pin pin);
   /// The implicit name of an unnamed gate.
   std::string implicit_name(GateId gate) const;
+
+  /// Record that `driver`'s fanout list may have left canonical order.
+  void mark_fanout_order_dirty(GateId driver) {
+    if (all_fanouts_dirty_) return;
+    if (!fanout_dirty_[driver]) {
+      fanout_dirty_[driver] = 1;
+      fanout_dirty_list_.push_back(driver);
+    }
+  }
 
   // SoA per-gate state.
   std::vector<GateType> type_;
@@ -308,6 +348,15 @@ class Network {
   bool recycle_ids_ = false;
   std::vector<GateId> free_ids_;
   std::uint64_t revision_ = 0;
+
+  // Fanout-order dirty tracking for O(dirty) canonicalization. Until the
+  // first canonicalize_fanout_order() call every list is implicitly dirty
+  // (all_fanouts_dirty_); afterwards only marked gates need re-sorting.
+  std::vector<std::uint8_t> fanout_dirty_;
+  std::vector<GateId> fanout_dirty_list_;
+  bool all_fanouts_dirty_ = true;
+  std::uint64_t canonicalize_calls_ = 0;
+  std::uint64_t gates_canonicalized_ = 0;
 };
 
 }  // namespace rapids

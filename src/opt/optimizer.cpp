@@ -30,6 +30,15 @@ const char* to_string(OptMode mode) {
 
 namespace {
 
+SchedulerOptions scheduler_options(const OptimizerOptions& o) {
+  SchedulerOptions s;
+  s.threads = std::max(o.threads, 1);
+  s.cone_depth = 2;
+  s.seed = o.seed;
+  s.delta_sync = o.delta_replica_sync;
+  return s;
+}
+
 /// A ProbeGroup is the unit that gets one committed move per phase: a
 /// supergate (rewiring) or a single gate (sizing). All probe/commit
 /// choreography lives in the scheduler + engine; this class only decides
@@ -39,10 +48,7 @@ class Optimizer {
   Optimizer(Network& net, Placement& pl, const CellLibrary& lib, Sta& sta,
             const OptimizerOptions& options)
       : net_(net), lib_(lib), sta_(sta), engine_(net, pl, lib, sta),
-        scheduler_(engine_,
-                   SchedulerOptions{std::max(options.threads, 1), /*cone_depth=*/2,
-                                    options.seed}),
-        options_(options) {
+        scheduler_(engine_, scheduler_options(options)), options_(options) {
     // Verify-every-commit: each committed move is SAT-proved on its window
     // before it sticks, for every commit path (incl. parallel arbitration).
     ParanoidOptions popt;
@@ -55,7 +61,7 @@ class Optimizer {
   OptimizerResult run() {
     Timer timer;
     OptimizerResult result;
-    sta_.run_full();
+    if (!options_.sta_is_fresh) sta_.run_full();
     result.initial_delay = sta_.critical_delay();
     result.initial_area = network_area(net_, lib_);
     result.threads = scheduler_.threads();
@@ -67,6 +73,12 @@ class Optimizer {
       result.max_sg_inputs = part.max_leaves();
       result.redundancies_found = part.redundancies.size();
     }
+    // Snapshot the canonicalize counters AFTER the initial extraction's
+    // one O(network) pass, so the reported numbers isolate the steady
+    // per-commit cost the dirty tracking is supposed to bound.
+    const std::uint64_t canon_calls_base = net_.canonicalize_calls();
+    const std::uint64_t canon_gates_base = net_.gates_canonicalized();
+    result.seconds_setup = timer.seconds();
 
     double best = result.initial_delay;
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
@@ -146,6 +158,21 @@ class Optimizer {
     }
     result.partition = engine_.partition_stats();
     result.partition.groups_reused = groups_reused_;
+
+    const SchedulerStats& sched = scheduler_.stats();
+    result.seconds_probe = sched.seconds_probe;
+    result.seconds_arbitrate = sched.seconds_arbitrate;
+    result.seconds_commit = sched.seconds_commit;
+    result.seconds_sync = sched.sync.seconds;
+    result.replica_full_syncs = sched.sync.full_syncs;
+    result.replica_delta_syncs = sched.sync.delta_syncs;
+    result.replica_delta_commits = sched.sync.delta_commits;
+    result.replica_sync_bytes_full = sched.sync.bytes_full;
+    result.replica_sync_bytes_delta = sched.sync.bytes_delta;
+    result.canonicalize_calls = net_.canonicalize_calls() - canon_calls_base;
+    result.gates_canonicalized = net_.gates_canonicalized() - canon_gates_base;
+    result.candidates_enumerated = candidates_enumerated_;
+    result.pruned_groups_cached = pruned_cache_hits_;
     return result;
   }
 
@@ -197,10 +224,20 @@ class Optimizer {
         const SuperGate& sg = part.sgs[s];
         for (const GateId g : sg.covered) covered_nontrivial_[g] = 1;
         SwapGroupCache& entry = swap_cache_[s];
-        if (entry.generation != 0 && entry.generation == sg.generation) {
-          // Clean slot: the supergate — and therefore its feasible swap
-          // set — is untouched since the moves were enumerated. A cached
-          // EMPTY list never becomes a group, so it is not counted reused.
+        // Clean slot: the supergate — and therefore its feasible swap set —
+        // is untouched since the moves were enumerated. An arrival-gap-
+        // PRUNED list additionally depends on the drivers' arrivals at
+        // enumeration time; the slack-epoch stamps prove those are still
+        // bit-identical, so the cached list equals what re-enumeration
+        // would produce and the commit stream is the same cache on or off.
+        const bool gen_clean =
+            entry.generation != 0 && entry.generation == sg.generation;
+        const bool cache_ok =
+            gen_clean && (!entry.pruned ||
+                          (options_.prune_cache && pruned_cache_valid(sg, entry)));
+        if (cache_ok) {
+          if (entry.pruned) ++pruned_cache_hits_;
+          // A cached EMPTY list never becomes a group, so not counted reused.
           if (entry.moves.empty()) continue;
           next_group().moves = entry.moves;
           ++groups_reused_;
@@ -208,10 +245,8 @@ class Optimizer {
           ProbeGroup& group = next_group();
           swap_moves(part, static_cast<int>(s), group.moves);
           entry.moves = group.moves;
-          // An arrival-gap-pruned move list depends on CURRENT timing, not
-          // just on the supergate: never serve it from the cache, so the
-          // committed move stream is identical with the cache on or off.
-          entry.generation = entry.pruned ? 0 : sg.generation;
+          entry.generation = sg.generation;
+          entry.timing_epoch = sta_.timing_epoch();
           if (group.moves.empty()) discard_group();
         }
       }
@@ -231,10 +266,36 @@ class Optimizer {
     return {groups_.data(), groups_used_};
   }
 
+  /// Per-supergate-slot cache of enumerated swap moves, valid while the
+  /// slot's generation is unchanged. `pruned` marks move lists truncated by
+  /// the arrival-gap heuristic — those additionally depend on the timing
+  /// state at enumeration (`timing_epoch`) and are served only while the
+  /// relevant arrival stamps prove that state unchanged.
+  struct SwapGroupCache {
+    std::uint64_t generation = 0;
+    std::uint64_t timing_epoch = 0;
+    bool pruned = false;
+    std::vector<EngineMove> moves;
+  };
+
+  /// True when no arrival a pruned enumeration could have read — the leaf
+  /// drivers' and the covered gates' (candidate pins' drivers are always
+  /// one or the other) — changed since the list was cached.
+  bool pruned_cache_valid(const SuperGate& sg, const SwapGroupCache& entry) const {
+    for (const CoveredPin& p : sg.pins) {
+      if (sta_.arrival_stamp(p.driver) > entry.timing_epoch) return false;
+    }
+    for (const GateId g : sg.covered) {
+      if (sta_.arrival_stamp(g) > entry.timing_epoch) return false;
+    }
+    return true;
+  }
+
   void swap_moves(const GisgPartition& part, int sg_index,
                   std::vector<EngineMove>& moves) {
     std::vector<SwapCandidate> cands =
         enumerate_swaps(part, sg_index, net_, options_.leaves_only_swaps);
+    candidates_enumerated_ += cands.size();
     const bool pruned = static_cast<int>(cands.size()) > options_.max_swaps_per_sg;
     swap_cache_[static_cast<std::size_t>(sg_index)].pruned = pruned;
     if (pruned) {
@@ -302,17 +363,10 @@ class Optimizer {
   ParallelRewireScheduler scheduler_;
   OptimizerOptions options_;
 
-  /// Per-supergate-slot cache of enumerated swap moves, valid while the
-  /// slot's generation is unchanged. `pruned` marks move lists truncated by
-  /// the arrival-gap heuristic — those depend on live timing and are
-  /// re-derived every phase (generation pinned to 0).
-  struct SwapGroupCache {
-    std::uint64_t generation = 0;
-    bool pruned = false;
-    std::vector<EngineMove> moves;
-  };
   std::vector<SwapGroupCache> swap_cache_;
   std::uint64_t groups_reused_ = 0;
+  std::uint64_t pruned_cache_hits_ = 0;
+  std::uint64_t candidates_enumerated_ = 0;
   std::vector<std::size_t> slot_order_;  // root-sorted live slots (reused)
 
   // Held-capacity pools: the per-phase group lists and the id_bound-sized

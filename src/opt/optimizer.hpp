@@ -79,6 +79,21 @@ struct OptimizerOptions {
   /// against a fresh full extraction and abort on any canonical difference
   /// (engine extract-diff mode; O(network) per commit — tests/fuzzing).
   bool extract_diff = false;
+  /// O(dirty) replica delta sync in the parallel scheduler (default on):
+  /// probe workers adopt only the committed rounds' dirty gates, STA slices
+  /// and free-stack state instead of re-cloning the network each epoch.
+  /// Off = the pre-delta full-clone path, kept as an A/B lever; the final
+  /// netlist is bit-identical either way.
+  bool delta_replica_sync = true;
+  /// Slack-epoch candidate cache (default on): serve arrival-gap-pruned
+  /// swap lists from the per-slot cache while every relevant driver's
+  /// arrival stamp is unchanged, instead of re-enumerating each phase. The
+  /// cached list equals what re-enumeration would produce (stamps prove
+  /// the arrivals are bit-identical), so the commit stream is unchanged.
+  bool prune_cache = true;
+  /// The caller just ran sta.run_full() against this exact network state
+  /// (the flow driver does): skip the optimizer's own initial full pass.
+  bool sta_is_fresh = false;
 };
 
 struct OptimizerResult {
@@ -128,6 +143,33 @@ struct OptimizerResult {
   /// out-of-engine mutation forced the escape hatch). Merged across
   /// parallel workers.
   PartitionStats partition;
+  /// Per-phase wall times (seconds): setup = initial STA + first
+  /// extraction; probe = worker fan-out including replica sync; arbitrate =
+  /// winner re-validation (commit time excluded); commit = live commits;
+  /// sync = replica sync alone (a subset of probe wall time).
+  double seconds_setup = 0.0;
+  double seconds_probe = 0.0;
+  double seconds_arbitrate = 0.0;
+  double seconds_commit = 0.0;
+  double seconds_sync = 0.0;
+  /// Replica-sync cost breakdown (zero at --threads 1, which probes the
+  /// live engine and never syncs).
+  std::uint64_t replica_full_syncs = 0;
+  std::uint64_t replica_delta_syncs = 0;
+  /// Commit epochs spanned by the delta syncs — the denominator for
+  /// bytes-per-commit (each sync covers every commit since the replica's
+  /// last synced epoch, not one).
+  std::uint64_t replica_delta_commits = 0;
+  std::uint64_t replica_sync_bytes_full = 0;
+  std::uint64_t replica_sync_bytes_delta = 0;
+  /// Commit-path O(dirty) counters, measured AFTER the setup extraction so
+  /// they reflect steady-state per-commit cost: fanout-order canonicalize
+  /// passes and gates actually re-sorted; swap candidates materialized by
+  /// enumeration; pruned move lists served by the slack-epoch cache.
+  std::uint64_t canonicalize_calls = 0;
+  std::uint64_t gates_canonicalized = 0;
+  std::uint64_t candidates_enumerated = 0;
+  std::uint64_t pruned_groups_cached = 0;
 
   double improvement_percent() const {
     return initial_delay > 0 ? 100.0 * (initial_delay - final_delay) / initial_delay : 0.0;

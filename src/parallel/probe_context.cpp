@@ -1,5 +1,9 @@
 #include "parallel/probe_context.hpp"
 
+#include <algorithm>
+
+#include "util/timer.hpp"
+
 namespace rapids {
 
 ProbeContext::ProbeContext(const CellLibrary& lib, std::uint64_t base_seed, int worker)
@@ -19,8 +23,66 @@ void ProbeContext::adopt_partition_from(RewireEngine& source) {
 }
 
 void ProbeContext::sync(RewireEngine& source, bool with_partition) {
-  // Tear down in dependency order: the engine holds references into the
-  // replica network/placement/STA being replaced.
+  const Timer timer;
+  ++sync_stats_.syncs;
+
+  // Delta path: replay the source journal's committed rounds instead of
+  // re-cloning the network — valid only while this replica still holds a
+  // journal-covered epoch AND the source Sta was not rebuilt wholesale
+  // (run_full changes the pin stride / id-space layout the delta assumes).
+  if (delta_sync_ && has_state_ && engine_ &&
+      source.sta().state_version() == sta_version_ &&
+      source.sync_delta_available(epoch_)) {
+    if (epoch_ != source.epoch()) {
+      delta_gates_.clear();
+      delta_arr_.clear();
+      delta_nets_.clear();
+      delta_dirty_.clear();
+      source.collect_sync_delta(epoch_, delta_gates_, delta_arr_, delta_nets_,
+                                delta_dirty_);
+      // The journal concatenates per-commit slices, and commits inside one
+      // round overlap heavily (critical-path arrivals are recomputed by
+      // nearly every commit). Adoption copies the source's CURRENT state,
+      // so each id needs shipping once — dedup before paying for the rows.
+      const auto dedup = [](std::vector<GateId>& ids) {
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      };
+      dedup(delta_gates_);
+      dedup(delta_arr_);
+      dedup(delta_nets_);
+      std::size_t bytes = net_.adopt_structural_delta(source.net(), delta_gates_);
+      // Placement rows of the touched gates (committed swaps place the
+      // inverters they insert); ids minted since the snapshot are unplaced
+      // tombstones on both sides.
+      pl_.resize(net_.id_bound());
+      for (const GateId g : delta_gates_) {
+        if (source.placement().is_placed(g)) {
+          pl_.set(g, source.placement().at(g));
+        } else {
+          pl_.unset(g);
+        }
+      }
+      bytes += sta_->adopt_delta(source.sta(), delta_arr_, delta_nets_);
+      sync_stats_.bytes_delta += bytes;
+      // One epoch per commit: the span is the per-commit denominator for
+      // the O(dirty) gauge in bench/scale_flow.
+      sync_stats_.delta_commits += source.epoch() - epoch_;
+      epoch_ = source.epoch();
+      // The replica partition now lags the network; CrossSg rounds re-adopt
+      // the live partition below (slot-exact copy — replaying the dirt
+      // independently could batch re-extractions differently and drift the
+      // slot generation stamps the candidates are pinned to).
+      partition_adopted_ = false;
+    }
+    ++sync_stats_.delta_syncs;
+    if (with_partition && !partition_adopted_) adopt_partition_from(source);
+    sync_stats_.seconds += timer.seconds();
+    return;
+  }
+
+  // Full path. Tear down in dependency order: the engine holds references
+  // into the replica network/placement/STA being replaced.
   engine_.reset();
   sta_.reset();
 
@@ -44,8 +106,21 @@ void ProbeContext::sync(RewireEngine& source, bool with_partition) {
   if (with_partition) adopt_partition_from(source);
 
   epoch_ = source.epoch();
+  sta_version_ = source.sta().state_version();
   has_state_ = true;
   harvested_ = EngineStats{};
+  ++sync_stats_.full_syncs;
+  // Rough but stable size model of what the clone path moves: the SoA gate
+  // rows + adjacency pools + the id-indexed STA arrays (the full path is
+  // O(network) regardless, so the edge count walk costs nothing extra).
+  std::size_t edges = 0;
+  net_.for_each_gate([&](GateId g) { edges += net_.fanin_count(g); });
+  sync_stats_.bytes_full +=
+      net_.id_bound() * (sizeof(GateType) + sizeof(std::int32_t) + 1 +
+                         2 * sizeof(ChunkRef) + sizeof(RiseFall) * 2 +
+                         sizeof(StarNet)) +
+      edges * (sizeof(GateId) + sizeof(Pin));
+  sync_stats_.seconds += timer.seconds();
 }
 
 EngineStats ProbeContext::take_stats() {

@@ -23,6 +23,29 @@
 
 namespace rapids {
 
+/// Replica sync cost counters, accumulated per context and harvested by the
+/// scheduler (addable so per-worker shards merge into one view).
+struct ReplicaSyncStats {
+  std::uint64_t syncs = 0;          // sync() calls
+  std::uint64_t full_syncs = 0;     // clone + copy_state_from path
+  std::uint64_t delta_syncs = 0;    // journal replay path
+  std::uint64_t delta_commits = 0;  // commit epochs the delta syncs spanned
+  std::uint64_t bytes_full = 0;     // estimated bytes moved by full syncs
+  std::uint64_t bytes_delta = 0;    // estimated bytes moved by delta syncs
+  double seconds = 0.0;             // wall time inside sync()
+
+  ReplicaSyncStats& operator+=(const ReplicaSyncStats& o) {
+    syncs += o.syncs;
+    full_syncs += o.full_syncs;
+    delta_syncs += o.delta_syncs;
+    delta_commits += o.delta_commits;
+    bytes_full += o.bytes_full;
+    bytes_delta += o.bytes_delta;
+    seconds += o.seconds;
+    return *this;
+  }
+};
+
 class ProbeContext {
  public:
   /// `worker` indexes the RNG substream (see Rng::substream); `base_seed`
@@ -39,7 +62,31 @@ class ProbeContext {
   /// probes any CrossSg move (those resolve partition slots), pure waste
   /// otherwise (the common swap/resize rounds never read it), so the
   /// scheduler passes its per-round any-cross flag.
+  ///
+  /// With delta sync on (the default) and the source journal covering the
+  /// replica's epoch, only the committed rounds' dirty gates, STA slices
+  /// and free-stack state are adopted — O(dirty), not O(network) — with a
+  /// transparent fallback to the full clone path otherwise. Both paths
+  /// leave the replica bit-identical for probe arithmetic.
   void sync(RewireEngine& source, bool with_partition = true);
+
+  /// Delta-sync escape hatch (A/B lever): when off, every sync takes the
+  /// full clone path — the pre-delta behavior.
+  void set_delta_sync(bool on) { delta_sync_ = on; }
+  bool delta_sync() const { return delta_sync_; }
+
+  /// Sync cost counters since the last harvest; resets the window.
+  ReplicaSyncStats take_sync_stats() {
+    const ReplicaSyncStats window = sync_stats_;
+    sync_stats_ = ReplicaSyncStats{};
+    return window;
+  }
+
+  /// Read-only views over the replica state, for differential tests that
+  /// assert delta-synced replicas match clone-synced ones byte for byte.
+  const Network& replica_net() const { return net_; }
+  const Sta& replica_sta() const { return *sta_; }
+  const Placement& replica_placement() const { return pl_; }
 
   /// True when this replica reflects live epoch `epoch`.
   bool synced_to(std::uint64_t epoch) const { return has_state_ && epoch_ == epoch; }
@@ -91,7 +138,17 @@ class ProbeContext {
   std::uint64_t epoch_ = 0;
   bool has_state_ = false;
   bool partition_adopted_ = false;
+  bool delta_sync_ = true;
+  /// Source Sta state version captured at the last full sync; a mismatch
+  /// (the live side ran run_full) forces the next sync down the full path.
+  std::uint64_t sta_version_ = 0;
   EngineStats harvested_;
+  ReplicaSyncStats sync_stats_;
+  // Reused delta-id scratch (cleared, never shrunk, per sync).
+  std::vector<GateId> delta_gates_;
+  std::vector<GateId> delta_arr_;
+  std::vector<GateId> delta_nets_;
+  std::vector<GateId> delta_dirty_;
 };
 
 }  // namespace rapids

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/timer.hpp"
 
 namespace rapids {
 
@@ -24,6 +25,7 @@ ParallelRewireScheduler::ParallelRewireScheduler(RewireEngine& engine,
   for (int w = 0; w < pool_.workers(); ++w) {
     contexts_.push_back(
         std::make_unique<ProbeContext>(engine.lib(), options_.seed, w));
+    contexts_.back()->set_delta_sync(options_.delta_sync);
   }
 }
 
@@ -107,6 +109,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
     std::span<const ProbeGroup> groups, ProbePolicy policy, double threshold) {
   std::vector<GroupResult> results(groups.size());
   if (groups.empty()) return results;
+  const Timer round_timer;
   ++stats_.rounds;
 
   const double base_critical = engine_.sta().critical_delay();
@@ -129,6 +132,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
     }
     stats_.worker_probes += round_probes;
     probe_stats_.shard(0).add(static_cast<double>(round_probes));
+    stats_.seconds_probe += round_timer.seconds();
     return results;
   }
 
@@ -200,14 +204,18 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
     engine_.absorb_stats(window);
     engine_.absorb_session_stats(ctx.take_session_stats());
     engine_.absorb_partition_stats(ctx.take_partition_stats());
+    stats_.sync += ctx.take_sync_stats();
     stats_.worker_probes += window.probes;
   }
+  stats_.seconds_probe += round_timer.seconds();
   return results;
 }
 
 int ParallelRewireScheduler::arbitrate_and_commit(
     std::vector<GroupResult> results, ProbePolicy policy, double threshold,
     std::span<const ProbeGroup> groups) {
+  const Timer arb_timer;
+  double commit_seconds = 0.0;
   // Keep only per-group winners.
   results.erase(std::remove_if(results.begin(), results.end(),
                                [](const GroupResult& r) { return !r.has_move; }),
@@ -309,7 +317,9 @@ int ParallelRewireScheduler::arbitrate_and_commit(
       }
     }
     if (take) {
+      const Timer commit_timer;
       engine_.commit(chosen);
+      commit_seconds += commit_timer.seconds();
       ++committed;
       ++stats_.committed;
       committed_union.merge(r.sig);
@@ -317,6 +327,8 @@ int ParallelRewireScheduler::arbitrate_and_commit(
       ++stats_.revalidation_rejects;
     }
   }
+  stats_.seconds_commit += commit_seconds;
+  stats_.seconds_arbitrate += arb_timer.seconds() - commit_seconds;
   return committed;
 }
 

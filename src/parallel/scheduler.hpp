@@ -84,6 +84,9 @@ struct SchedulerOptions {
   int cone_depth = 2;
   /// Base seed for the per-worker RNG substreams.
   std::uint64_t seed = 0x5eed5ULL;
+  /// O(dirty) replica delta sync (see ProbeContext::set_delta_sync). Off =
+  /// every epoch re-clones the network — the pre-delta A/B reference.
+  bool delta_sync = true;
 };
 
 struct SchedulerStats {
@@ -95,6 +98,13 @@ struct SchedulerStats {
   std::uint64_t conflicted = 0;           // winners overlapping an earlier commit
   std::uint64_t revalidation_rejects = 0; // winners whose live gain evaporated
   std::uint64_t stale_cross_sg = 0;       // cross-sg winners dropped by epoch bump
+  // Phase wall times: probe_round (worker fan-out incl. replica sync),
+  // arbitration overhead, and live commits (disjoint — arbitrate excludes
+  // the commit time). Replica sync cost is broken out in `sync`.
+  double seconds_probe = 0.0;
+  double seconds_arbitrate = 0.0;
+  double seconds_commit = 0.0;
+  ReplicaSyncStats sync;
 };
 
 class ParallelRewireScheduler {

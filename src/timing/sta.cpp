@@ -52,6 +52,9 @@ void Sta::copy_state_from(const Sta& other) {
   // Full options, not just pads: a later run_full() on the adopted Sta
   // must re-resolve the SAME required-time policy as the source.
   options_ = other.options_;
+  state_version_ = other.state_version_;
+  timing_epoch_ = other.timing_epoch_;
+  arrival_stamp_ = other.arrival_stamp_;
   const std::size_t n = net_.id_bound();
   net_dirty_.assign(n, false);
   arrival_saved_.assign(n, false);
@@ -144,6 +147,9 @@ void Sta::run_full() {
   }
   critical_delay_ = recompute_critical();
   required_valid_ = false;
+  ++state_version_;
+  ++timing_epoch_;
+  arrival_stamp_.assign(n, timing_epoch_);
 }
 
 double Sta::slack(GateId g) const {
@@ -280,6 +286,7 @@ void Sta::grow() {
   net_dirty_.resize(n, false);
   arrival_saved_.resize(n, false);
   net_saved_.resize(n, false);
+  arrival_stamp_.resize(n, timing_epoch_);
   pin_delay_.resize(n * pin_stride_, 0.0);
 }
 
@@ -364,9 +371,11 @@ void Sta::rollback() {
 
 void Sta::commit() {
   RAPIDS_ASSERT(in_txn_);
+  if (!saved_arrivals_.empty()) ++timing_epoch_;
   for (const auto& [g, a] : saved_arrivals_) {
     (void)a;
     arrival_saved_[g] = false;
+    arrival_stamp_[g] = timing_epoch_;
   }
   for (std::size_t i = 0; i < saved_net_count_; ++i) {
     net_saved_[saved_nets_[i].first] = false;
@@ -377,6 +386,63 @@ void Sta::commit() {
   txn_dirty_nets_.clear();
   seeds_.clear();
   in_txn_ = false;
+}
+
+void Sta::append_txn_changed_ids(std::vector<GateId>& arrival_ids,
+                                 std::vector<GateId>& net_ids) const {
+  RAPIDS_ASSERT_MSG(in_txn_, "txn-changed ids only exist inside a transaction");
+  for (const auto& [g, a] : saved_arrivals_) {
+    (void)a;
+    arrival_ids.push_back(g);
+  }
+  for (std::size_t i = 0; i < saved_net_count_; ++i) {
+    net_ids.push_back(saved_nets_[i].first);
+  }
+}
+
+std::size_t Sta::adopt_delta(const Sta& other, std::span<const GateId> arrival_ids,
+                             std::span<const GateId> net_ids) {
+  RAPIDS_ASSERT_MSG(!in_txn_ && !other.in_txn_,
+                    "adopt_delta requires both analyses outside transactions");
+  RAPIDS_ASSERT_MSG(pin_stride_ == other.pin_stride_,
+                    "pin stride drifted; replica needs a full sync");
+  // Size the id-indexed arrays to MATCH the source's exactly, not the net
+  // bound: the live Sta grows lazily inside transactions, so tombstones
+  // minted by the post-commit id top-up are not yet in its arrays — and
+  // the clone path (copy_state_from) replicates that exact layout. The
+  // arrays only ever grow, so this never truncates. New slots default to
+  // the same values the live grow() wrote; every slot whose value then
+  // changed is in the journal's id lists and copied below.
+  const std::size_t n = other.arrival_.size();
+  if (nets_.size() < n) {
+    nets_.resize(n);
+    arrival_.resize(n);
+    required_.resize(n);
+    net_dirty_.resize(n, false);
+    arrival_saved_.resize(n, false);
+    net_saved_.resize(n, false);
+    arrival_stamp_.resize(n, timing_epoch_);
+    pin_delay_.resize(n * pin_stride_, 0.0);
+  }
+  std::size_t bytes = 0;
+  for (const GateId g : arrival_ids) {
+    arrival_[g] = other.arrival_[g];
+    arrival_stamp_[g] = other.arrival_stamp_[g];
+    bytes += sizeof(RiseFall) + sizeof(std::uint64_t);
+  }
+  for (const GateId d : net_ids) {
+    nets_[d] = other.nets_[d];
+    for (const StarBranch& b : nets_[d].branches) {
+      pin_delay_[b.pin.gate * pin_stride_ + b.pin.index] = b.wire_delay;
+    }
+    bytes += sizeof(StarNet) + nets_[d].branches.size() * sizeof(StarBranch);
+  }
+  critical_delay_ = other.critical_delay_;
+  required_time_ = other.required_time_;
+  timing_epoch_ = other.timing_epoch_;
+  state_version_ = other.state_version_;
+  required_valid_ = false;
+  return bytes;
 }
 
 void Sta::refresh_required() {

@@ -113,6 +113,42 @@ class Sta {
   /// pass); cheap relative to run_full since net caches are reused.
   void refresh_required();
 
+  // --- delta replica sync & slack epochs -----------------------------------
+
+  /// Monotonic counter bumped by every run_full(). Delta replica sync is
+  /// only valid while the source's version matches the one captured at the
+  /// replica's last full sync; a mismatch means the id space / pin stride
+  /// was rebuilt wholesale and the replica must fall back to
+  /// copy_state_from().
+  std::uint64_t state_version() const { return state_version_; }
+
+  /// Timing epoch / per-gate arrival stamps. The epoch advances whenever a
+  /// committed transaction changed any arrival (and on run_full);
+  /// arrival_stamp(g) is the epoch of the last committed change to g's
+  /// arrival. Candidate caches key arrival-gap pruning decisions on these
+  /// to detect "slack context unchanged" without comparing floats.
+  std::uint64_t timing_epoch() const { return timing_epoch_; }
+  std::uint64_t arrival_stamp(GateId g) const {
+    return g < arrival_stamp_.size() ? arrival_stamp_[g] : timing_epoch_;
+  }
+
+  /// While inside a transaction, append the ids whose arrivals (resp. star
+  /// nets) the transaction has modified so far — exactly the state a
+  /// commit() will change relative to begin(), because propagate() saves an
+  /// arrival only when it actually differs. The engine records these into
+  /// its replica-sync journal just before committing.
+  void append_txn_changed_ids(std::vector<GateId>& arrival_ids,
+                              std::vector<GateId>& net_ids) const;
+
+  /// Adopt only the listed slices of `other`'s state (plus scalars):
+  /// arrivals for arrival_ids, star nets and their pin-delay rows for
+  /// net_ids. Both analyses must be outside transactions, pin strides must
+  /// match, and the underlying networks must already be structurally
+  /// identical (delta-adopt the network first). Required times become
+  /// stale. Returns an estimate of the bytes copied.
+  std::size_t adopt_delta(const Sta& other, std::span<const GateId> arrival_ids,
+                          std::span<const GateId> net_ids);
+
  private:
   /// Extend id-indexed state for gates created mid-transaction (inverters
   /// inserted by rewiring).
@@ -141,6 +177,9 @@ class Sta {
   double critical_delay_ = 0.0;
   double required_time_ = 0.0;
   bool required_valid_ = false;
+  std::uint64_t state_version_ = 0;
+  std::uint64_t timing_epoch_ = 0;
+  std::vector<std::uint64_t> arrival_stamp_;
 
   // Transaction journal. All scratch storage is reused across transactions
   // (saved_nets_ keeps a live prefix of saved_net_count_ entries so the

@@ -1,11 +1,15 @@
 // rapids — command-line driver for the RAPIDS rewiring flow.
 //
-//   rapids flow <circuit|file.blif|file.bench> [--mode gsg|gs|gsg+gs]
+//   rapids flow <circuit|file.blif|file.bench|gen:<gates>[:seed]>
+//          [--mode gsg|gs|gsg+gs]
 //          [--seed N] [--effort F] [--iters N] [--threads N] [--buffers]
 //          [--out out.blif] [--place-out placement.txt] [--no-verify]
 //          [--sat-verify] [--paranoid] [--sat-session|--no-sat-session]
-//          [--no-incremental] [--extract-diff]
+//          [--no-incremental] [--extract-diff] [--no-delta-sync]
+//          [--no-prune-cache]
 //       Map, place, optimize and report; optionally write results.
+//       gen:<gates>[:seed] runs the synthetic large-circuit profile
+//       (mixed arithmetic/control/ecc blocks; see src/gen/large.hpp).
 //       --threads N fans probe evaluation out to N workers; the result is
 //       bit-identical to --threads 1 (deterministic commit arbitration).
 //       --sat-verify escalates the final equivalence check to a SAT proof;
@@ -16,6 +20,9 @@
 //       every commit (the pre-incremental behavior; same netlist);
 //       --extract-diff cross-checks the incremental partition against a
 //       fresh full extraction after every commit (slow; self-check).
+//       --no-delta-sync re-clones probe replicas every epoch instead of
+//       shipping O(dirty) deltas; --no-prune-cache re-enumerates pruned
+//       swap lists every phase. Both are A/B levers: same netlist.
 //
 //   rapids fuzz [--seed N] [--iters N] [--threads N] [--max-gates N]
 //          [--max-inputs N] [--no-sat] [--paranoid-diff] [--extract-diff]
@@ -44,6 +51,7 @@
 
 #include "flow/flow.hpp"
 #include "fuzz/fuzz.hpp"
+#include "gen/large.hpp"
 #include "gen/suite.hpp"
 #include "io/bench_reader.hpp"
 #include "io/blif_reader.hpp"
@@ -67,6 +75,15 @@ Network load_circuit(const std::string& arg) {
   };
   if (ends_with(".blif")) return read_blif_file(arg);
   if (ends_with(".bench")) return read_bench_file(arg);
+  if (arg.rfind("gen:", 0) == 0) {
+    // gen:<gates>[:seed] — synthetic large-circuit profile.
+    LargeCircuitOptions lopt;
+    const std::string spec = arg.substr(4);
+    const std::size_t colon = spec.find(':');
+    lopt.target_gates = static_cast<std::size_t>(std::stoull(spec.substr(0, colon)));
+    if (colon != std::string::npos) lopt.seed = std::stoull(spec.substr(colon + 1));
+    return make_large_circuit(lopt);
+  }
   return make_benchmark(arg);
 }
 
@@ -152,6 +169,10 @@ int cmd_flow(const std::vector<std::string>& args) {
       options.opt.incremental_extraction = false;
     } else if (a == "--extract-diff") {
       options.opt.extract_diff = true;
+    } else if (a == "--no-delta-sync") {
+      options.opt.delta_replica_sync = false;
+    } else if (a == "--no-prune-cache") {
+      options.opt.prune_cache = false;
     } else if (!a.empty() && a[0] == '-') {
       throw InputError("unknown flag: " + a);
     } else {
@@ -162,11 +183,15 @@ int cmd_flow(const std::vector<std::string>& args) {
 
   const CellLibrary lib = builtin_library_035();
   const Network src = load_circuit(target);
-  const PreparedCircuit prepared = prepare_circuit(target, src, lib, options);
+  PreparedCircuit prepared = prepare_circuit(target, src, lib, options);
   std::cout << target << ": " << prepared.mapped.num_logic_gates()
             << " cells placed, initial delay " << prepared.initial_delay << " ns\n";
 
-  ModeRun run = run_mode(prepared, lib, mode, options);
+  // Only the buffer pass and --place-out still need the prepared circuit
+  // after optimization; otherwise move-adopt it (no whole-network clone).
+  const bool keep_prepared = buffers || !out_place.empty();
+  ModeRun run = keep_prepared ? run_mode(prepared, lib, mode, options)
+                              : run_mode(std::move(prepared), lib, mode, options);
   const OptimizerResult& r = run.result;
   std::cout << to_string(mode) << ": delay " << r.initial_delay << " -> "
             << r.final_delay << " ns (" << r.improvement_percent() << "%), area "
@@ -183,6 +208,17 @@ int cmd_flow(const std::vector<std::string>& args) {
             << r.partition.groups_reused << " probe groups served from cache, "
             << r.partition.full_rebuilds << " full rebuild"
             << (r.partition.full_rebuilds == 1 ? "" : "s") << "\n";
+  std::cout << "phases: setup " << r.seconds_setup << " s, probe " << r.seconds_probe
+            << " s, arbitrate " << r.seconds_arbitrate << " s, commit "
+            << r.seconds_commit << " s, sync " << r.seconds_sync << " s\n";
+  std::cout << "scale: " << r.canonicalize_calls << " canonicalize calls / "
+            << r.gates_canonicalized << " gates re-sorted after setup, "
+            << r.candidates_enumerated << " swap candidates enumerated, "
+            << r.pruned_groups_cached << " pruned lists served by slack epoch; "
+            << "replica sync " << r.replica_delta_syncs << " delta ("
+            << r.replica_sync_bytes_delta << " B over " << r.replica_delta_commits
+            << " commits) / " << r.replica_full_syncs << " full ("
+            << r.replica_sync_bytes_full << " B)\n";
   if (options.opt.paranoid) {
     std::cout << "paranoid: " << r.moves_proved
               << " committed moves SAT-proved on their windows ("
