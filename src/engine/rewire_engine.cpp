@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "verify/equivalence.hpp"
@@ -37,6 +38,7 @@ RewireEngine::~RewireEngine() { net_.set_id_recycling(prev_recycling_); }
 
 const GisgPartition& RewireEngine::partition() {
   if (!partition_valid_) {
+    TraceSpan extract_span("extract", "extract_full");
     // Probe undo restores fanout SETS, not their order; full extraction's
     // reverse-topological walk iterates fanouts, so without this
     // normalization the supergate indexing — and with it the scheduler's
@@ -51,6 +53,8 @@ const GisgPartition& RewireEngine::partition() {
     pending_dirty_.clear();
     ++pstats_.full_rebuilds;
   } else if (!pending_dirty_.empty()) {
+    TraceSpan extract_span("extract", "extract_incremental");
+    extract_span.set_arg("dirty_gates", static_cast<std::int64_t>(pending_dirty_.size()));
     pstats_ += reextract_region(partition_, net_, pending_dirty_, &gisg_scratch_);
     pending_dirty_.clear();
     if (extract_diff_) {
@@ -442,6 +446,18 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
   apply_and_invalidate(scratch_, move);
   sta_.propagate();
   if (prove) {
+    TraceSpan proof_span("sat", "proof_window");
+    // Window-prover conflicts attributed to THIS move; escalation conflicts
+    // are added from the full-miter result where one runs.
+    const std::uint64_t conflicts_before =
+        session_ ? session_->stats().conflicts
+                 : (paranoid_ ? paranoid_->stats().conflicts : 0);
+    const auto move_conflicts = [&](std::uint64_t extra) {
+      const std::uint64_t now =
+          session_ ? session_->stats().conflicts
+                   : (paranoid_ ? paranoid_->stats().conflicts : 0);
+      return now - conflicts_before + extra;
+    };
     // The move re-inserts inverters; re-read the created set from the real
     // apply's edit record (ids can differ from the throwaway apply only in
     // recycling order, but take no chances).
@@ -487,6 +503,8 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
         sta_.rollback();
         ++paranoid_inconclusive_;
         paranoid_verdicts_.push_back(ProofVerdict::Inconclusive);
+        proof_conflict_hist_.add(
+            static_cast<double>(move_conflicts(full.conflicts)));
         log_warn() << "paranoid: full miter inconclusive (conflict budget); "
                       "rejecting the move conservatively";
         return EngineObjective{sta_.critical_delay(), sta_.sum_po_arrival()};
@@ -497,9 +515,11 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
       // encodings of the post-move structure restore the invariant.
       if (session_) session_->invalidate_all();
       paranoid_verdicts_.push_back(ProofVerdict::EscalatedProved);
+      proof_conflict_hist_.add(static_cast<double>(move_conflicts(full.conflicts)));
     } else {
       if (session_) session_->keep();
       paranoid_verdicts_.push_back(ProofVerdict::WindowProved);
+      proof_conflict_hist_.add(static_cast<double>(move_conflicts(0)));
     }
   }
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};

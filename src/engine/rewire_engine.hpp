@@ -43,6 +43,7 @@
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
 #include "timing/sta.hpp"
+#include "util/stats.hpp"
 
 namespace rapids {
 
@@ -317,6 +318,9 @@ class RewireEngine {
   const std::vector<ProofVerdict>& paranoid_verdicts() const {
     return paranoid_verdicts_;
   }
+  /// Distribution of SAT conflicts per proved commit (paranoid only; counts
+  /// window + any escalation work attributed to one move).
+  const Histogram& proof_conflict_hist() const { return proof_conflict_hist_; }
 
   /// Merge a replica engine's counters (probe workers evaluate on replicas;
   /// their probe counts belong to this engine's lifetime totals).
@@ -436,6 +440,7 @@ class RewireEngine {
   std::vector<GateId> paranoid_created_;
   std::uint64_t paranoid_inconclusive_ = 0;
   std::vector<ProofVerdict> paranoid_verdicts_;
+  Histogram proof_conflict_hist_;
   // Per-worker session merge: counters absorbed from replicas plus the
   // harvest cursor for this engine's own session (replica side).
   sat::ProofSessionStats absorbed_session_stats_;

@@ -5,6 +5,7 @@
 
 #include "gen/suite.hpp"
 #include "mapping/mapper.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "verify/equivalence.hpp"
@@ -15,8 +16,13 @@ PreparedCircuit prepare_circuit(const std::string& name, const Network& src,
                                 const CellLibrary& lib, const FlowOptions& options) {
   PreparedCircuit prepared;
   prepared.name = name;
-  MapResult mapped = map_network(src, lib);
-  prepared.mapped = std::move(mapped.mapped);
+  Network mapped_net;
+  {
+    TraceSpan map_span("flow", "map");
+    MapResult mapped = map_network(src, lib);
+    mapped_net = std::move(mapped.mapped);
+  }
+  prepared.mapped = std::move(mapped_net);
 
   PlacerOptions popt = options.placer;
   const std::size_t cells = prepared.mapped.num_logic_gates();
@@ -24,8 +30,12 @@ PreparedCircuit prepare_circuit(const std::string& name, const Network& src,
     popt.effort = popt.effort * static_cast<double>(options.reduce_effort_above) /
                   static_cast<double>(cells);
   }
-  prepared.placement = place(prepared.mapped, lib, popt);
+  {
+    TraceSpan place_span("flow", "place");
+    prepared.placement = place(prepared.mapped, lib, popt);
+  }
 
+  TraceSpan sta_span("flow", "initial_sta");
   Sta sta(prepared.mapped, lib, prepared.placement);
   prepared.initial_delay = sta.critical_delay();
   prepared.initial_area = 0.0;
@@ -99,7 +109,11 @@ void run_mode_impl(ModeRun& run, Placement& placement, const Network* reference,
   // optimizer seed, the per-worker RNG substreams derive from the same
   // seed that placed the circuit.
   if (oopt.seed == OptimizerOptions{}.seed) oopt.seed = options.placer.seed;
-  run.result = optimize(run.optimized, placement, lib, sta, oopt);
+  {
+    TraceSpan opt_span("flow", "optimize");
+    run.result = optimize(run.optimized, placement, lib, sta, oopt);
+    opt_span.set_arg("committed", run.result.swaps_committed + run.result.resizes_committed);
+  }
   if (oopt.paranoid) {
     log_info() << name << " " << to_string(mode) << ": paranoid proved "
                << run.result.moves_proved << " commits ("
@@ -113,6 +127,7 @@ void run_mode_impl(ModeRun& run, Placement& placement, const Network* reference,
                << ")";
   }
   if (options.verify) {
+    TraceSpan verify_span("flow", "verify");
     RAPIDS_ASSERT(reference != nullptr);
     EquivalenceOptions eopt;
     eopt.sat_proof = options.verify_sat;

@@ -11,6 +11,7 @@
 #include "sizing/sizing.hpp"
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -61,13 +62,14 @@ class Optimizer {
   OptimizerResult run() {
     Timer timer;
     OptimizerResult result;
-    if (!options_.sta_is_fresh) sta_.run_full();
-    result.initial_delay = sta_.critical_delay();
-    result.initial_area = network_area(net_, lib_);
-    result.threads = scheduler_.threads();
-
-    // Table 1 statistics from the initial extraction.
     {
+      TraceSpan setup_span("opt", "setup");
+      if (!options_.sta_is_fresh) sta_.run_full();
+      result.initial_delay = sta_.critical_delay();
+      result.initial_area = network_area(net_, lib_);
+      result.threads = scheduler_.threads();
+
+      // Table 1 statistics from the initial extraction.
       const GisgPartition& part = engine_.partition();
       result.coverage = part.nontrivial_coverage(net_);
       result.max_sg_inputs = part.max_leaves();
@@ -83,6 +85,8 @@ class Optimizer {
     double best = result.initial_delay;
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
       ++result.iterations;
+      TraceSpan iter_span("opt", "iteration");
+      iter_span.set_arg("iter", iter);
       // Groups are refreshed per phase: a committed swap restructures its
       // supergate (inverter insertion, subtree exchange), which bumps that
       // slot's generation — only THOSE groups re-derive their candidate
@@ -108,20 +112,25 @@ class Optimizer {
       phase_area_recovery();
     }
 
-    if (options_.mode != OptMode::GateSizing) {
-      // Only drop fanout-less inverters: their removal strictly reduces
-      // driver loads. Inverter-pair collapse would re-time paths that were
-      // evaluated with the pair in place and can lose committed gains.
-      result.inverters_removed = static_cast<int>(remove_dangling_inverters(net_));
-      // Gate deletion happens OUTSIDE the engine's commit stream, which is
-      // exactly what incremental maintenance cannot model: force the
-      // full-rebuild escape hatch (also wipes the proof-session cache).
-      if (result.inverters_removed > 0) engine_.invalidate_partition();
+    {
+      const Timer finalize_timer;
+      TraceSpan fin_span("opt", "finalize");
+      if (options_.mode != OptMode::GateSizing) {
+        // Only drop fanout-less inverters: their removal strictly reduces
+        // driver loads. Inverter-pair collapse would re-time paths that were
+        // evaluated with the pair in place and can lose committed gains.
+        result.inverters_removed = static_cast<int>(remove_dangling_inverters(net_));
+        // Gate deletion happens OUTSIDE the engine's commit stream, which is
+        // exactly what incremental maintenance cannot model: force the
+        // full-rebuild escape hatch (also wipes the proof-session cache).
+        if (result.inverters_removed > 0) engine_.invalidate_partition();
+      }
+      sta_.run_full();
+      sta_.refresh_required();
+      result.final_delay = sta_.critical_delay();
+      result.final_area = network_area(net_, lib_);
+      result.seconds_finalize = finalize_timer.seconds();
     }
-    sta_.run_full();
-    sta_.refresh_required();
-    result.final_delay = sta_.critical_delay();
-    result.final_area = network_area(net_, lib_);
     result.seconds = timer.seconds();
 
     const EngineStats& stats = engine_.stats();
@@ -173,6 +182,31 @@ class Optimizer {
     result.gates_canonicalized = net_.gates_canonicalized() - canon_gates_base;
     result.candidates_enumerated = candidates_enumerated_;
     result.pruned_groups_cached = pruned_cache_hits_;
+    result.sched_rounds = sched.rounds;
+    result.sched_accepted = sched.accepted;
+    result.sched_conflicted = sched.conflicted;
+    result.sched_revalidation_rejects = sched.revalidation_rejects;
+    result.sched_stale_cross_sg = sched.stale_cross_sg;
+    result.gain_hist = sched.gain_hist;
+    result.proof_conflict_hist = engine_.proof_conflict_hist();
+    result.seconds_groups = seconds_groups_;
+
+    // Phase accounting self-check: setup + groups + probe + arbitrate +
+    // commit + finalize should cover the whole run (sync is a subset of
+    // probe and deliberately excluded). Whatever is left is loop overhead —
+    // warn when it stops being noise, because an unattributed phase is
+    // exactly what this breakdown exists to prevent.
+    const double attributed = result.seconds_setup + result.seconds_groups +
+                              result.seconds_probe + result.seconds_arbitrate +
+                              result.seconds_commit + result.seconds_finalize;
+    result.seconds_unattributed = std::max(0.0, result.seconds - attributed);
+    if (result.seconds > 0.0 &&
+        result.seconds_unattributed > 0.05 * result.seconds) {
+      log_warn() << "phase accounting: " << result.seconds_unattributed
+                 << " s of " << result.seconds
+                 << " s optimize time unattributed (> 5%) — a phase is "
+                    "missing a timer";
+    }
     return result;
   }
 
@@ -194,6 +228,8 @@ class Optimizer {
   void discard_group() { --groups_used_; }
 
   std::span<const ProbeGroup> build_groups() {
+    const Timer groups_timer;
+    TraceSpan groups_span("opt", "build_groups");
     groups_used_ = 0;
     const bool want_swaps = options_.mode != OptMode::GateSizing;
     const bool want_resizes = options_.mode != OptMode::Gsg;
@@ -263,6 +299,8 @@ class Optimizer {
         if (group.moves.empty()) discard_group();
       }
     }
+    groups_span.set_arg("groups", static_cast<std::int64_t>(groups_used_));
+    seconds_groups_ += groups_timer.seconds();
     return {groups_.data(), groups_used_};
   }
 
@@ -324,6 +362,8 @@ class Optimizer {
   /// that keeps the critical delay within budget wins, and the arbiter
   /// re-validates each against the live state in gate order.
   void phase_area_recovery() {
+    TraceSpan phase_span("opt", "area_recovery");
+    const Timer groups_timer;
     groups_used_ = 0;
     covered_nontrivial_.assign(net_.id_bound(), 0);
     if (options_.mode == OptMode::GsgPlusGS) {
@@ -352,6 +392,7 @@ class Optimizer {
       }
       if (group.moves.empty()) discard_group();
     }
+    seconds_groups_ += groups_timer.seconds();
     scheduler_.run_round({groups_.data(), groups_used_}, ProbePolicy::FirstFit,
                          budget);
   }
@@ -364,6 +405,7 @@ class Optimizer {
   OptimizerOptions options_;
 
   std::vector<SwapGroupCache> swap_cache_;
+  double seconds_groups_ = 0.0;
   std::uint64_t groups_reused_ = 0;
   std::uint64_t pruned_cache_hits_ = 0;
   std::uint64_t candidates_enumerated_ = 0;

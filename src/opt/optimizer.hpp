@@ -33,6 +33,7 @@
 #include "place/placement.hpp"
 #include "sym/gisg.hpp"
 #include "timing/sta.hpp"
+#include "util/stats.hpp"
 
 namespace rapids {
 
@@ -170,6 +171,26 @@ struct OptimizerResult {
   std::uint64_t gates_canonicalized = 0;
   std::uint64_t candidates_enumerated = 0;
   std::uint64_t pruned_groups_cached = 0;
+  /// Scheduler round/arbitration counters (merged across phases). These are
+  /// the commit-efficiency / probe-waste numbers speculative commit rounds
+  /// will be judged against: committed/accepted is the arbitration yield,
+  /// conflicted + revalidation_rejects + stale_cross_sg the wasted winners.
+  std::uint64_t sched_rounds = 0;
+  std::uint64_t sched_accepted = 0;
+  std::uint64_t sched_conflicted = 0;
+  std::uint64_t sched_revalidation_rejects = 0;
+  std::uint64_t sched_stale_cross_sg = 0;
+  /// Distribution of committed-move critical gains (ns) and of per-proof
+  /// SAT conflict counts (paranoid only) — p50/p90/p99 in the flow summary.
+  Histogram gain_hist;
+  Histogram proof_conflict_hist;
+  /// Remaining phase buckets so `phases:` sums to `seconds`: group building
+  /// (candidate generation incl. swap-cache fills), finalize (post-loop
+  /// cleanup + final STA), and whatever is left over. The optimizer warns
+  /// if unattributed time exceeds 5% of the total.
+  double seconds_groups = 0.0;
+  double seconds_finalize = 0.0;
+  double seconds_unattributed = 0.0;
 
   double improvement_percent() const {
     return initial_delay > 0 ? 100.0 * (initial_delay - final_delay) / initial_delay : 0.0;

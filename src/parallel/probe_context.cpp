@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace rapids {
@@ -24,6 +25,7 @@ void ProbeContext::adopt_partition_from(RewireEngine& source) {
 
 void ProbeContext::sync(RewireEngine& source, bool with_partition) {
   const Timer timer;
+  TraceSpan sync_span("sync", "replica_sync");
   ++sync_stats_.syncs;
 
   // Delta path: replay the source journal's committed rounds instead of
@@ -76,6 +78,7 @@ void ProbeContext::sync(RewireEngine& source, bool with_partition) {
       partition_adopted_ = false;
     }
     ++sync_stats_.delta_syncs;
+    sync_span.set_arg("delta", 1);
     if (with_partition && !partition_adopted_) adopt_partition_from(source);
     sync_stats_.seconds += timer.seconds();
     return;
@@ -110,6 +113,7 @@ void ProbeContext::sync(RewireEngine& source, bool with_partition) {
   has_state_ = true;
   harvested_ = EngineStats{};
   ++sync_stats_.full_syncs;
+  sync_span.set_arg("delta", 0);
   // Rough but stable size model of what the clone path moves: the SoA gate
   // rows + adjacency pools + the id-indexed STA arrays (the full path is
   // O(network) regardless, so the edge count walk costs nothing extra).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/provenance.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -111,6 +113,8 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
   if (groups.empty()) return results;
   const Timer round_timer;
   ++stats_.rounds;
+  TraceSpan round_span("probe", "probe_round");
+  round_span.set_arg("groups", static_cast<std::int64_t>(groups.size()));
 
   const double base_critical = engine_.sta().critical_delay();
   const double base_sum = engine_.sta().sum_po_arrival();
@@ -132,6 +136,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
     }
     stats_.worker_probes += round_probes;
     probe_stats_.shard(0).add(static_cast<double>(round_probes));
+    round_span.set_arg2("probes", static_cast<std::int64_t>(round_probes));
     stats_.seconds_probe += round_timer.seconds();
     return results;
   }
@@ -174,6 +179,9 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
       probe_stats_.shard(w).add(0.0);
       return;
     }
+    // One span per worker shard, landing on that worker's own trace ring.
+    TraceSpan shard_span("probe", "probe_shard");
+    shard_span.set_arg("groups", static_cast<std::int64_t>(mine.size()));
     ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
     if (!ctx.synced_to(epoch)) {
       ctx.sync(engine_, any_cross);
@@ -193,6 +201,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
     // Worker-owned statistics shard: written here, merged after the
     // pool barrier.
     probe_stats_.shard(w).add(static_cast<double>(my_probes));
+    shard_span.set_arg2("probes", static_cast<std::int64_t>(my_probes));
   });
 
   // Harvest replica probe counters into the live engine's lifetime totals
@@ -216,11 +225,13 @@ int ParallelRewireScheduler::arbitrate_and_commit(
     std::span<const ProbeGroup> groups) {
   const Timer arb_timer;
   double commit_seconds = 0.0;
+  TraceSpan arb_span("arbitrate", "arbitrate_round");
   // Keep only per-group winners.
   results.erase(std::remove_if(results.begin(), results.end(),
                                [](const GroupResult& r) { return !r.has_move; }),
                 results.end());
   stats_.accepted += results.size();
+  arb_span.set_arg("winners", static_cast<std::int64_t>(results.size()));
 
   // Canonical commit order: a strict total order over (gain, group index),
   // so the sequence of live commits is identical for every worker count.
@@ -249,7 +260,16 @@ int ParallelRewireScheduler::arbitrate_and_commit(
 
   int committed = 0;
   ConflictSignature committed_union;
+  // Provenance records happen HERE and only here: this loop is serial and
+  // consumes winners in the canonical order, so the event stream is
+  // worker-count-independent. `stats_.rounds` is the round coordinate of
+  // every id minted below.
+  ProvenanceLog& prov = ProvenanceLog::instance();
+  const std::uint64_t round = stats_.rounds;
   for (const GroupResult& r : results) {
+    const std::uint64_t win_id = make_move_id(round, r.group, r.move_index);
+    prov.record(win_id, ProvenanceStage::ProbeWin,
+                policy == ProbePolicy::Relaxation ? r.sum_gain : r.crit_gain);
     // CrossSg winners reference partition slots; an earlier commit that
     // re-extracted one of their supergates stales them (not even
     // probe-safe). The per-slot generation stamps decide — commits in
@@ -257,36 +277,46 @@ int ParallelRewireScheduler::arbitrate_and_commit(
     if (r.move.kind == EngineMove::Kind::CrossSg &&
         !engine_.cross_sg_fresh(r.move.cross_cand)) {
       ++stats_.stale_cross_sg;
+      prov.record(win_id, ProvenanceStage::StaleCrossSg);
       continue;
     }
-    if (committed_union.overlaps(r.sig)) ++stats_.conflicted;
+    if (committed_union.overlaps(r.sig)) {
+      ++stats_.conflicted;
+      prov.record(win_id, ProvenanceStage::Conflicted);
+    }
 
     // Re-validate against the LIVE state: earlier commits may have absorbed
     // or invalidated the replica-probed gain.
     ++stats_.arbiter_probes;
     bool take = false;
+    double live_gain = 0.0;  // gain under the round's own objective
     switch (policy) {
       case ProbePolicy::MinCritical: {
         const double before = engine_.sta().critical_delay();
         const EngineObjective obj = engine_.probe(r.move);
-        take = before - obj.critical > threshold;
+        live_gain = before - obj.critical;
+        take = live_gain > threshold;
         break;
       }
       case ProbePolicy::Relaxation: {
         const double before_crit = engine_.sta().critical_delay();
         const double before_sum = engine_.sta().sum_po_arrival();
         const EngineObjective obj = engine_.probe(r.move);
+        live_gain = before_sum - obj.sum_po;
         take = obj.critical <= before_crit + kCritSlack &&
-               before_sum - obj.sum_po > threshold;
+               live_gain > threshold;
         break;
       }
       case ProbePolicy::FirstFit: {
+        const double before = engine_.sta().critical_delay();
         const EngineObjective obj = engine_.probe(r.move);
+        live_gain = before - obj.critical;
         take = obj.critical <= threshold;
         break;
       }
     }
     EngineMove chosen = r.move;
+    std::uint64_t chosen_id = win_id;
     if (!take && policy == ProbePolicy::FirstFit && r.group >= 0 &&
         static_cast<std::size_t>(r.group) < groups.size()) {
       // The replica-chosen candidate no longer fits the live state. Replay
@@ -308,25 +338,52 @@ int ParallelRewireScheduler::arbitrate_and_commit(
           continue;
         }
         ++stats_.arbiter_probes;
+        const double before = engine_.sta().critical_delay();
         const EngineObjective obj = engine_.probe(moves[i]);
         if (obj.critical <= threshold) {
           chosen = moves[i];
           take = true;
+          live_gain = before - obj.critical;
+          chosen_id = make_move_id(round, r.group, static_cast<int>(i));
+          prov.record(chosen_id, ProvenanceStage::FallbackChosen, live_gain);
           break;
         }
       }
     }
     if (take) {
       const Timer commit_timer;
+      TraceSpan commit_span("commit", "commit_move");
+      commit_span.set_arg("group", r.group);
+      const std::size_t verdicts_before = engine_.paranoid_verdicts().size();
       engine_.commit(chosen);
       commit_seconds += commit_timer.seconds();
       ++committed;
       ++stats_.committed;
       committed_union.merge(r.sig);
+      stats_.gain_hist.add(live_gain);
+      prov.record(chosen_id, ProvenanceStage::Committed, live_gain);
+      // Paranoid mode appends one verdict per proved Swap/CrossSg commit;
+      // thread it onto the move's chain (resize commits append none).
+      const std::vector<ProofVerdict>& verdicts = engine_.paranoid_verdicts();
+      for (std::size_t v = verdicts_before; v < verdicts.size(); ++v) {
+        switch (verdicts[v]) {
+          case ProofVerdict::WindowProved:
+            prov.record(chosen_id, ProvenanceStage::ProofWindowProved);
+            break;
+          case ProofVerdict::EscalatedProved:
+            prov.record(chosen_id, ProvenanceStage::ProofEscalatedProved);
+            break;
+          case ProofVerdict::Inconclusive:
+            prov.record(chosen_id, ProvenanceStage::ProofInconclusive);
+            break;
+        }
+      }
     } else {
       ++stats_.revalidation_rejects;
+      prov.record(win_id, ProvenanceStage::RevalidationReject, live_gain);
     }
   }
+  arb_span.set_arg2("committed", committed);
   stats_.seconds_commit += commit_seconds;
   stats_.seconds_arbitrate += arb_timer.seconds() - commit_seconds;
   return committed;

@@ -105,6 +105,11 @@ struct SchedulerStats {
   double seconds_arbitrate = 0.0;
   double seconds_commit = 0.0;
   ReplicaSyncStats sync;
+  /// Distribution of live-validated gains over committed moves (critical
+  /// gain for MinCritical/FirstFit rounds, sum-of-PO gain for Relaxation).
+  /// Filled on the serial arbitration path only, so it is bit-identical for
+  /// every worker count.
+  Histogram gain_hist;
 };
 
 class ParallelRewireScheduler {

@@ -1,0 +1,71 @@
+// Minimal JSON reader for the observability tooling.
+//
+// RAPIDS emits several machine-readable JSON artifacts (BENCH_*.json,
+// --metrics-json snapshots, Chrome trace files); bench_diff and the trace
+// schema checker need to read them back without an external dependency.
+// This is a small strict recursive-descent parser into a value tree, plus a
+// flattener that projects every numeric leaf onto a dotted path — the shape
+// bench_diff compares. It is an offline-tool parser: clarity over speed.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rapids {
+
+class JsonValue {
+ public:
+  enum class Kind : unsigned char { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue(Kind::Null); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse one JSON document. Throws InputError (with offset context) on
+/// malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// Project every numeric leaf (numbers and bools; bools as 0/1) onto a
+/// dotted path: {"a": {"b": [1, 2]}} -> {"a.b.0": 1, "a.b.1": 2}. This is
+/// the flat view bench_diff aligns between two snapshots.
+std::map<std::string, double> flatten_numeric(const JsonValue& root);
+
+}  // namespace rapids

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "util/assert.hpp"
+
 namespace rapids {
 
 namespace {
@@ -27,11 +29,33 @@ std::mutex& sink_mutex() {
   static std::mutex m;
   return m;
 }
+
+thread_local int t_worker = -1;
 }  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn" || name == "warning") return LogLevel::Warning;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw InputError("unknown log level: " + name +
+                   " (expected debug|info|warn|error|off)");
+}
+
+int current_worker() { return t_worker; }
+void set_current_worker(int worker) { t_worker = worker; }
 
 Logger::Logger() {
   sink_ = [](LogLevel level, const std::string& message) {
-    std::fprintf(stderr, "[rapids:%s] %s\n", level_name(level), message.c_str());
+    // Lines from probe workers carry the emitting worker id so interleaved
+    // parallel-round output remains attributable.
+    if (const int w = current_worker(); w >= 0) {
+      std::fprintf(stderr, "[rapids:%s w%d] %s\n", level_name(level), w,
+                   message.c_str());
+    } else {
+      std::fprintf(stderr, "[rapids:%s] %s\n", level_name(level), message.c_str());
+    }
   };
 }
 

@@ -17,6 +17,32 @@ namespace rapids {
 
 enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
 
+/// Parse a CLI spelling ("debug" | "info" | "warn"/"warning" | "error" |
+/// "off"); throws InputError on anything else.
+LogLevel parse_log_level(const std::string& name);
+
+/// Worker identity of the current thread, used to tag log lines and to
+/// route trace events to per-worker rings. -1 outside any worker (the
+/// single-threaded default); the thread pool scopes ids around each run()
+/// job, and the main/arbiter thread is worker 0 for the duration of a
+/// parallel round. Thread-local, so concurrent workers never race.
+int current_worker();
+void set_current_worker(int worker);
+
+/// RAII scope for set_current_worker (restores the previous id on exit).
+class WorkerIdScope {
+ public:
+  explicit WorkerIdScope(int worker) : prev_(current_worker()) {
+    set_current_worker(worker);
+  }
+  ~WorkerIdScope() { set_current_worker(prev_); }
+  WorkerIdScope(const WorkerIdScope&) = delete;
+  WorkerIdScope& operator=(const WorkerIdScope&) = delete;
+
+ private:
+  int prev_;
+};
+
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;

@@ -1,7 +1,10 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+
+#include "util/assert.hpp"
 
 namespace rapids {
 
@@ -35,6 +38,65 @@ void RunningStats::merge(const RunningStats& other) {
   sum_ += other.sum_;
   if (other.min_ < min_) min_ = other.min_;
   if (other.max_ > max_) max_ = other.max_;
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), log_lo_(std::log(lo)),
+      inv_log_step_(static_cast<double>(buckets) / (std::log(hi) - std::log(lo))),
+      counts_(static_cast<std::size_t>(buckets) + 2, 0) {}
+
+int Histogram::bucket_of(double x) const {
+  if (!(x > lo_)) return 0;  // underflow bucket also catches 0/negative/NaN
+  if (x > hi_) return static_cast<int>(counts_.size()) - 1;
+  const int interior = static_cast<int>((std::log(x) - log_lo_) * inv_log_step_);
+  // Interior buckets occupy [1, buckets]; clamp against float rounding at
+  // the edges.
+  const int last_interior = static_cast<int>(counts_.size()) - 2;
+  return std::min(std::max(interior + 1, 1), last_interior);
+}
+
+void Histogram::add(double x) {
+  stats_.add(x);
+  ++counts_[static_cast<std::size_t>(bucket_of(x))];
+}
+
+void Histogram::merge(const Histogram& other) {
+  RAPIDS_ASSERT_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                        counts_.size() == other.counts_.size(),
+                    "merging histograms with different bucket configs");
+  stats_.merge(other.stats_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+}
+
+double Histogram::percentile(double q) const {
+  const std::int64_t n = stats_.count();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  std::int64_t cumulative = 0;
+  const double log_step = 1.0 / inv_log_step_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    double v;
+    if (b == 0) {
+      v = stats_.min();  // underflow bucket: everything <= lo
+    } else if (b + 1 == counts_.size()) {
+      v = stats_.max();  // overflow bucket: everything > hi
+    } else {
+      // Geometric midpoint of interior bucket b (edges at lo * e^{k*step}).
+      const double log_edge = log_lo_ + static_cast<double>(b - 1) * log_step;
+      v = std::exp(log_edge + 0.5 * log_step);
+    }
+    return std::min(std::max(v, stats_.min()), stats_.max());
+  }
+  return stats_.max();
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << stats_.mean() << " p50=" << p50()
+     << " p90=" << p90() << " p99=" << p99() << " max=" << stats_.max();
+  return os.str();
 }
 
 ShardedStats::ShardedStats(int shards) : slots_(shards > 0 ? shards : 1) {}

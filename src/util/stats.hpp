@@ -45,6 +45,56 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
+/// RunningStats with percentile tracking: a fixed-bucket log-spaced
+/// histogram over (lo, hi] plus underflow/overflow buckets, so p50/p90/p99
+/// of a distribution (probe gains, SAT conflicts per move) come out of a
+/// constant-size accumulator — no samples stored, mergeable like
+/// RunningStats. Percentiles are bucket-resolution approximations (default
+/// config: 128 buckets over 12 decades ≈ 1.24x value resolution), with the
+/// exact min/max from the embedded RunningStats clamping the edges.
+class Histogram {
+ public:
+  /// `lo`/`hi` bound the log-spaced bucket range; samples <= lo land in the
+  /// underflow bucket (this is where zero and negative samples go), samples
+  /// > hi in the overflow bucket. Merging requires identical configs.
+  explicit Histogram(double lo = 1e-6, double hi = 1e6, int buckets = 128);
+
+  void add(double x);
+  /// Fold another histogram in (same config; asserts otherwise).
+  void merge(const Histogram& other);
+
+  /// Approximate value at quantile q in [0, 1]: the geometric midpoint of
+  /// the first bucket whose cumulative count reaches q, clamped to the
+  /// exact observed [min, max]. Returns 0 when empty.
+  double percentile(double q) const;
+  double p50() const { return percentile(0.50); }
+  double p90() const { return percentile(0.90); }
+  double p99() const { return percentile(0.99); }
+
+  const RunningStats& stats() const { return stats_; }
+  std::int64_t count() const { return stats_.count(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  std::int64_t bucket_count(int b) const {
+    return counts_[static_cast<std::size_t>(b)];
+  }
+
+  /// "n=12 mean=0.4 p50=0.2 p90=1.1 p99=2.0" — for flow summaries.
+  std::string to_string() const;
+
+ private:
+  int bucket_of(double x) const;
+
+  double lo_ = 1e-6;
+  double hi_ = 1e6;
+  double log_lo_ = 0.0;
+  double inv_log_step_ = 0.0;  // interior buckets per unit of ln(x)
+  RunningStats stats_;
+  // counts_[0] = underflow (x <= lo), counts_.back() = overflow (x > hi).
+  std::vector<std::int64_t> counts_;
+};
+
 /// Per-worker statistics shards, merged on demand. Shard `w` must only be
 /// written from the worker that owns index w; merged() and shard() reads
 /// require the workers to have quiesced (the scheduler reads between

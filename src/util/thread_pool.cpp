@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/log.hpp"
+
 namespace rapids {
 
 ThreadPool::ThreadPool(int workers) : workers_(std::max(workers, 1)) {
@@ -38,6 +40,9 @@ void ThreadPool::worker_loop(int worker) {
       job = job_;
     }
     try {
+      // Scope the worker identity around the job so log lines and trace
+      // events emitted from inside fn() carry the worker index.
+      const WorkerIdScope scope(worker);
       (*job)(worker);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -52,6 +57,7 @@ void ThreadPool::worker_loop(int worker) {
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
   if (workers_ == 1) {
+    const WorkerIdScope scope(0);
     fn(0);
     return;
   }
@@ -64,6 +70,7 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
   }
   start_cv_.notify_all();
   try {
+    const WorkerIdScope scope(0);
     fn(0);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -1,0 +1,76 @@
+// bench_diff — standalone regression differ for BENCH_*.json / metrics
+// snapshots (same engine as `rapids bench-diff`; this binary exists so CI
+// and scripts can diff without linking the full CLI).
+//
+//   bench_diff <baseline.json> <current.json>
+//              [--fail-above pattern=pct]... [--fail-below pattern=pct]...
+//              [--all]
+//
+// Exit codes: 0 = ok, 1 = at least one threshold rule violated,
+// 2 = usage / input error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/bench_diff.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+std::string read_file_text(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw rapids::InputError("cannot read " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::cerr << "usage: bench_diff <baseline.json> <current.json>\n"
+               "         [--fail-above pattern=pct]... "
+               "[--fail-below pattern=pct]... [--all]\n"
+               "  e.g. bench_diff BENCH_engine.json bench_now.json \\\n"
+               "         --fail-below probes_per_sec*=40 --fail-above time.*=25\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    std::vector<std::string> files;
+    std::vector<rapids::DiffRule> rules;
+    bool only_changed = true;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= args.size()) {
+          throw rapids::InputError("missing value after " + a);
+        }
+        return args[++i];
+      };
+      if (a == "--fail-above") {
+        rules.push_back(rapids::parse_diff_rule(next(), /*above=*/true));
+      } else if (a == "--fail-below") {
+        rules.push_back(rapids::parse_diff_rule(next(), /*above=*/false));
+      } else if (a == "--all") {
+        only_changed = false;
+      } else if (!a.empty() && a[0] == '-') {
+        return usage();
+      } else {
+        files.push_back(a);
+      }
+    }
+    if (files.size() != 2) return usage();
+    const rapids::DiffReport report = rapids::diff_metrics_json(
+        read_file_text(files[0]), read_file_text(files[1]), rules);
+    rapids::write_diff_report(std::cout, report, rules, only_changed);
+    return report.violations > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -6,7 +6,8 @@
 //          [--out out.blif] [--place-out placement.txt] [--no-verify]
 //          [--sat-verify] [--paranoid] [--sat-session|--no-sat-session]
 //          [--no-incremental] [--extract-diff] [--no-delta-sync]
-//          [--no-prune-cache]
+//          [--no-prune-cache] [--trace out.json] [--metrics-json out.json]
+//          [--provenance out.json]
 //       Map, place, optimize and report; optionally write results.
 //       gen:<gates>[:seed] runs the synthetic large-circuit profile
 //       (mixed arithmetic/control/ecc blocks; see src/gen/large.hpp).
@@ -23,6 +24,25 @@
 //       --no-delta-sync re-clones probe replicas every epoch instead of
 //       shipping O(dirty) deltas; --no-prune-cache re-enumerates pruned
 //       swap lists every phase. Both are A/B levers: same netlist.
+//       --trace writes a Chrome trace-event JSON of the run (one track per
+//       probe worker; load in Perfetto or chrome://tracing), --metrics-json
+//       a machine-readable counter/gauge/histogram snapshot, --provenance
+//       the per-move decision stream (probe win -> arbitration verdict ->
+//       commit/rollback -> proof verdict). All three only OBSERVE: the
+//       optimized netlist is byte-identical with them on or off.
+//
+//   rapids bench-diff <baseline.json> <current.json>
+//          [--fail-above pattern=pct]... [--fail-below pattern=pct]...
+//          [--all]
+//       Compare two metrics/BENCH_*.json snapshots: every numeric leaf is
+//       projected onto its dotted path and diffed. Threshold rules turn
+//       deltas into failures (exit 1): --fail-above time.*=10 fails when a
+//       matching value grew more than 10%, --fail-below rate.*=40 when it
+//       dropped more than 40%. --all prints unchanged keys too.
+//
+//   rapids trace-check <trace.json>
+//       Validate a --trace output against the Chrome trace-event schema
+//       (used by CI's trace-smoke job); prints span categories and tracks.
 //
 //   rapids fuzz [--seed N] [--iters N] [--threads N] [--max-gates N]
 //          [--max-inputs N] [--no-sat] [--paranoid-diff] [--extract-diff]
@@ -45,7 +65,9 @@
 //   rapids list
 //       Show the built-in benchmark suite.
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -62,6 +84,10 @@
 #include "opt/fanout_opt.hpp"
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
+#include "trace/bench_diff.hpp"
+#include "trace/metrics.hpp"
+#include "trace/provenance.hpp"
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -123,6 +149,7 @@ int cmd_flow(const std::vector<std::string>& args) {
   FlowOptions options;
   bool buffers = false;
   std::string out_blif, out_place;
+  std::string out_trace, out_metrics, out_provenance;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -173,6 +200,12 @@ int cmd_flow(const std::vector<std::string>& args) {
       options.opt.delta_replica_sync = false;
     } else if (a == "--no-prune-cache") {
       options.opt.prune_cache = false;
+    } else if (a == "--trace") {
+      out_trace = next();
+    } else if (a == "--metrics-json") {
+      out_metrics = next();
+    } else if (a == "--provenance") {
+      out_provenance = next();
     } else if (!a.empty() && a[0] == '-') {
       throw InputError("unknown flag: " + a);
     } else {
@@ -180,6 +213,14 @@ int cmd_flow(const std::vector<std::string>& args) {
     }
   }
   if (target.empty()) throw InputError("flow: no circuit given");
+
+  // Observation-only instrumentation: enabled before any flow stage runs so
+  // map/place land on the trace too. Neither recorder feeds anything back
+  // into the optimization — the netlist is byte-identical with them off.
+  if (!out_trace.empty()) {
+    Tracer::instance().enable(std::max(options.opt.threads, 1));
+  }
+  if (!out_provenance.empty()) ProvenanceLog::instance().enable();
 
   const CellLibrary lib = builtin_library_035();
   const Network src = load_circuit(target);
@@ -208,9 +249,19 @@ int cmd_flow(const std::vector<std::string>& args) {
             << r.partition.groups_reused << " probe groups served from cache, "
             << r.partition.full_rebuilds << " full rebuild"
             << (r.partition.full_rebuilds == 1 ? "" : "s") << "\n";
-  std::cout << "phases: setup " << r.seconds_setup << " s, probe " << r.seconds_probe
-            << " s, arbitrate " << r.seconds_arbitrate << " s, commit "
-            << r.seconds_commit << " s, sync " << r.seconds_sync << " s\n";
+  // Every bucket is disjoint (sync is quoted inside probe, not added), so
+  // the sum tracks the optimize total; the optimizer itself warns when the
+  // unattributed remainder exceeds 5%.
+  std::cout << "phases: setup " << r.seconds_setup << " s, groups "
+            << r.seconds_groups << " s, probe " << r.seconds_probe
+            << " s (incl. sync " << r.seconds_sync << " s), arbitrate "
+            << r.seconds_arbitrate << " s, commit " << r.seconds_commit
+            << " s, finalize " << r.seconds_finalize << " s, other "
+            << r.seconds_unattributed << " s = " << r.seconds << " s\n";
+  if (r.gain_hist.count() > 0) {
+    std::cout << "gains: committed-move gain (ns) " << r.gain_hist.to_string()
+              << "\n";
+  }
   std::cout << "scale: " << r.canonicalize_calls << " canonicalize calls / "
             << r.gates_canonicalized << " gates re-sorted after setup, "
             << r.candidates_enumerated << " swap candidates enumerated, "
@@ -232,6 +283,46 @@ int cmd_flow(const std::vector<std::string>& args) {
                 << r.solver_reduce_dbs << " reduce_db rounds";
     }
     std::cout << ")\n";
+    if (r.proof_conflict_hist.count() > 0) {
+      std::cout << "proof-conflicts: per-move " << r.proof_conflict_hist.to_string()
+                << "\n";
+    }
+  }
+
+  if (!out_trace.empty()) {
+    Tracer& tracer = Tracer::instance();
+    tracer.disable();  // workers are quiescent; freeze before exporting
+    std::ofstream os(out_trace);
+    if (!os) throw InputError("cannot write " + out_trace);
+    tracer.write_chrome_trace(os);
+    std::cout << "wrote " << out_trace << " (" << tracer.recorded()
+              << " events, " << tracer.dropped() << " dropped)\n";
+  }
+  if (!out_metrics.empty()) {
+    MetricsRegistry reg;
+    reg.set_label("circuit", target);
+    reg.set_label("mode", to_string(mode));
+    reg.set_label("threads", std::to_string(r.threads));
+    collect_flow_metrics(reg, r);
+    std::ofstream os(out_metrics);
+    if (!os) throw InputError("cannot write " + out_metrics);
+    reg.write_json(os);
+    std::cout << "wrote " << out_metrics << " (" << reg.size() << " metrics)\n";
+  }
+  if (!out_provenance.empty()) {
+    ProvenanceLog& prov = ProvenanceLog::instance();
+    prov.disable();
+    std::string diag;
+    const int chains = prov.resolve_committed_chains(&diag);
+    if (chains < 0) {
+      log_warn() << "provenance self-check failed: " << diag;
+    }
+    std::ofstream os(out_provenance);
+    if (!os) throw InputError("cannot write " + out_provenance);
+    prov.write_json(os);
+    std::cout << "wrote " << out_provenance << " (" << prov.records().size()
+              << " events, " << (chains < 0 ? 0 : chains)
+              << " committed chains resolved)\n";
   }
 
   if (buffers) {
@@ -295,6 +386,64 @@ int cmd_table1(const std::vector<std::string>& args) {
   return 0;
 }
 
+std::string read_file_text(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw InputError("cannot read " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+int cmd_bench_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  std::vector<DiffRule> rules;
+  bool only_changed = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) throw InputError("missing value after " + a);
+      return args[++i];
+    };
+    if (a == "--fail-above") {
+      rules.push_back(parse_diff_rule(next(), /*above=*/true));
+    } else if (a == "--fail-below") {
+      rules.push_back(parse_diff_rule(next(), /*above=*/false));
+    } else if (a == "--all") {
+      only_changed = false;
+    } else if (!a.empty() && a[0] == '-') {
+      throw InputError("unknown bench-diff flag: " + a);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2) {
+    throw InputError("bench-diff: expected exactly two JSON files, got " +
+                     std::to_string(files.size()));
+  }
+  const DiffReport report = diff_metrics_json(read_file_text(files[0]),
+                                              read_file_text(files[1]), rules);
+  write_diff_report(std::cout, report, rules, only_changed);
+  return report.violations > 0 ? 1 : 0;
+}
+
+int cmd_trace_check(const std::vector<std::string>& args) {
+  if (args.size() != 1) throw InputError("trace-check: expected one trace file");
+  std::string diag;
+  std::vector<std::string> cats;
+  std::vector<std::int64_t> tids;
+  if (!validate_chrome_trace(read_file_text(args[0]), &diag, &cats, &tids)) {
+    std::cerr << "trace-check: INVALID: " << diag << "\n";
+    return 1;
+  }
+  std::cout << "trace-check: ok — " << tids.size() << " tracks, "
+            << cats.size() << " span categories (";
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    std::cout << (i > 0 ? ", " : "") << cats[i];
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
 int cmd_fuzz(const std::vector<std::string>& args) {
   FuzzOptions options;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -333,23 +482,42 @@ int cmd_fuzz(const std::vector<std::string>& args) {
 }
 
 int usage() {
-  std::cerr << "usage: rapids <flow|symmetry|table1|fuzz|list> [args]\n"
+  std::cerr << "usage: rapids [--log-level L] "
+               "<flow|symmetry|table1|fuzz|bench-diff|trace-check|list> [args]\n"
                "  rapids flow c432 --mode gsg+gs --threads 4 --out c432_opt.blif\n"
                "  rapids flow c499 --sat-verify --paranoid\n"
+               "  rapids flow c499 --trace t.json --metrics-json m.json\n"
+               "  rapids bench-diff old.json new.json --fail-below "
+               "rate.probes_per_sec=40\n"
+               "  rapids trace-check t.json\n"
                "  rapids symmetry k2\n"
                "  rapids table1 --quick\n"
                "  rapids fuzz --seed 7 --iters 25 --threads 3\n"
-               "  rapids list\n";
+               "  rapids list\n"
+               "  --log-level debug|info|warn|error|off (anywhere; default warn)\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> all(argv + 1, argv + argc);
   try {
+    // --log-level is global (any position, any subcommand): strip it here
+    // and set the process-wide logger before dispatch.
+    for (std::size_t i = 0; i < all.size();) {
+      if (all[i] == "--log-level") {
+        if (i + 1 >= all.size()) throw InputError("missing value after --log-level");
+        Logger::instance().set_level(parse_log_level(all[i + 1]));
+        all.erase(all.begin() + static_cast<std::ptrdiff_t>(i),
+                  all.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      } else {
+        ++i;
+      }
+    }
+    if (all.empty()) return usage();
+    const std::string cmd = all[0];
+    std::vector<std::string> args(all.begin() + 1, all.end());
     if (cmd == "list") return cmd_list();
     if (cmd == "symmetry") {
       if (args.empty()) return usage();
@@ -358,6 +526,8 @@ int main(int argc, char** argv) {
     if (cmd == "flow") return cmd_flow(args);
     if (cmd == "table1") return cmd_table1(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
+    if (cmd == "bench-diff") return cmd_bench_diff(args);
+    if (cmd == "trace-check") return cmd_trace_check(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
