@@ -94,11 +94,51 @@ struct ThreadPoint {
   double commit_efficiency = 0.0;
   int committed = 0;
   // Per-round per-worker probe-count distribution (load balance of the
-  // conflict sharding; from the scheduler's ShardedStats).
+  // conflict sharding; from the scheduler's ShardedStats). `skew` is
+  // max/mean — 1.0 is perfect balance, and the weight-based sharding is
+  // asserted to keep it under kMaxLoadSkew (count-based sharding measured
+  // 7x on c1908).
   double worker_probes_mean = 0.0;
   double worker_probes_min = 0.0;
   double worker_probes_max = 0.0;
+  double worker_probes_skew = 0.0;
+  // Pipelined speculation over a converging run_round loop: replica probes
+  // launched behind arbitration and group results reused vs discarded.
+  // committed_speculative re-runs the same loop with speculation on and
+  // must equal committed_loop (the barrier run) — the bench-level
+  // determinism assertion.
+  std::uint64_t speculative_probes = 0;
+  std::uint64_t speculation_hits = 0;
+  std::uint64_t speculation_wasted = 0;
+  int committed_loop = 0;
+  int committed_speculative = 0;
 };
+
+// Upper bound on per-round worker probe skew (max/mean) the sharding must
+// hold. Weight-balanced dealing keeps real circuits near 1; the bound
+// leaves room for rounds whose largest atomic component is genuinely
+// indivisible.
+constexpr double kMaxLoadSkew = 3.0;
+
+/// run_round until convergence (two consecutive zero-commit rounds),
+/// regenerating the candidate stream each round like the optimizer does.
+/// With `speculate` on, every round hints its own policy so the follow-up
+/// round can harvest; the final zero-commit rounds are the guaranteed hits.
+int converge_rounds(RewireEngine& engine, const CellLibrary& lib,
+                    ParallelRewireScheduler& sched, int max_rounds) {
+  const SpeculationHint hint{ProbePolicy::MinCritical, 1e-6};
+  int total = 0;
+  int dry = 0;
+  for (int round = 0; round < max_rounds && dry < 2; ++round) {
+    const std::vector<ProbeGroup> groups = build_groups(engine, lib);
+    if (groups.empty()) break;
+    const int c = sched.run_round(groups, ProbePolicy::MinCritical, 1e-6, &hint);
+    total += c;
+    dry = c == 0 ? dry + 1 : 0;
+  }
+  sched.drain_speculation();
+  return total;
+}
 
 struct CircuitReport {
   std::string name;
@@ -170,6 +210,20 @@ CircuitReport measure(const std::string& name, const CellLibrary& lib,
       pt.worker_probes_mean = dist.mean();
       pt.worker_probes_min = dist.min();
       pt.worker_probes_max = dist.max();
+      pt.worker_probes_skew =
+          dist.mean() > 0.0 ? dist.max() / dist.mean() : 1.0;
+      // Load-skew assertion: the weight-balanced sharding must spread probe
+      // work across workers. A regression to count-based balance shows up
+      // here (c1908 at 8 threads measured min 21 / max 150 probes per
+      // round before weights).
+      if (threads > 1 && pt.worker_probes_skew > kMaxLoadSkew) {
+        std::ostringstream msg;
+        msg << name << " threads=" << threads << ": worker probe skew "
+            << pt.worker_probes_skew << " exceeds " << kMaxLoadSkew
+            << " (mean " << pt.worker_probes_mean << ", max "
+            << pt.worker_probes_max << ")";
+        throw std::runtime_error(msg.str());
+      }
     }
 
     // Commit efficiency: one arbitrated round from the same baseline.
@@ -181,6 +235,43 @@ CircuitReport measure(const std::string& name, const CellLibrary& lib,
           accepted > 0 ? static_cast<double>(pt.committed) /
                              static_cast<double>(accepted)
                        : 1.0;
+    }
+
+    // Pipelined speculation: the same converging round loop with the
+    // barrier scheduler and the speculative one, from identical baselines.
+    // Speculation may only change WHEN probes run — the committed totals
+    // must be identical.
+    {
+      Network bnet = base.net.clone();
+      Placement bpl = base.pl;
+      Sta bsta(bnet, lib, bpl);
+      RewireEngine bengine(bnet, bpl, lib, bsta);
+      SchedulerOptions bopt;
+      bopt.threads = threads;
+      bopt.speculate = false;
+      ParallelRewireScheduler barrier(bengine, bopt);
+      pt.committed_loop = converge_rounds(bengine, lib, barrier, 40);
+
+      Network snet = base.net.clone();
+      Placement spl = base.pl;
+      Sta ssta(snet, lib, spl);
+      RewireEngine sengine(snet, spl, lib, ssta);
+      SchedulerOptions sspec;
+      sspec.threads = threads;
+      sspec.speculate = true;
+      ParallelRewireScheduler spec(sengine, sspec);
+      pt.committed_speculative = converge_rounds(sengine, lib, spec, 40);
+
+      pt.speculative_probes = spec.stats().speculative_probes;
+      pt.speculation_hits = spec.stats().speculation_hits;
+      pt.speculation_wasted = spec.stats().speculation_wasted;
+      if (pt.committed_speculative != pt.committed_loop) {
+        std::ostringstream msg;
+        msg << name << " threads=" << threads << ": speculative run committed "
+            << pt.committed_speculative << " moves vs barrier "
+            << pt.committed_loop << " — speculation changed arbitration";
+        throw std::runtime_error(msg.str());
+      }
     }
     rep.points.push_back(pt);
   }
@@ -256,7 +347,12 @@ int main(int argc, char** argv) {
            << ", \"worker_probes_per_round\": {\"mean\": "
            << static_cast<long long>(p.worker_probes_mean) << ", \"min\": "
            << static_cast<long long>(p.worker_probes_min) << ", \"max\": "
-           << static_cast<long long>(p.worker_probes_max) << "}}";
+           << static_cast<long long>(p.worker_probes_max) << ", \"skew\": "
+           << p.worker_probes_skew << "},\n        \"speculation\": {\"probes\": "
+           << p.speculative_probes << ", \"hits\": " << p.speculation_hits
+           << ", \"wasted\": " << p.speculation_wasted
+           << ", \"committed_loop\": " << p.committed_loop
+           << ", \"committed_speculative\": " << p.committed_speculative << "}}";
     }
     json << "\n     ]}" << (i + 1 < reports.size() ? "," : "") << "\n";
   }

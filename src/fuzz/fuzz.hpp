@@ -47,6 +47,11 @@ struct FuzzOptions {
   /// byte-identical to a full-rebuild-per-commit flow. Failures shrink to
   /// minimal reproducers like every other kind.
   bool extract_diff = false;
+  /// Speculation differential: additionally run the parallel flow with the
+  /// pipelined speculative scheduler disabled (the barrier scheduler) and
+  /// require a byte-identical netlist plus identical committed-move counts
+  /// — speculation may change when probes run, never which moves win.
+  bool speculate_diff = false;
   /// Shrink failing circuits to minimal reproducers.
   bool shrink = true;
   /// Budget for the shrinker, in flow re-runs per failure.
@@ -60,7 +65,7 @@ struct FuzzFailure {
   int iteration = 0;
   std::uint64_t circuit_seed = 0;
   std::string mode;        // optimizer mode under test
-  std::string kind;        // "equivalence" | "determinism" | "exception"
+  std::string kind;  // "equivalence" | "determinism" | "speculate" | ...
   std::string detail;
   std::string repro_path;  // minimized BLIF (empty if not written)
 };

@@ -86,6 +86,14 @@ struct OptimizerOptions {
   /// Off = the pre-delta full-clone path, kept as an A/B lever; the final
   /// netlist is bit-identical either way.
   bool delta_replica_sync = true;
+  /// Pipelined speculative rounds in the parallel scheduler (default on):
+  /// while the main thread arbitrates round N, the spawned workers probe
+  /// the next round's candidates against their replicas; the result is
+  /// reused only when provably identical to a fresh probe (same epoch, Sta
+  /// state version, policy and move list). Off = the barrier scheduler,
+  /// kept as an A/B lever; the final netlist is bit-identical either way.
+  /// Moot at threads == 1.
+  bool speculate = true;
   /// Slack-epoch candidate cache (default on): serve arrival-gap-pruned
   /// swap lists from the per-slot cache while every relevant driver's
   /// arrival stamp is unchanged, instead of re-enumerating each phase. The
@@ -180,6 +188,13 @@ struct OptimizerResult {
   std::uint64_t sched_conflicted = 0;
   std::uint64_t sched_revalidation_rejects = 0;
   std::uint64_t sched_stale_cross_sg = 0;
+  /// Pipelined-speculation ledger: replica probes launched behind
+  /// arbitration, and speculated groups whose results were reused (hits)
+  /// vs discarded (wasted). hits / (hits + wasted) is the prediction
+  /// accuracy; all zero at --threads 1 or --no-speculate.
+  std::uint64_t sched_speculative_probes = 0;
+  std::uint64_t sched_speculation_hits = 0;
+  std::uint64_t sched_speculation_wasted = 0;
   /// Distribution of committed-move critical gains (ns) and of per-proof
   /// SAT conflict counts (paranoid only) — p50/p90/p99 in the flow summary.
   Histogram gain_hist;

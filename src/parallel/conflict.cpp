@@ -126,8 +126,18 @@ ConflictSignature group_signature(const Network& net, const GisgPartition* part,
 
 std::vector<int> assign_shards(const std::vector<ConflictSignature>& sigs,
                                int num_shards) {
+  return assign_shards(sigs, {}, num_shards);
+}
+
+std::vector<int> assign_shards(const std::vector<ConflictSignature>& sigs,
+                               const std::vector<std::uint64_t>& weights,
+                               int num_shards) {
   const int n = static_cast<int>(sigs.size());
   num_shards = std::max(num_shards, 1);
+  RAPIDS_ASSERT(weights.empty() || weights.size() == sigs.size());
+  const auto weight_of = [&](int g) -> std::uint64_t {
+    return weights.empty() ? 1 : weights[static_cast<std::size_t>(g)];
+  };
 
   // Union-find over groups, keyed by touched gate: the first group to touch
   // a gate owns it; later touches union into the owner. Linear in total
@@ -171,41 +181,53 @@ std::vector<int> assign_shards(const std::vector<ConflictSignature>& sigs,
   std::vector<int> shard_of(static_cast<std::size_t>(n), 0);
   if (num_shards == 1) return shard_of;
 
-  std::vector<int> comp_size(static_cast<std::size_t>(n), 0);
-  for (int g = 0; g < n; ++g) ++comp_size[static_cast<std::size_t>(find(g))];
+  std::vector<int> comp_groups(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> comp_weight(static_cast<std::size_t>(n), 0);
+  std::uint64_t total_weight = 0;
+  for (int g = 0; g < n; ++g) {
+    const std::size_t root = static_cast<std::size_t>(find(g));
+    ++comp_groups[root];
+    comp_weight[root] += weight_of(g);
+    total_weight += weight_of(g);
+  }
 
-  // Components above one shard's fair share would starve the pool if kept
-  // atomic (a connected netlist usually chains most groups into one
-  // component); their groups are dealt round-robin instead. The floor of 4
-  // keeps tiny candidate sets — where locality is all that matters —
-  // atomic.
-  const int split_above = std::max(4, n / num_shards);
+  // Components above one shard's fair share of WEIGHT would starve the
+  // pool if kept atomic (a connected netlist usually chains most groups
+  // into one component); their groups are dealt greedily onto the
+  // least-weighted shard instead — weight, not group count, is what the
+  // workers actually pay per probe. The >4-group floor keeps tiny
+  // candidate sets — where locality is all that matters — atomic. With
+  // unit weights this reduces exactly to the old count-based rule.
+  const std::uint64_t fair_weight =
+      total_weight / static_cast<std::uint64_t>(num_shards);
 
   // Smaller components stay atomic and go, in order of their smallest
-  // group index, onto the currently least-loaded shard (ties: lowest
-  // shard). Everything here is a pure function of (sigs, num_shards).
+  // group index, onto the currently least-weighted shard (ties: lowest
+  // shard). Everything here is a pure function of (sigs, weights,
+  // num_shards).
   std::vector<int> comp_shard(static_cast<std::size_t>(n), -1);
-  std::vector<int> load(static_cast<std::size_t>(num_shards), 0);
-  int round_robin = 0;
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(num_shards), 0);
+  const auto least_loaded = [&] {
+    int s = 0;
+    for (int k = 1; k < num_shards; ++k) {
+      if (load[static_cast<std::size_t>(k)] < load[static_cast<std::size_t>(s)]) {
+        s = k;
+      }
+    }
+    return s;
+  };
   for (int g = 0; g < n; ++g) {
-    const int root = find(g);
-    if (comp_size[static_cast<std::size_t>(root)] > split_above) {
-      const int s = round_robin;
-      round_robin = (round_robin + 1) % num_shards;
+    const std::size_t root = static_cast<std::size_t>(find(g));
+    if (comp_groups[root] > 4 && comp_weight[root] > fair_weight) {
+      const int s = least_loaded();
       shard_of[static_cast<std::size_t>(g)] = s;
-      ++load[static_cast<std::size_t>(s)];
+      load[static_cast<std::size_t>(s)] += weight_of(g);
       continue;
     }
-    int& s = comp_shard[static_cast<std::size_t>(root)];
+    int& s = comp_shard[root];
     if (s < 0) {
-      s = 0;
-      for (int k = 1; k < num_shards; ++k) {
-        if (load[static_cast<std::size_t>(k)] < load[static_cast<std::size_t>(s)]) {
-          s = k;
-        }
-      }
-      load[static_cast<std::size_t>(s)] +=
-          comp_size[static_cast<std::size_t>(root)];
+      s = least_loaded();
+      load[static_cast<std::size_t>(s)] += comp_weight[root];
     }
     shard_of[static_cast<std::size_t>(g)] = s;
   }

@@ -57,12 +57,24 @@ ConflictSignature group_signature(const Network& net, const GisgPartition* part,
 /// canonical order — UNLESS a component is so large that atomicity would
 /// starve the pool (placed netlists are connected: fanout cones chain most
 /// groups into one giant component). Oversized components (above one
-/// shard's fair share of groups) are split round-robin across all shards.
-/// That split is safe: workers probe isolated replicas and the arbiter
+/// shard's fair share of probe WEIGHT) are split: their groups are dealt in
+/// canonical group order onto the currently least-weighted shard. That
+/// split is safe: workers probe isolated replicas and the arbiter
 /// re-validates every winner against the live state, so component
 /// atomicity is a locality/ordering heuristic, never a correctness
-/// requirement. Deterministic: depends only on the signatures and
+/// requirement. Deterministic: depends only on the signatures, weights and
 /// num_shards, never on thread scheduling.
+///
+/// `weights[g]` is group g's probe cost (the scheduler passes the move
+/// count — each move is one replica probe). Balancing on weight, not group
+/// count, is what keeps per-worker probe totals even when group sizes are
+/// skewed (one supergate with 100 swap pairs next to many 1-resize
+/// groups). Pass an empty vector for unit weights.
+std::vector<int> assign_shards(const std::vector<ConflictSignature>& sigs,
+                               const std::vector<std::uint64_t>& weights,
+                               int num_shards);
+
+/// Unit-weight convenience overload (every group counts 1).
 std::vector<int> assign_shards(const std::vector<ConflictSignature>& sigs,
                                int num_shards);
 

@@ -21,6 +21,17 @@ void ProbeContext::adopt_partition_from(RewireEngine& source) {
   // read is race-free.
   engine_->adopt_partition(source.partition());
   partition_adopted_ = true;
+  partition_generation_ = source.partition().generation;
+}
+
+bool ProbeContext::in_sync_with(RewireEngine& source) const {
+  return has_state_ && epoch_ == source.epoch() &&
+         sta_version_ == source.sta().state_version();
+}
+
+bool ProbeContext::partition_current(RewireEngine& source) const {
+  return partition_adopted_ &&
+         partition_generation_ == source.partition().generation;
 }
 
 void ProbeContext::sync(RewireEngine& source, bool with_partition) {
@@ -76,10 +87,16 @@ void ProbeContext::sync(RewireEngine& source, bool with_partition) {
       // independently could batch re-extractions differently and drift the
       // slot generation stamps the candidates are pinned to).
       partition_adopted_ = false;
+      // Count only epoch-advancing replays: a same-epoch repeat call does no
+      // work and must not inflate the sync counters (metrics-json promises
+      // delta_syncs == journal replays, delta_commits == epochs spanned).
+      ++sync_stats_.delta_syncs;
     }
-    ++sync_stats_.delta_syncs;
     sync_span.set_arg("delta", 1);
-    if (with_partition && !partition_adopted_) adopt_partition_from(source);
+    // Re-adopt on a stale GENERATION, not just a missing adoption: a live
+    // partition rebuild inside this epoch renumbers slots (see
+    // partition_current()).
+    if (with_partition && !partition_current(source)) adopt_partition_from(source);
     sync_stats_.seconds += timer.seconds();
     return;
   }

@@ -91,10 +91,27 @@ class ProbeContext {
   /// True when this replica reflects live epoch `epoch`.
   bool synced_to(std::uint64_t epoch) const { return has_state_ && epoch_ == epoch; }
 
+  /// True when this replica reflects the live engine's CURRENT state — the
+  /// commit epoch AND the Sta state version. The epoch alone is not enough:
+  /// an out-of-band run_full (journal restart, delta-sync fallback) rebuilds
+  /// the live timing state without advancing the commit epoch, so a replica
+  /// adopted "late" in the same epoch would otherwise keep pre-restart
+  /// arrivals and probe against stale timing. The scheduler's skip-sync fast
+  /// path must use this, never bare synced_to().
+  bool in_sync_with(RewireEngine& source) const;
+
   /// Late partition adoption for a replica synced without one (a cross-sg
   /// round following a plain round in the same epoch).
   void adopt_partition_from(RewireEngine& source);
   bool partition_adopted() const { return partition_adopted_; }
+
+  /// True when the adopted partition copy still matches the live one.
+  /// partition_adopted() alone is not enough: invalidate_partition() + a
+  /// rebuild renumbers slots and advances the partition's monotone
+  /// generation stamp WITHOUT advancing the commit epoch, so a replica that
+  /// adopted before the rebuild would resolve CrossSg slots against stale
+  /// numbering. The generation stamp is never reset, so equality is exact.
+  bool partition_current(RewireEngine& source) const;
 
   /// The replica engine (valid after the first sync). Probe through
   /// probe_with(scratch(), move) — commits on a replica are meaningless and
@@ -138,6 +155,10 @@ class ProbeContext {
   std::uint64_t epoch_ = 0;
   bool has_state_ = false;
   bool partition_adopted_ = false;
+  /// Generation stamp of the live partition at the last adoption; compared
+  /// against the live stamp to detect mid-epoch rebuilds (see
+  /// partition_current()).
+  std::uint64_t partition_generation_ = 0;
   bool delta_sync_ = true;
   /// Source Sta state version captured at the last full sync; a mismatch
   /// (the live side ran run_full) forces the next sync down the full path.

@@ -172,6 +172,9 @@ void collect_flow_metrics(MetricsRegistry& reg, const OptimizerResult& r) {
   reg.add_counter("scheduler.conflicted", r.sched_conflicted);
   reg.add_counter("scheduler.revalidation_rejects", r.sched_revalidation_rejects);
   reg.add_counter("scheduler.stale_cross_sg", r.sched_stale_cross_sg);
+  reg.add_counter("scheduler.speculative_probes", r.sched_speculative_probes);
+  reg.add_counter("scheduler.speculation_hits", r.sched_speculation_hits);
+  reg.add_counter("scheduler.speculation_wasted", r.sched_speculation_wasted);
 
   // Replica sync.
   reg.add_counter("sync.full_syncs", r.replica_full_syncs);

@@ -1,0 +1,546 @@
+// Pipelined speculative probe rounds: ThreadPool async API, weight-balanced
+// conflict sharding, replica staleness predicates (mid-epoch run_full and
+// partition rebuilds), exact replica-sync counters, speculation hit/waste
+// accounting — and the headline guarantee that speculation changes WHEN
+// probes run, never which moves win: threads {1,2,4} x speculate {on,off}
+// produce byte-identical netlists and identical provenance commit chains.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/rewire_engine.hpp"
+#include "flow/flow.hpp"
+#include "gen/large.hpp"
+#include "io/blif_writer.hpp"
+#include "parallel/conflict.hpp"
+#include "parallel/probe_context.hpp"
+#include "parallel/scheduler.hpp"
+#include "place/placer.hpp"
+#include "sym/gisg.hpp"
+#include "test_helpers.hpp"
+#include "timing/sta.hpp"
+#include "trace/metrics.hpp"
+#include "trace/provenance.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rapids {
+namespace {
+
+using rapids::testing::lib035;
+
+// --- thread pool async API ---------------------------------------------------
+
+TEST(ThreadPool, AsyncJobRunsOnSpawnedWorkersOnly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  pool.begin_async([&](int w) { ++hits[static_cast<std::size_t>(w)]; });
+  pool.finish_async();
+  // Worker 0 is the calling thread — it must stay free for arbitration.
+  EXPECT_EQ(hits[0].load(), 0);
+  for (int w = 1; w < 4; ++w) EXPECT_EQ(hits[static_cast<std::size_t>(w)].load(), 1);
+}
+
+TEST(ThreadPool, AsyncOverlapsCallerWorkAndPoolSurvives) {
+  ThreadPool pool(3);
+  std::atomic<int> async_hits{0};
+  pool.begin_async([&](int) { ++async_hits; });
+  // The calling thread is free while the job runs (this is the pipeline).
+  int caller_work = 0;
+  for (int i = 0; i < 1000; ++i) caller_work += i;
+  EXPECT_EQ(caller_work, 499500);
+  pool.finish_async();
+  EXPECT_EQ(async_hits.load(), 2);
+  // finish without a begin is a no-op; the pool still runs barrier rounds.
+  pool.finish_async();
+  std::atomic<int> run_hits{0};
+  pool.run([&](int) { ++run_hits; });
+  EXPECT_EQ(run_hits.load(), 3);
+}
+
+TEST(ThreadPool, AsyncIsNoOpWithSingleWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> hits{0};
+  pool.begin_async([&](int) { ++hits; });
+  pool.finish_async();
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(ThreadPool, AsyncPropagatesWorkerExceptions) {
+  ThreadPool pool(3);
+  pool.begin_async([](int w) {
+    if (w == 2) throw std::runtime_error("speculative boom");
+  });
+  EXPECT_THROW(pool.finish_async(), std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ++ok; });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+// --- weight-balanced conflict sharding ---------------------------------------
+
+TEST(Conflict, WeightedSplitBalancesCandidateWeightNotGroupCount) {
+  // One oversized component (8 groups chained through gate 0) where group 0
+  // carries nearly all the probe weight. Count-based dealing would put 4
+  // groups — including the heavy one — on one shard (103 vs 4 probes, the
+  // c1908 skew in miniature). Weight-based dealing isolates the heavy group.
+  std::vector<ConflictSignature> sigs(8);
+  for (int g = 0; g < 8; ++g) {
+    sigs[static_cast<std::size_t>(g)].touched = {0u, static_cast<GateId>(g + 1)};
+  }
+  std::vector<std::uint64_t> weights = {100, 1, 1, 1, 1, 1, 1, 1};
+  const std::vector<int> shard = assign_shards(sigs, weights, 2);
+  for (int g = 2; g < 8; ++g) EXPECT_EQ(shard[static_cast<std::size_t>(g)], shard[1]);
+  EXPECT_NE(shard[0], shard[1]);
+  std::vector<std::uint64_t> load(2, 0);
+  for (int g = 0; g < 8; ++g) {
+    load[static_cast<std::size_t>(shard[static_cast<std::size_t>(g)])] +=
+        weights[static_cast<std::size_t>(g)];
+  }
+  EXPECT_EQ(std::max(load[0], load[1]), 100u);  // heavy group alone, not 103
+  // Deterministic.
+  EXPECT_EQ(shard, assign_shards(sigs, weights, 2));
+}
+
+TEST(Conflict, WeightedAtomicComponentsLandOnLeastWeightedShard) {
+  // Four singleton components, one heavy. Dealing in group-index order onto
+  // the least-weighted shard must pack the three light ones opposite the
+  // heavy one instead of alternating by count.
+  std::vector<ConflictSignature> sigs(4);
+  for (int g = 0; g < 4; ++g) {
+    sigs[static_cast<std::size_t>(g)].touched = {static_cast<GateId>(10 * (g + 1))};
+  }
+  const std::vector<std::uint64_t> weights = {50, 1, 1, 1};
+  const std::vector<int> shard = assign_shards(sigs, weights, 2);
+  EXPECT_EQ(shard[1], shard[2]);
+  EXPECT_EQ(shard[2], shard[3]);
+  EXPECT_NE(shard[0], shard[1]);
+}
+
+TEST(Conflict, UnitWeightsReproduceCountBasedSharding) {
+  // The weighted rule with all-ones weights must reduce exactly to the
+  // historical count rule — including the 10/10/10/10 oversized split the
+  // older Conflict tests pin down.
+  std::vector<ConflictSignature> sigs(40);
+  for (int g = 0; g < 40; ++g) {
+    sigs[static_cast<std::size_t>(g)].touched = {0u, static_cast<GateId>(g + 1)};
+  }
+  const std::vector<std::uint64_t> ones(40, 1);
+  EXPECT_EQ(assign_shards(sigs, ones, 4), assign_shards(sigs, 4));
+}
+
+// --- replica staleness predicates (late-adopt regressions) -------------------
+
+struct LiveFixture {
+  Network net;
+  Placement pl;
+  Sta sta;
+  RewireEngine engine;
+
+  explicit LiveFixture(std::uint64_t seed)
+      : net(testing::mapped(testing::random_mapped_network(seed))),
+        pl(make_placement(net)),
+        sta(net, lib035(), pl),
+        engine(net, pl, lib035(), sta) {}
+
+ private:
+  Placement make_placement(const Network& n) {
+    PlacerOptions popt;
+    popt.effort = 1.0;
+    popt.num_temps = 4;
+    return place(n, lib035(), popt);
+  }
+};
+
+std::string blif_of(const Network& net) {
+  std::ostringstream os;
+  write_blif(net, os, "speculation");
+  return os.str();
+}
+
+TEST(ProbeContextSync, RunFullInsideEpochBreaksInSyncWith) {
+  // Regression: an out-of-band run_full (journal restart) rebuilds the live
+  // timing state WITHOUT advancing the commit epoch. A replica adopted
+  // before it passes the bare epoch check but holds pre-restart arrivals —
+  // the trap the scheduler's old skip-sync fast path fell into.
+  LiveFixture f(90125);
+  ProbeContext ctx(lib035(), 1, 0);
+  ctx.sync(f.engine);
+  EXPECT_TRUE(ctx.in_sync_with(f.engine));
+
+  f.sta.run_full();
+  EXPECT_TRUE(ctx.synced_to(f.engine.epoch()));  // epoch alone says "fresh"
+  EXPECT_FALSE(ctx.in_sync_with(f.engine));      // state version says stale
+
+  ctx.sync(f.engine);  // must fall back to the full path and land bit-exact
+  EXPECT_TRUE(ctx.in_sync_with(f.engine));
+  EXPECT_EQ(blif_of(ctx.replica_net()), blif_of(f.net));
+  EXPECT_EQ(ctx.replica_sta().critical_delay(), f.sta.critical_delay());
+}
+
+TEST(ProbeContextSync, PartitionRebuildInsideEpochDetectedByGeneration) {
+  // Regression: invalidate_partition() + a rebuild renumbers supergate
+  // slots and re-mints generation stamps without advancing the commit
+  // epoch. A replica that adopted before the rebuild would resolve CrossSg
+  // slots against stale numbering; partition_adopted() alone cannot see it.
+  LiveFixture f(4242);
+  ProbeContext ctx(lib035(), 1, 0);
+  ctx.sync(f.engine, /*with_partition=*/true);
+  EXPECT_TRUE(ctx.partition_adopted());
+  EXPECT_TRUE(ctx.partition_current(f.engine));
+
+  const std::uint64_t gen_before = f.engine.partition().generation;
+  f.engine.invalidate_partition();
+  const std::uint64_t gen_after = f.engine.partition().generation;  // rebuilds
+  EXPECT_GT(gen_after, gen_before);  // monotone stamp — never reset
+
+  // Same epoch, same STA: the replica still *looks* synced...
+  EXPECT_TRUE(ctx.in_sync_with(f.engine));
+  // ...but its adopted partition is provably stale.
+  EXPECT_TRUE(ctx.partition_adopted());
+  EXPECT_FALSE(ctx.partition_current(f.engine));
+
+  ctx.adopt_partition_from(f.engine);
+  EXPECT_TRUE(ctx.partition_current(f.engine));
+}
+
+TEST(ProbeContextSync, SameEpochRepeatSyncReadoptsRebuiltPartition) {
+  // The sync() delta path itself must re-adopt on a stale generation, not
+  // just on a missing adoption: a repeat sync in the same epoch after a
+  // live rebuild used to keep the pre-rebuild slot bookkeeping.
+  LiveFixture f(777);
+  ProbeContext ctx(lib035(), 1, 0);
+  ctx.sync(f.engine, /*with_partition=*/true);
+
+  // Advance one epoch so the journal is live, then sync onto it.
+  const std::vector<SwapCandidate> cands =
+      enumerate_all_swaps(f.engine.partition(), f.net);
+  ASSERT_FALSE(cands.empty());
+  f.engine.commit(EngineMove::swap(cands[0]));
+  ctx.sync(f.engine, /*with_partition=*/true);
+  EXPECT_TRUE(ctx.partition_current(f.engine));
+
+  // Mid-epoch rebuild; the repeat same-epoch sync must notice and re-adopt.
+  f.engine.invalidate_partition();
+  (void)f.engine.partition();
+  EXPECT_FALSE(ctx.partition_current(f.engine));
+  ctx.sync(f.engine, /*with_partition=*/true);
+  EXPECT_TRUE(ctx.partition_current(f.engine));
+}
+
+// --- exact replica-sync counters ---------------------------------------------
+
+TEST(ProbeContextSync, SyncCountersAreExactOnHandCountedTrace) {
+  // Every counter in ReplicaSyncStats is checked against a hand-counted
+  // trace: delta_syncs counts exactly the epoch-advancing journal replays,
+  // delta_commits exactly the commit epochs those replays spanned, and
+  // full_syncs exactly the clone-path syncs. Same-epoch repeat calls are
+  // no-ops and must not inflate anything — the metrics-json contract.
+  LiveFixture f(4242);
+  ProbeContext ctx(lib035(), 1, 0);
+
+  const auto commit_some = [&](int want) {
+    int done = 0;
+    for (int round = 0; round < 8 && done < want; ++round) {
+      const std::vector<SwapCandidate> cands =
+          enumerate_all_swaps(f.engine.partition(), f.net);
+      if (cands.empty()) break;
+      f.engine.commit(EngineMove::swap(
+          cands[static_cast<std::size_t>(done) % cands.size()]));
+      ++done;
+    }
+    return done;
+  };
+
+  ctx.sync(f.engine);  // full #1 (initial clone)
+
+  const int span1 = commit_some(2);
+  ASSERT_GE(span1, 1);
+  ctx.sync(f.engine);  // delta #1, spans span1 commits
+  ctx.sync(f.engine);  // same-epoch repeat: no-op, counts nothing
+  ctx.sync(f.engine);  // same-epoch repeat: no-op, counts nothing
+
+  const int span2 = commit_some(3);
+  ASSERT_GE(span2, 1);
+  ctx.sync(f.engine);  // delta #2, spans span2 commits
+
+  f.sta.run_full();    // out-of-band: journal restart for this replica
+  ctx.sync(f.engine);  // full #2 (state-version fallback, same epoch)
+
+  const int span3 = commit_some(1);
+  ASSERT_GE(span3, 1);
+  ctx.sync(f.engine);  // delta #3, spans span3 commits
+
+  f.engine.invalidate_partition();  // kills the sync journal too
+  (void)f.engine.partition();
+  ctx.sync(f.engine);  // full #3 (journal unavailable, same epoch)
+
+  const ReplicaSyncStats s = ctx.take_sync_stats();
+  EXPECT_EQ(s.syncs, 8u);
+  EXPECT_EQ(s.full_syncs, 3u);
+  EXPECT_EQ(s.delta_syncs, 3u);
+  EXPECT_EQ(s.delta_commits,
+            static_cast<std::uint64_t>(span1 + span2 + span3));
+  EXPECT_GT(s.bytes_full, 0u);
+  EXPECT_GT(s.bytes_delta, 0u);
+
+  // And the replica is still bit-exact after the whole obstacle course.
+  EXPECT_EQ(blif_of(ctx.replica_net()), blif_of(f.net));
+  EXPECT_EQ(ctx.replica_sta().critical_delay(), f.sta.critical_delay());
+}
+
+// --- scheduler speculation mechanics -----------------------------------------
+
+std::vector<ProbeGroup> swap_groups(RewireEngine& engine, const Network& net) {
+  std::vector<ProbeGroup> groups;
+  const GisgPartition& part = engine.partition();
+  for (std::size_t s = 0; s < part.sgs.size(); ++s) {
+    if (part.sgs[s].is_trivial()) continue;
+    ProbeGroup g;
+    for (const SwapCandidate& c :
+         enumerate_swaps(part, static_cast<int>(s), net)) {
+      g.moves.push_back(EngineMove::swap(c));
+    }
+    if (!g.moves.empty()) groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+TEST(SchedulerSpeculation, HitOnZeroCommitRoundReusesResults) {
+  // A hint for an identical follow-up round, with a threshold no move can
+  // clear: round 1 commits nothing, so round 2 is indistinguishable from
+  // the speculated one — every group must harvest as a hit, and the round
+  // counter must advance exactly as if the probes ran fresh (provenance
+  // round ids depend on it).
+  LiveFixture f(123);
+  SchedulerOptions sopt;
+  sopt.threads = 4;
+  ParallelRewireScheduler sched(f.engine, sopt);
+  const std::vector<ProbeGroup> groups = swap_groups(f.engine, f.net);
+  ASSERT_GT(groups.size(), 1u);
+
+  const double huge = 1e9;
+  const SpeculationHint hint{ProbePolicy::MinCritical, huge};
+  EXPECT_EQ(sched.run_round(groups, ProbePolicy::MinCritical, huge, &hint), 0);
+  EXPECT_EQ(sched.run_round(groups, ProbePolicy::MinCritical, huge), 0);
+
+  const SchedulerStats& st = sched.stats();
+  EXPECT_EQ(st.rounds, 2u);
+  EXPECT_EQ(st.speculation_hits, static_cast<std::uint64_t>(groups.size()));
+  EXPECT_EQ(st.speculation_wasted, 0u);
+  EXPECT_GT(st.speculative_probes, 0u);
+  // A hit's probes are the round's probes: totals match a barrier scheduler
+  // running the same two rounds.
+  SchedulerOptions barrier = sopt;
+  barrier.speculate = false;
+  ParallelRewireScheduler ref(f.engine, barrier);
+  EXPECT_EQ(ref.run_round(groups, ProbePolicy::MinCritical, huge), 0);
+  EXPECT_EQ(ref.run_round(groups, ProbePolicy::MinCritical, huge), 0);
+  EXPECT_EQ(st.worker_probes, ref.stats().worker_probes);
+  EXPECT_EQ(st.speculative_probes * 2, st.worker_probes);
+}
+
+TEST(SchedulerSpeculation, PolicyMismatchDiscardsSpeculation) {
+  // Speculate Relaxation, then ask for MinCritical: the harvest must
+  // discard every group as wasted and the round must probe fresh — wasted
+  // probes never fold into worker_probes (round work only).
+  LiveFixture f(123);
+  SchedulerOptions sopt;
+  sopt.threads = 4;
+  ParallelRewireScheduler sched(f.engine, sopt);
+  const std::vector<ProbeGroup> groups = swap_groups(f.engine, f.net);
+  ASSERT_GT(groups.size(), 1u);
+
+  const double huge = 1e9;
+  const SpeculationHint wrong{ProbePolicy::Relaxation, huge};
+  EXPECT_EQ(sched.run_round(groups, ProbePolicy::MinCritical, huge, &wrong), 0);
+  const std::uint64_t after_round1 = sched.stats().worker_probes;
+  EXPECT_EQ(sched.run_round(groups, ProbePolicy::MinCritical, huge), 0);
+
+  const SchedulerStats& st = sched.stats();
+  EXPECT_EQ(st.speculation_hits, 0u);
+  EXPECT_EQ(st.speculation_wasted, static_cast<std::uint64_t>(groups.size()));
+  EXPECT_GT(st.speculative_probes, 0u);
+  EXPECT_EQ(st.worker_probes, after_round1 * 2);  // both rounds probed fresh
+}
+
+TEST(SchedulerSpeculation, DrainCountsInFlightSpeculationAsWasted) {
+  LiveFixture f(123);
+  SchedulerOptions sopt;
+  sopt.threads = 4;
+  ParallelRewireScheduler sched(f.engine, sopt);
+  const std::vector<ProbeGroup> groups = swap_groups(f.engine, f.net);
+  ASSERT_FALSE(groups.empty());
+
+  sched.begin_speculation(groups, SpeculationHint{ProbePolicy::MinCritical, 1e-6});
+  sched.drain_speculation();
+  EXPECT_EQ(sched.stats().speculation_wasted,
+            static_cast<std::uint64_t>(groups.size()));
+  EXPECT_EQ(sched.stats().speculation_hits, 0u);
+  sched.drain_speculation();  // idempotent
+  EXPECT_EQ(sched.stats().speculation_wasted,
+            static_cast<std::uint64_t>(groups.size()));
+}
+
+TEST(SchedulerSpeculation, CommittingRoundInvalidatesSpeculationByEpoch) {
+  // When round 1 commits, the epoch moves and the speculated results must
+  // be discarded — reuse across a commit would probe pre-commit state.
+  LiveFixture f(123);
+  SchedulerOptions sopt;
+  sopt.threads = 4;
+  ParallelRewireScheduler sched(f.engine, sopt);
+  const std::vector<ProbeGroup> groups = swap_groups(f.engine, f.net);
+  ASSERT_FALSE(groups.empty());
+
+  const SpeculationHint hint{ProbePolicy::MinCritical, 1e-6};
+  const int committed =
+      sched.run_round(groups, ProbePolicy::MinCritical, 1e-6, &hint);
+  // Candidate lists are stale after commits; drain rather than harvest
+  // against regenerated groups (the optimizer rebuilds them each round).
+  sched.drain_speculation();
+  const SchedulerStats& st = sched.stats();
+  if (committed > 0) {
+    EXPECT_EQ(st.speculation_wasted, static_cast<std::uint64_t>(groups.size()));
+    EXPECT_EQ(st.speculation_hits, 0u);
+  }
+  EXPECT_EQ(st.speculation_hits + st.speculation_wasted,
+            static_cast<std::uint64_t>(groups.size()));
+}
+
+// --- flow-level determinism: the six-config matrix ---------------------------
+
+struct SpecRun {
+  std::string blif;
+  std::vector<std::pair<std::uint64_t, double>> commits;  // (move_id, gain)
+  int chains = 0;
+  OptimizerResult result;
+};
+
+SpecRun run_config(const PreparedCircuit& prepared, const FlowOptions& base,
+                   int threads, bool speculate) {
+  FlowOptions o = base;
+  o.opt.threads = threads;
+  o.opt.speculate = speculate;
+  ProvenanceLog::instance().enable();  // enable() resets the record stream
+  const ModeRun run = run_mode(prepared, lib035(), OptMode::GsgPlusGS, o);
+  SpecRun out;
+  std::string diag;
+  out.chains = ProvenanceLog::instance().resolve_committed_chains(&diag);
+  for (const ProvenanceRecord& rec : ProvenanceLog::instance().records()) {
+    if (rec.stage == ProvenanceStage::Committed) {
+      out.commits.emplace_back(rec.move_id, rec.gain);
+    }
+  }
+  ProvenanceLog::instance().disable();
+  out.blif = blif_of(run.optimized);
+  out.result = run.result;
+  return out;
+}
+
+void expect_six_config_identity(const char* name, const PreparedCircuit& prepared,
+                                const FlowOptions& base) {
+  const SpecRun ref = run_config(prepared, base, 1, false);
+  ASSERT_FALSE(ref.blif.empty()) << name;
+  for (const int threads : {1, 2, 4}) {
+    for (const bool speculate : {false, true}) {
+      if (threads == 1 && !speculate) continue;  // the reference itself
+      const SpecRun r = run_config(prepared, base, threads, speculate);
+      const std::string cfg = std::string(name) + " threads=" +
+                              std::to_string(threads) +
+                              (speculate ? " spec" : " nospec");
+      // Byte-identical netlist...
+      EXPECT_EQ(ref.blif, r.blif) << cfg;
+      // ...and an identical committed-move provenance chain: same move
+      // coordinates (round/group/move), same live gains, same order.
+      EXPECT_EQ(ref.commits, r.commits) << cfg;
+      EXPECT_EQ(ref.chains, r.chains) << cfg;
+      EXPECT_EQ(ref.result.final_delay, r.result.final_delay) << cfg;
+      // Speculation counters appear exactly when the pipeline can run.
+      if (threads == 1 || !speculate) {
+        EXPECT_EQ(r.result.sched_speculative_probes, 0u) << cfg;
+        EXPECT_EQ(r.result.sched_speculation_hits +
+                      r.result.sched_speculation_wasted,
+                  0u)
+            << cfg;
+      } else {
+        EXPECT_GT(r.result.sched_speculation_hits +
+                      r.result.sched_speculation_wasted,
+                  0u)
+            << cfg;
+      }
+    }
+  }
+}
+
+TEST(SchedulerSpeculationDeterminism, SixConfigsIdenticalOnSmallBenchmarks) {
+  FlowOptions base;
+  base.placer.effort = 1.0;
+  base.placer.num_temps = 4;
+  base.opt.max_iterations = 2;
+  base.verify = false;
+  for (const char* name : {"alu2", "c432"}) {
+    const PreparedCircuit prepared = prepare_benchmark(name, lib035(), base);
+    expect_six_config_identity(name, prepared, base);
+  }
+}
+
+TEST(SchedulerSpeculationDeterminismSlow, SixConfigsIdenticalOnLargeBenchmarks) {
+  FlowOptions base;
+  base.placer.effort = 1.0;
+  base.placer.num_temps = 4;
+  base.opt.max_iterations = 2;
+  base.verify = false;
+  for (const char* name : {"c499", "c6288"}) {
+    const PreparedCircuit prepared = prepare_benchmark(name, lib035(), base);
+    expect_six_config_identity(name, prepared, base);
+  }
+}
+
+TEST(SchedulerSpeculationDeterminismSlow, SixConfigsIdenticalOnGeneratedCircuit) {
+  // A generated circuit large enough that epochs recycle gate ids and the
+  // partition is incrementally maintained across many rounds.
+  LargeCircuitOptions lopt;
+  lopt.target_gates = 10000;
+  lopt.seed = 8;
+  lopt.num_inputs = 96;
+  const Network src = make_large_circuit(lopt);
+
+  FlowOptions base;
+  base.placer.effort = 1.0;
+  base.placer.num_temps = 4;
+  base.opt.max_iterations = 1;
+  base.verify = false;
+  const PreparedCircuit prepared = prepare_circuit("gen10000", src, lib035(), base);
+  expect_six_config_identity("gen10000", prepared, base);
+}
+
+TEST(SchedulerSpeculation, CountersFlowIntoMetricsRegistry) {
+  FlowOptions base;
+  base.placer.effort = 1.0;
+  base.placer.num_temps = 4;
+  base.opt.max_iterations = 2;
+  base.opt.threads = 4;
+  base.verify = false;
+  const PreparedCircuit prepared = prepare_benchmark("c432", lib035(), base);
+  const ModeRun run = run_mode(prepared, lib035(), OptMode::GsgPlusGS, base);
+
+  MetricsRegistry reg;
+  collect_flow_metrics(reg, run.result);
+  EXPECT_TRUE(reg.has_counter("scheduler.speculative_probes"));
+  EXPECT_TRUE(reg.has_counter("scheduler.speculation_hits"));
+  EXPECT_TRUE(reg.has_counter("scheduler.speculation_wasted"));
+  EXPECT_EQ(reg.counter("scheduler.speculative_probes"),
+            run.result.sched_speculative_probes);
+  EXPECT_EQ(reg.counter("scheduler.speculation_hits") +
+                reg.counter("scheduler.speculation_wasted"),
+            run.result.sched_speculation_hits +
+                run.result.sched_speculation_wasted);
+  EXPECT_GT(run.result.sched_speculative_probes, 0u);
+}
+
+}  // namespace
+}  // namespace rapids

@@ -6,7 +6,8 @@
 //          [--out out.blif] [--place-out placement.txt] [--no-verify]
 //          [--sat-verify] [--paranoid] [--sat-session|--no-sat-session]
 //          [--no-incremental] [--extract-diff] [--no-delta-sync]
-//          [--no-prune-cache] [--trace out.json] [--metrics-json out.json]
+//          [--speculate|--no-speculate] [--no-prune-cache]
+//          [--trace out.json] [--metrics-json out.json]
 //          [--provenance out.json]
 //       Map, place, optimize and report; optionally write results.
 //       gen:<gates>[:seed] runs the synthetic large-circuit profile
@@ -22,8 +23,10 @@
 //       --extract-diff cross-checks the incremental partition against a
 //       fresh full extraction after every commit (slow; self-check).
 //       --no-delta-sync re-clones probe replicas every epoch instead of
-//       shipping O(dirty) deltas; --no-prune-cache re-enumerates pruned
-//       swap lists every phase. Both are A/B levers: same netlist.
+//       shipping O(dirty) deltas; --no-speculate disables the pipelined
+//       speculative rounds (workers probing the next round behind the
+//       serial arbiter); --no-prune-cache re-enumerates pruned swap lists
+//       every phase. All are A/B levers: same netlist.
 //       --trace writes a Chrome trace-event JSON of the run (one track per
 //       probe worker; load in Perfetto or chrome://tracing), --metrics-json
 //       a machine-readable counter/gauge/histogram snapshot, --provenance
@@ -46,15 +49,17 @@
 //
 //   rapids fuzz [--seed N] [--iters N] [--threads N] [--max-gates N]
 //          [--max-inputs N] [--no-sat] [--paranoid-diff] [--extract-diff]
-//          [--no-shrink] [--out-dir DIR]
+//          [--speculate-diff] [--no-shrink] [--out-dir DIR]
 //       Differential fuzzing: random circuits through the full flow at
 //       --threads 1 vs N and across optimizer modes, cross-checked by
 //       random vectors + SAT. --paranoid-diff additionally cross-checks
 //       the incremental proof session against the per-move solver,
 //       move-for-move; --extract-diff cross-checks incremental partition
 //       maintenance against full re-extraction after every committed move
-//       (partition canonical equality + netlist parity). Failures shrink
-//       to minimal reproducers.
+//       (partition canonical equality + netlist parity); --speculate-diff
+//       cross-checks the pipelined speculative scheduler against the
+//       barrier scheduler (same committed moves, same netlist). Failures
+//       shrink to minimal reproducers.
 //
 //   rapids symmetry <circuit|file.blif|file.bench>
 //       Supergate / symmetry / redundancy report for a mapped circuit.
@@ -198,6 +203,10 @@ int cmd_flow(const std::vector<std::string>& args) {
       options.opt.extract_diff = true;
     } else if (a == "--no-delta-sync") {
       options.opt.delta_replica_sync = false;
+    } else if (a == "--speculate") {
+      options.opt.speculate = true;  // the default; kept as an explicit flag
+    } else if (a == "--no-speculate") {
+      options.opt.speculate = false;
     } else if (a == "--no-prune-cache") {
       options.opt.prune_cache = false;
     } else if (a == "--trace") {
@@ -270,6 +279,16 @@ int cmd_flow(const std::vector<std::string>& args) {
             << r.replica_sync_bytes_delta << " B over " << r.replica_delta_commits
             << " commits) / " << r.replica_full_syncs << " full ("
             << r.replica_sync_bytes_full << " B)\n";
+  if (r.sched_speculation_hits + r.sched_speculation_wasted > 0) {
+    const double total = static_cast<double>(r.sched_speculation_hits +
+                                             r.sched_speculation_wasted);
+    std::cout << "speculation: " << r.sched_speculative_probes
+              << " probes behind arbitration, " << r.sched_speculation_hits
+              << " group results reused / " << r.sched_speculation_wasted
+              << " wasted ("
+              << 100.0 * static_cast<double>(r.sched_speculation_hits) / total
+              << "% hit)\n";
+  }
   if (options.opt.paranoid) {
     std::cout << "paranoid: " << r.moves_proved
               << " committed moves SAT-proved on their windows ("
@@ -469,6 +488,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       options.paranoid_diff = true;
     } else if (a == "--extract-diff") {
       options.extract_diff = true;
+    } else if (a == "--speculate-diff") {
+      options.speculate_diff = true;
     } else if (a == "--no-shrink") {
       options.shrink = false;
     } else if (a == "--out-dir") {
