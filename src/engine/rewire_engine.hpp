@@ -47,6 +47,9 @@
 
 namespace rapids {
 
+class SessionContext;
+class Tracer;
+
 /// The two timing objectives every probe reports (phase A optimizes
 /// `critical`, phase B the relaxation objective `sum_po`).
 struct EngineObjective {
@@ -161,6 +164,13 @@ class RewireEngine {
   Placement& placement() { return placement_; }
   Sta& sta() { return sta_; }
   const CellLibrary& lib() const { return lib_; }
+
+  /// Session this engine records into (trace spans, proof-session
+  /// instants). Null (the default) means the thread-ambient context —
+  /// identical behavior to before sessions existed. The scheduler wires
+  /// its session into the live engine and every replica engine.
+  void set_session(SessionContext* ctx);
+  SessionContext* session_context() const { return ctx_; }
 
   // --- partition lifecycle -------------------------------------------------
 
@@ -427,6 +437,13 @@ class RewireEngine {
   /// Construct the configured prover if it does not exist yet (lazy:
   /// replica engines carry the configuration but never prove).
   void ensure_prover();
+
+  /// Tracer the engine's spans record on: the wired session's, else the
+  /// thread-ambient one (implemented in the .cpp — SessionContext is
+  /// incomplete here).
+  Tracer& span_tracer() const;
+
+  SessionContext* ctx_ = nullptr;
 
   // Paranoid-mode move provers (at most one non-null — per-move window
   // checker or persistent proof session — created lazily by the first

@@ -8,6 +8,7 @@
 #include "engine/rewire_engine.hpp"
 #include "parallel/scheduler.hpp"
 #include "rewire/swap.hpp"
+#include "session/session.hpp"
 #include "sizing/sizing.hpp"
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
@@ -38,6 +39,7 @@ SchedulerOptions scheduler_options(const OptimizerOptions& o) {
   s.seed = o.seed;
   s.delta_sync = o.delta_replica_sync;
   s.speculate = o.speculate;
+  s.session = o.session;
   return s;
 }
 
@@ -51,6 +53,9 @@ class Optimizer {
             const OptimizerOptions& options)
       : net_(net), lib_(lib), sta_(sta), engine_(net, pl, lib, sta),
         scheduler_(engine_, scheduler_options(options)), options_(options) {
+    // The live engine records into the run's session (replica engines are
+    // wired by the scheduler's probe contexts).
+    engine_.set_session(options.session);
     // Verify-every-commit: each committed move is SAT-proved on its window
     // before it sticks, for every commit path (incl. parallel arbitration).
     ParanoidOptions popt;
@@ -64,7 +69,7 @@ class Optimizer {
     Timer timer;
     OptimizerResult result;
     {
-      TraceSpan setup_span("opt", "setup");
+      TraceSpan setup_span(tracer(), "opt", "setup");
       if (!options_.sta_is_fresh) sta_.run_full();
       result.initial_delay = sta_.critical_delay();
       result.initial_area = network_area(net_, lib_);
@@ -86,7 +91,7 @@ class Optimizer {
     double best = result.initial_delay;
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
       ++result.iterations;
-      TraceSpan iter_span("opt", "iteration");
+      TraceSpan iter_span(tracer(), "opt", "iteration");
       iter_span.set_arg("iter", iter);
       // Groups are refreshed per phase: a committed swap restructures its
       // supergate (inverter insertion, subtree exchange), which bumps that
@@ -125,7 +130,7 @@ class Optimizer {
 
     {
       const Timer finalize_timer;
-      TraceSpan fin_span("opt", "finalize");
+      TraceSpan fin_span(tracer(), "opt", "finalize");
       if (options_.mode != OptMode::GateSizing) {
         // Only drop fanout-less inverters: their removal strictly reduces
         // driver loads. Inverter-pair collapse would re-time paths that were
@@ -231,6 +236,13 @@ class Optimizer {
   }
 
  private:
+  /// Tracer the run records into: the session's when one is configured,
+  /// else the thread-ambient (singleton-backed) tracer.
+  Tracer& tracer() const {
+    return options_.session != nullptr ? options_.session->tracer()
+                                       : current_tracer();
+  }
+
   // --- group construction ---------------------------------------------------
 
   /// Pop the next pooled ProbeGroup (capacity retained across rounds: a
@@ -249,7 +261,7 @@ class Optimizer {
 
   std::span<const ProbeGroup> build_groups() {
     const Timer groups_timer;
-    TraceSpan groups_span("opt", "build_groups");
+    TraceSpan groups_span(tracer(), "opt", "build_groups");
     groups_used_ = 0;
     const bool want_swaps = options_.mode != OptMode::GateSizing;
     const bool want_resizes = options_.mode != OptMode::Gsg;
@@ -382,7 +394,7 @@ class Optimizer {
   /// that keeps the critical delay within budget wins, and the arbiter
   /// re-validates each against the live state in gate order.
   void phase_area_recovery() {
-    TraceSpan phase_span("opt", "area_recovery");
+    TraceSpan phase_span(tracer(), "opt", "area_recovery");
     const Timer groups_timer;
     groups_used_ = 0;
     covered_nontrivial_.assign(net_.id_bound(), 0);

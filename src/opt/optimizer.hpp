@@ -37,6 +37,8 @@
 
 namespace rapids {
 
+class SessionContext;
+
 enum class OptMode : std::uint8_t { Gsg, GateSizing, GsgPlusGS };
 
 const char* to_string(OptMode mode);
@@ -103,6 +105,12 @@ struct OptimizerOptions {
   /// The caller just ran sta.run_full() against this exact network state
   /// (the flow driver does): skip the optimizer's own initial full pass.
   bool sta_is_fresh = false;
+  /// Session the run's observability (trace spans, provenance, engine +
+  /// proof-session instants) and worker pool belong to, threaded down
+  /// through scheduler → probe contexts → replica engines. Null = the
+  /// process-default context (singleton-backed — the exact pre-session
+  /// behavior).
+  SessionContext* session = nullptr;
 };
 
 struct OptimizerResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "session/session.hpp"
 #include "trace/trace.hpp"
 #include "util/timer.hpp"
 
@@ -11,6 +12,11 @@ ProbeContext::ProbeContext(const CellLibrary& lib, std::uint64_t base_seed, int 
     : lib_(lib), rng_(Rng::substream(base_seed, static_cast<std::uint64_t>(worker))) {}
 
 ProbeContext::~ProbeContext() = default;
+
+void ProbeContext::set_session(SessionContext* ctx) {
+  ctx_ = ctx;
+  if (engine_) engine_->set_session(ctx);
+}
 
 void ProbeContext::adopt_partition_from(RewireEngine& source) {
   // Slot-exact copy: replica cross-sg probes must resolve the same slot
@@ -36,7 +42,8 @@ bool ProbeContext::partition_current(RewireEngine& source) const {
 
 void ProbeContext::sync(RewireEngine& source, bool with_partition) {
   const Timer timer;
-  TraceSpan sync_span("sync", "replica_sync");
+  TraceSpan sync_span(ctx_ != nullptr ? ctx_->tracer() : current_tracer(),
+                      "sync", "replica_sync");
   ++sync_stats_.syncs;
 
   // Delta path: replay the source journal's committed rounds instead of
@@ -116,6 +123,7 @@ void ProbeContext::sync(RewireEngine& source, bool with_partition) {
   sta_ = std::make_unique<Sta>(net_, lib_, pl_, StaOptions{}, Sta::DeferInit{});
   sta_->copy_state_from(source.sta());
   engine_ = std::make_unique<RewireEngine>(net_, pl_, lib_, *sta_);
+  engine_->set_session(ctx_);
   // Replicas inherit the paranoid configuration: each worker owns a
   // PRIVATE prover (per-worker proof sessions — solvers are not
   // thread-safe and must never be shared), so any replica-side commit

@@ -75,6 +75,11 @@ class ProbeContext {
   void set_delta_sync(bool on) { delta_sync_ = on; }
   bool delta_sync() const { return delta_sync_; }
 
+  /// Session this context's replica engine records into (null = ambient).
+  /// The scheduler wires its session here; replicas rebuilt by later
+  /// sync()s inherit it.
+  void set_session(SessionContext* ctx);
+
   /// Sync cost counters since the last harvest; resets the window.
   ReplicaSyncStats take_sync_stats() {
     const ReplicaSyncStats window = sync_stats_;
@@ -145,6 +150,7 @@ class ProbeContext {
  private:
   const CellLibrary& lib_;
   Rng rng_;
+  SessionContext* ctx_ = nullptr;
 
   Network net_;
   Placement pl_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "session/session.hpp"
 #include "trace/provenance.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -60,14 +61,27 @@ bool groups_equal(std::span<const ProbeGroup> a,
 
 ParallelRewireScheduler::ParallelRewireScheduler(RewireEngine& engine,
                                                 const SchedulerOptions& options)
-    : engine_(engine), options_(options), pool_(options.threads),
-      probe_stats_(pool_.workers()) {
-  options_.threads = pool_.workers();
-  contexts_.reserve(static_cast<std::size_t>(pool_.workers()));
-  for (int w = 0; w < pool_.workers(); ++w) {
+    : engine_(engine), options_(options),
+      session_(options.session != nullptr ? options.session
+                                          : &SessionContext::process_default()),
+      pool_(session_->acquire_pool(options.threads)),
+      probe_stats_(1) {
+  // The process-default context lends no pool (its users are uncoordinated
+  // — see SessionContext::acquire_pool); own a private one, exactly as
+  // before sessions existed. Owned sessions lend their persistent pool so
+  // it stays warm across the session's flows.
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(options.threads);
+    pool_ = owned_pool_.get();
+  }
+  probe_stats_ = ShardedStats(pool_->workers());
+  options_.threads = pool_->workers();
+  contexts_.reserve(static_cast<std::size_t>(pool_->workers()));
+  for (int w = 0; w < pool_->workers(); ++w) {
     contexts_.push_back(
         std::make_unique<ProbeContext>(engine.lib(), options_.seed, w));
     contexts_.back()->set_delta_sync(options_.delta_sync);
+    contexts_.back()->set_session(options_.session);
   }
 }
 
@@ -179,12 +193,12 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
   if (groups.empty()) return results;
   const Timer round_timer;
   ++stats_.rounds;
-  TraceSpan round_span("probe", "probe_round");
+  TraceSpan round_span(session_->tracer(), "probe", "probe_round");
   round_span.set_arg("groups", static_cast<std::int64_t>(groups.size()));
 
   const double base_critical = engine_.sta().critical_delay();
   const double base_sum = engine_.sta().sum_po_arrival();
-  const int workers = pool_.workers();
+  const int workers = pool_->workers();
 
   if (workers == 1) {
     // Single-worker fast path: probe the live engine directly — probes are
@@ -244,7 +258,12 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
         static_cast<int>(g));
   }
 
-  pool_.run([&](int w) {
+  pool_->run([&](int w) {
+    // Install this session on the pool thread: a session-lent pool thread
+    // has no ambient context, and its thread-local worker id must be this
+    // round's index even if the thread served another session's round
+    // earlier (SessionScope saves/restores both).
+    SessionScope session_scope(*session_, w);
     const std::vector<int>& mine = shard_groups[static_cast<std::size_t>(w)];
     if (mine.empty()) {
       // A starved worker is exactly what the load-distribution metric
@@ -253,7 +272,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
       return;
     }
     // One span per worker shard, landing on that worker's own trace ring.
-    TraceSpan shard_span("probe", "probe_shard");
+    TraceSpan shard_span(session_->tracer(), "probe", "probe_shard");
     shard_span.set_arg("groups", static_cast<std::int64_t>(mine.size()));
     ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
     // in_sync_with, not synced_to: the epoch alone misses an out-of-band
@@ -293,7 +312,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
 
 std::uint64_t ParallelRewireScheduler::harvest_worker_counters() {
   std::uint64_t probes = 0;
-  for (int w = 0; w < pool_.workers(); ++w) {
+  for (int w = 0; w < pool_->workers(); ++w) {
     ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
     const EngineStats window = ctx.take_stats();
     engine_.absorb_stats(window);
@@ -307,7 +326,7 @@ std::uint64_t ParallelRewireScheduler::harvest_worker_counters() {
 
 void ParallelRewireScheduler::begin_speculation(std::span<const ProbeGroup> groups,
                                                 const SpeculationHint& hint) {
-  if (!options_.speculate || pool_.workers() <= 1 || groups.empty()) return;
+  if (!options_.speculate || pool_->workers() <= 1 || groups.empty()) return;
   if (spec_active_) drain_speculation();  // callers pair launch/harvest; be safe
   // Launch overhead (signatures, group copy, pre-sync) is probe time —
   // phase accounting must keep summing to the optimize total.
@@ -350,21 +369,21 @@ void ParallelRewireScheduler::begin_speculation(std::span<const ProbeGroup> grou
   // s+1. Which worker probes a group never affects its result (replica
   // purity), so this differing from the live round's sharding is
   // load-balance-only.
-  const int spec_workers = pool_.workers() - 1;
+  const int spec_workers = pool_->workers() - 1;
   const std::vector<int> shard_of = assign_shards(spec_sigs_, weights, spec_workers);
-  spec_shard_groups_.assign(static_cast<std::size_t>(pool_.workers()), {});
+  spec_shard_groups_.assign(static_cast<std::size_t>(pool_->workers()), {});
   for (std::size_t g = 0; g < spec_groups_.size(); ++g) {
     spec_shard_groups_[static_cast<std::size_t>(shard_of[g] + 1)].push_back(
         static_cast<int>(g));
   }
   spec_results_.assign(spec_groups_.size(), GroupResult{});
-  spec_worker_probes_.assign(static_cast<std::size_t>(pool_.workers()), 0);
+  spec_worker_probes_.assign(static_cast<std::size_t>(pool_->workers()), 0);
 
   // Replicas must reflect the CURRENT live state before the async launch:
   // sync() reads the live engine, which is about to be arbitrated on. In
   // steady state this is a no-op (probe_round just synced every busy
   // worker to this epoch).
-  for (int w = 1; w < pool_.workers(); ++w) {
+  for (int w = 1; w < pool_->workers(); ++w) {
     if (spec_shard_groups_[static_cast<std::size_t>(w)].empty()) continue;
     ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
     if (!ctx.in_sync_with(engine_)) {
@@ -375,7 +394,11 @@ void ParallelRewireScheduler::begin_speculation(std::span<const ProbeGroup> grou
   }
 
   spec_active_ = true;
-  pool_.begin_async([this](int w) {
+  pool_->begin_async([this](int w) {
+    // Same scoping as the round fan-out: speculative probes on a lent pool
+    // thread must record on this session's rings, tagged with this worker
+    // index.
+    SessionScope session_scope(*session_, w);
     const std::vector<int>& mine = spec_shard_groups_[static_cast<std::size_t>(w)];
     std::uint64_t my_probes = 0;
     ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
@@ -395,7 +418,7 @@ void ParallelRewireScheduler::begin_speculation(std::span<const ProbeGroup> grou
 bool ParallelRewireScheduler::harvest_speculation(
     std::span<const ProbeGroup> groups, ProbePolicy policy, double threshold,
     std::vector<GroupResult>& out) {
-  pool_.finish_async();
+  pool_->finish_async();
   spec_active_ = false;
   std::uint64_t spec_probes = 0;
   for (const std::uint64_t p : spec_worker_probes_) spec_probes += p;
@@ -420,7 +443,7 @@ bool ParallelRewireScheduler::harvest_speculation(
   }
   stats_.speculation_hits += spec_groups_.size();
   stats_.worker_probes += harvest_worker_counters();
-  for (int w = 0; w < pool_.workers(); ++w) {
+  for (int w = 0; w < pool_->workers(); ++w) {
     probe_stats_.shard(w).add(
         static_cast<double>(spec_worker_probes_[static_cast<std::size_t>(w)]));
   }
@@ -431,7 +454,7 @@ bool ParallelRewireScheduler::harvest_speculation(
 void ParallelRewireScheduler::drain_speculation() {
   if (!spec_active_) return;
   const Timer timer;
-  pool_.finish_async();
+  pool_->finish_async();
   spec_active_ = false;
   std::uint64_t spec_probes = 0;
   for (const std::uint64_t p : spec_worker_probes_) spec_probes += p;
@@ -446,7 +469,7 @@ int ParallelRewireScheduler::arbitrate_and_commit(
     std::span<const ProbeGroup> groups) {
   const Timer arb_timer;
   double commit_seconds = 0.0;
-  TraceSpan arb_span("arbitrate", "arbitrate_round");
+  TraceSpan arb_span(session_->tracer(), "arbitrate", "arbitrate_round");
   // Keep only per-group winners.
   results.erase(std::remove_if(results.begin(), results.end(),
                                [](const GroupResult& r) { return !r.has_move; }),
@@ -484,8 +507,9 @@ int ParallelRewireScheduler::arbitrate_and_commit(
   // Provenance records happen HERE and only here: this loop is serial and
   // consumes winners in the canonical order, so the event stream is
   // worker-count-independent. `stats_.rounds` is the round coordinate of
-  // every id minted below.
-  ProvenanceLog& prov = ProvenanceLog::instance();
+  // every id minted below. The stream belongs to the round's session —
+  // the singleton for the process-default context.
+  ProvenanceLog& prov = session_->provenance();
   const std::uint64_t round = stats_.rounds;
   for (const GroupResult& r : results) {
     const std::uint64_t win_id = make_move_id(round, r.group, r.move_index);
@@ -573,7 +597,7 @@ int ParallelRewireScheduler::arbitrate_and_commit(
     }
     if (take) {
       const Timer commit_timer;
-      TraceSpan commit_span("commit", "commit_move");
+      TraceSpan commit_span(session_->tracer(), "commit", "commit_move");
       commit_span.set_arg("group", r.group);
       const std::size_t verdicts_before = engine_.paranoid_verdicts().size();
       engine_.commit(chosen);

@@ -63,6 +63,8 @@
 
 namespace rapids {
 
+class SessionContext;
+
 /// The unit that gets at most one committed move per round.
 struct ProbeGroup {
   std::vector<EngineMove> moves;
@@ -109,6 +111,12 @@ struct SchedulerOptions {
   /// pre-pipelining barrier scheduler, the A/B reference for
   /// `--no-speculate`. Moot at threads == 1 (no spawned workers).
   bool speculate = true;
+  /// Session the round's observability (trace spans, provenance records)
+  /// and worker pool belong to. Null = the process-default context: the
+  /// scheduler owns a private pool and records on the singletons — the
+  /// exact pre-session behavior. Owned sessions lend their persistent pool
+  /// (warm across flows) and their private tracer/provenance.
+  SessionContext* session = nullptr;
 };
 
 /// What the caller believes the NEXT round will ask for — the speculation
@@ -160,7 +168,7 @@ class ParallelRewireScheduler {
   ParallelRewireScheduler(const ParallelRewireScheduler&) = delete;
   ParallelRewireScheduler& operator=(const ParallelRewireScheduler&) = delete;
 
-  int threads() const { return pool_.workers(); }
+  int threads() const { return pool_->workers(); }
 
   /// Shard `groups` by conflict signature and probe them in parallel
   /// against the live state. Returns one result per group, indexed like
@@ -224,7 +232,12 @@ class ParallelRewireScheduler {
 
   RewireEngine& engine_;
   SchedulerOptions options_;
-  ThreadPool pool_;
+  /// Never null: the configured session, or the process-default context.
+  SessionContext* session_;
+  /// The session's lent pool, or owned_pool_ when the session lends none
+  /// (the process-default context). Never null after construction.
+  ThreadPool* pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
   std::vector<std::unique_ptr<ProbeContext>> contexts_;
   ProbeScratch serial_scratch_;  // single-worker fast path probes the live engine
   SchedulerStats stats_;

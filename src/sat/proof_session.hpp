@@ -58,6 +58,10 @@
 #include "sat/solver.hpp"
 #include "sat/tseitin.hpp"
 
+namespace rapids {
+class Tracer;
+}  // namespace rapids
+
 namespace rapids::sat {
 
 struct ProofSessionStats {
@@ -167,6 +171,12 @@ class ProofSession {
   /// this to created gates automatically).
   void invalidate(GateId g);
 
+  /// Tracer that receives the session's instant events (cache wipes). Null
+  /// (the default) records on the thread-ambient tracer; the engine wires
+  /// its SessionContext's tracer here so multi-session runs record into
+  /// the right rings no matter which thread triggers the wipe.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   bool window_open() const { return window_open_; }
   const ProofSessionStats& stats() const { return stats_; }
   const SolverStats& solver_stats() const { return solver_->stats(); }
@@ -218,6 +228,7 @@ class ProofSession {
   GateId escape_gate_ = kNullGate;
   bool checked_ = false;
 
+  Tracer* tracer_ = nullptr;
   ProofSessionStats stats_;
 };
 

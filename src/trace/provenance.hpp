@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rapids {
@@ -50,15 +51,26 @@ struct ProvenanceRecord {
   double gain = 0.0;  // stage-relevant gain (replica gain / live gain)
 };
 
-/// Append-only per-run move-decision stream. Singleton like Tracer; the
-/// flow enables it around one optimize() call and dumps after.
+/// Append-only per-run move-decision stream. ProvenanceLog::instance()
+/// remains the process-wide default; each SessionContext owns a private
+/// log so concurrent sessions keep separate streams. The flow enables it
+/// around one optimize() call and dumps after.
 class ProvenanceLog {
  public:
+  /// Fresh disabled log (a session-private stream).
+  ProvenanceLog() = default;
+
+  /// Process-wide log instance (the default-session stream).
   static ProvenanceLog& instance();
 
   void enable();
   void disable();
   bool enabled() const { return enabled_; }
+
+  /// Session id stamped into write_json ("default" when unset) so
+  /// multi-session provenance dumps are attributable.
+  void set_session_id(std::string id) { session_id_ = std::move(id); }
+  const std::string& session_id() const { return session_id_; }
 
   void record(std::uint64_t move_id, ProvenanceStage stage, double gain = 0.0) {
     if (!enabled_) return;
@@ -67,9 +79,9 @@ class ProvenanceLog {
 
   const std::vector<ProvenanceRecord>& records() const { return records_; }
 
-  /// JSON event stream: {"schema": "rapids-provenance-v1", "events":
-  /// [{"id", "round", "group", "move", "stage", "gain"}...]} in append
-  /// (= canonical decision) order.
+  /// JSON event stream: {"schema": "rapids-provenance-v1", "session":
+  /// "<id>", "events": [{"id", "round", "group", "move", "stage",
+  /// "gain"}...]} in append (= canonical decision) order.
   void write_json(std::ostream& os) const;
 
   /// Audit: every Committed or FallbackChosen-then-Committed id must trace
@@ -80,9 +92,20 @@ class ProvenanceLog {
   int resolve_committed_chains(std::string* diag) const;
 
  private:
-  ProvenanceLog() = default;
   bool enabled_ = false;
+  std::string session_id_;
   std::vector<ProvenanceRecord> records_;
 };
+
+/// Provenance log the current thread's ambient recording resolves to: the
+/// thread-installed session log, or ProvenanceLog::instance() when no
+/// session scope is open.
+ProvenanceLog& current_provenance();
+
+/// Install `log` (may be null = fall back to the singleton) as this
+/// thread's ambient provenance log; returns the previous installation so
+/// scopes can restore it exactly. Used by SessionScope — not for general
+/// code.
+ProvenanceLog* exchange_thread_provenance(ProvenanceLog* log);
 
 }  // namespace rapids

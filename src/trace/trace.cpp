@@ -5,6 +5,7 @@
 #include <ostream>
 #include <set>
 
+#include "util/assert.hpp"
 #include "util/json_lite.hpp"
 #include "util/log.hpp"
 
@@ -17,6 +18,8 @@ std::uint64_t steady_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+thread_local Tracer* t_tracer = nullptr;
 }  // namespace
 
 Tracer& Tracer::instance() {
@@ -24,8 +27,23 @@ Tracer& Tracer::instance() {
   return tracer;
 }
 
+Tracer& current_tracer() {
+  return t_tracer != nullptr ? *t_tracer : Tracer::instance();
+}
+
+Tracer* exchange_thread_tracer(Tracer* tracer) {
+  Tracer* prev = t_tracer;
+  t_tracer = tracer;
+  return prev;
+}
+
 void Tracer::enable(int workers, std::size_t ring_capacity) {
-  enabled_.store(false, std::memory_order_relaxed);
+  if (enabled()) {
+    throw InternalError(
+        "Tracer::enable while already enabled: a second run would resize "
+        "rings under active recorders (disable() first, or give the run "
+        "its own session tracer)");
+  }
   rings_.clear();
   rings_.resize(static_cast<std::size_t>(std::max(workers, 1)));
   for (Ring& r : rings_) {
@@ -34,6 +52,7 @@ void Tracer::enable(int workers, std::size_t ring_capacity) {
     r.next = 0;
     r.total = 0;
   }
+  dropped_out_of_range_.store(0, std::memory_order_relaxed);
   t0_ns_ = steady_ns();
   enabled_.store(true, std::memory_order_release);
 }
@@ -45,13 +64,20 @@ std::uint64_t Tracer::now_ns() const {
   return steady_ns() - t0_ns_;
 }
 
-Tracer::Ring& Tracer::ring_for_current_worker() {
+Tracer::Ring* Tracer::ring_for_current_worker() {
+  if (rings_.empty()) return nullptr;
   const int w = current_worker();
-  const std::size_t idx =
-      (w < 0 || static_cast<std::size_t>(w) >= rings_.size())
-          ? 0
-          : static_cast<std::size_t>(w);
-  return rings_[idx];
+  // Threads outside any worker scope (w < 0) share the main thread's ring 0
+  // — safe, since worker 0 runs on the calling thread and is never live
+  // concurrently with it. A worker id beyond the enabled ring count is a
+  // scoping bug upstream: drop and count rather than corrupt another
+  // worker's lock-free ring.
+  if (w <= 0) return &rings_[0];
+  if (static_cast<std::size_t>(w) >= rings_.size()) {
+    dropped_out_of_range_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return &rings_[static_cast<std::size_t>(w)];
 }
 
 void Tracer::push(Ring& ring, const TraceEvent& ev) {
@@ -81,7 +107,7 @@ void Tracer::complete_span(const char* cat, const char* name,
   ev.arg2_name = arg2_name;
   ev.arg2 = arg2;
   ev.instant = false;
-  push(ring_for_current_worker(), ev);
+  if (Ring* ring = ring_for_current_worker()) push(*ring, ev);
 }
 
 void Tracer::instant(const char* cat, const char* name, const char* arg1_name,
@@ -96,11 +122,11 @@ void Tracer::instant(const char* cat, const char* name, const char* arg1_name,
   ev.arg2_name = arg2_name;
   ev.arg2 = arg2;
   ev.instant = true;
-  push(ring_for_current_worker(), ev);
+  if (Ring* ring = ring_for_current_worker()) push(*ring, ev);
 }
 
 std::uint64_t Tracer::dropped() const {
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = dropped_out_of_range();
   for (const Ring& r : rings_) dropped += r.total - r.buf.size();
   return dropped;
 }

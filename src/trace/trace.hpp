@@ -27,9 +27,16 @@
 //              SAT proof windows, partition extraction, flow stages.
 //   instants — point events ("i"): commit markers, cache wipes.
 //
-// The recorder is a process-wide singleton like Logger: flows enable it for
-// a run, export, and disable. Enable/disable must not race active workers
-// (the flow driver toggles it outside any parallel region).
+// Instantiable: Tracer::instance() remains the process-wide default, but
+// each SessionContext owns a private Tracer so concurrent sessions record
+// into separate rings. Session-aware code passes the tracer explicitly
+// (TraceSpan's 3-arg constructor); ambient call sites resolve through
+// current_tracer(), a thread-local installed by SessionScope that falls
+// back to the singleton. Flows enable a tracer for a run, export, and
+// disable. Enable/disable must not race active workers (the flow driver
+// toggles it outside any parallel region), and enable() on an
+// already-enabled tracer throws — two overlapping runs sharing rings is
+// exactly the corruption sessions exist to prevent.
 #pragma once
 
 #include <atomic>
@@ -55,11 +62,17 @@ struct TraceEvent {
 
 class Tracer {
  public:
+  /// Fresh disabled tracer (a session-private recorder).
+  Tracer() = default;
+
+  /// Process-wide tracer instance (the default-session recorder).
   static Tracer& instance();
 
   /// Start recording into `workers` rings of `ring_capacity` events each
-  /// (events from worker ids >= workers, and from threads outside any
-  /// worker scope, land in ring 0). Clears previous contents.
+  /// (events from threads outside any worker scope land in ring 0; worker
+  /// ids >= workers are counted as dropped, not recorded — see dropped()).
+  /// Throws InternalError if already enabled: resizing rings under active
+  /// recorders is UB, so overlapping enable()s must be a hard error.
   void enable(int workers, std::size_t ring_capacity = 1 << 16);
   void disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -78,8 +91,15 @@ class Tracer {
   /// Nanoseconds since enable() (monotonic). 0 when disabled.
   std::uint64_t now_ns() const;
 
-  /// Events overwritten by ring wrap-around since enable().
+  /// Events lost since enable(): overwritten by ring wrap-around, plus
+  /// events from worker ids with no ring (see dropped_out_of_range()).
   std::uint64_t dropped() const;
+  /// Events refused because the current worker id was >= the ring count —
+  /// a scoping bug upstream (e.g. a pool wider than the tracer was enabled
+  /// for); counted instead of silently landing in the wrong ring.
+  std::uint64_t dropped_out_of_range() const {
+    return dropped_out_of_range_.load(std::memory_order_relaxed);
+  }
   /// Events currently held across all rings.
   std::uint64_t recorded() const;
 
@@ -90,8 +110,6 @@ class Tracer {
   void write_chrome_trace(std::ostream& os) const;
 
  private:
-  Tracer() = default;
-
   // Aligned to a cache line so two workers' cursors never false-share.
   struct alignas(64) Ring {
     std::vector<TraceEvent> buf;
@@ -100,27 +118,46 @@ class Tracer {
     std::uint64_t total = 0;  // events ever written (>= buf-held count)
   };
 
-  Ring& ring_for_current_worker();
+  /// Ring for the current thread's worker id, or null when the event must
+  /// be dropped (no rings, or worker id out of range — the latter bumps
+  /// dropped_out_of_range_).
+  Ring* ring_for_current_worker();
   void push(Ring& ring, const TraceEvent& ev);
 
   std::atomic<bool> enabled_{false};
   std::vector<Ring> rings_;
   std::uint64_t t0_ns_ = 0;  // steady-clock origin captured at enable()
+  std::atomic<std::uint64_t> dropped_out_of_range_{0};
 };
+
+/// Tracer the current thread's ambient trace calls resolve to: the
+/// thread-installed session tracer, or Tracer::instance() when no session
+/// scope is open.
+Tracer& current_tracer();
+
+/// Install `tracer` (may be null = fall back to the singleton) as this
+/// thread's ambient tracer; returns the previous installation so scopes
+/// can restore it exactly. Used by SessionScope — not for general code.
+Tracer* exchange_thread_tracer(Tracer* tracer);
 
 /// RAII span: records one complete event on destruction. Safe to construct
 /// whether or not tracing is enabled (and when disabled costs one relaxed
 /// load per end). Numeric args are attached at end time via set_args().
+///
+/// Session-aware code passes its tracer explicitly (3-arg form); the 2-arg
+/// form records on the current thread's ambient tracer — identical when no
+/// session scope is open.
 class TraceSpan {
  public:
+  TraceSpan(Tracer& tracer, const char* cat, const char* name)
+      : tracer_(&tracer), cat_(cat), name_(name),
+        begin_ns_(tracer.enabled() ? tracer.now_ns() : kDisabled) {}
   TraceSpan(const char* cat, const char* name)
-      : cat_(cat), name_(name),
-        begin_ns_(Tracer::instance().enabled() ? Tracer::instance().now_ns()
-                                               : kDisabled) {}
+      : TraceSpan(current_tracer(), cat, name) {}
   ~TraceSpan() {
-    if (begin_ns_ != kDisabled && Tracer::instance().enabled()) {
-      Tracer::instance().complete_span(cat_, name_, begin_ns_, arg1_name_, arg1_,
-                                       arg2_name_, arg2_);
+    if (begin_ns_ != kDisabled && tracer_->enabled()) {
+      tracer_->complete_span(cat_, name_, begin_ns_, arg1_name_, arg1_,
+                             arg2_name_, arg2_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -137,6 +174,7 @@ class TraceSpan {
 
  private:
   static constexpr std::uint64_t kDisabled = ~std::uint64_t{0};
+  Tracer* tracer_;
   const char* cat_;
   const char* name_;
   const char* arg1_name_ = nullptr;

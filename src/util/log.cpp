@@ -9,7 +9,21 @@
 namespace rapids {
 
 namespace {
-const char* level_name(LogLevel level) {
+thread_local int t_worker = -1;
+thread_local Logger* t_logger = nullptr;
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn" || name == "warning") return LogLevel::Warning;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw InputError("unknown log level: " + name +
+                   " (expected debug|info|warn|error|off)");
+}
+
+const char* to_string(LogLevel level) {
   switch (level) {
     case LogLevel::Debug:
       return "DEBUG";
@@ -25,24 +39,6 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-std::mutex& sink_mutex() {
-  static std::mutex m;
-  return m;
-}
-
-thread_local int t_worker = -1;
-}  // namespace
-
-LogLevel parse_log_level(const std::string& name) {
-  if (name == "debug") return LogLevel::Debug;
-  if (name == "info") return LogLevel::Info;
-  if (name == "warn" || name == "warning") return LogLevel::Warning;
-  if (name == "error") return LogLevel::Error;
-  if (name == "off") return LogLevel::Off;
-  throw InputError("unknown log level: " + name +
-                   " (expected debug|info|warn|error|off)");
-}
-
 int current_worker() { return t_worker; }
 void set_current_worker(int worker) { t_worker = worker; }
 
@@ -51,10 +47,10 @@ Logger::Logger() {
     // Lines from probe workers carry the emitting worker id so interleaved
     // parallel-round output remains attributable.
     if (const int w = current_worker(); w >= 0) {
-      std::fprintf(stderr, "[rapids:%s w%d] %s\n", level_name(level), w,
+      std::fprintf(stderr, "[rapids:%s w%d] %s\n", to_string(level), w,
                    message.c_str());
     } else {
-      std::fprintf(stderr, "[rapids:%s] %s\n", level_name(level), message.c_str());
+      std::fprintf(stderr, "[rapids:%s] %s\n", to_string(level), message.c_str());
     }
   };
 }
@@ -64,14 +60,24 @@ Logger& Logger::instance() {
   return logger;
 }
 
+Logger& current_logger() {
+  return t_logger != nullptr ? *t_logger : Logger::instance();
+}
+
+Logger* exchange_thread_logger(Logger* logger) {
+  Logger* prev = t_logger;
+  t_logger = logger;
+  return prev;
+}
+
 void Logger::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::lock_guard<std::mutex> lock(sink_mutex_);
   sink_ = std::move(sink);
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(this->level())) return;
-  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::lock_guard<std::mutex> lock(sink_mutex_);
   if (sink_) sink_(level, message);
 }
 

@@ -4,12 +4,19 @@
 // through a single sink so host applications can silence or redirect it.
 //
 // Thread-safe: the level is atomic (lock-free early-out on the hot path)
-// and the sink is invoked under a mutex, so concurrent probe workers can
-// log without interleaving or racing set_sink/set_level.
+// and the sink is invoked under a per-logger mutex, so concurrent probe
+// workers can log without interleaving or racing set_sink/set_level.
+//
+// Instantiable: Logger::instance() remains the process-wide default, but
+// each SessionContext owns a private Logger so concurrent sessions keep
+// separate sinks. Ambient call sites (log_info() etc.) resolve through
+// current_logger(), a thread-local installed by SessionScope that falls
+// back to the singleton — session-unaware code behaves exactly as before.
 #pragma once
 
 #include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -20,6 +27,10 @@ enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
 /// Parse a CLI spelling ("debug" | "info" | "warn"/"warning" | "error" |
 /// "off"); throws InputError on anything else.
 LogLevel parse_log_level(const std::string& name);
+
+/// Canonical upper-case spelling used in log-line prefixes ("DEBUG",
+/// "INFO", "WARN", "ERROR", "OFF").
+const char* to_string(LogLevel level);
 
 /// Worker identity of the current thread, used to tag log lines and to
 /// route trace events to per-worker rings. -1 outside any worker (the
@@ -47,7 +58,10 @@ class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
-  /// Process-wide logger instance.
+  /// Fresh logger with the default stderr sink and Warning level.
+  Logger();
+
+  /// Process-wide logger instance (the default-session logger).
   static Logger& instance();
 
   void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
@@ -59,16 +73,26 @@ class Logger {
   void log(LogLevel level, const std::string& message);
 
  private:
-  Logger();
   std::atomic<LogLevel> level_{LogLevel::Warning};
   Sink sink_;
+  mutable std::mutex sink_mutex_;
 };
+
+/// Logger the current thread's ambient log calls resolve to:
+/// the thread-installed session logger, or Logger::instance() when no
+/// session scope is open.
+Logger& current_logger();
+
+/// Install `logger` (may be null = fall back to the singleton) as this
+/// thread's ambient logger; returns the previous installation so scopes
+/// can restore it exactly. Used by SessionScope — not for general code.
+Logger* exchange_thread_logger(Logger* logger);
 
 namespace detail {
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { Logger::instance().log(level_, os_.str()); }
+  ~LogLine() { current_logger().log(level_, os_.str()); }
   template <typename T>
   LogLine& operator<<(const T& v) {
     os_ << v;

@@ -34,6 +34,15 @@
 //       commit/rollback -> proof verdict). All three only OBSERVE: the
 //       optimized netlist is byte-identical with them on or off.
 //
+//   rapids serve [--jobs file] [--max-concurrent N]
+//       Long-lived multi-job driver: read job lines (`<id> <circuit>
+//       [key=value ...]`, see src/serve/serve.hpp) from --jobs or stdin
+//       until EOF/"quit", run up to N flows concurrently — each on its own
+//       SessionContext (private tracer/metrics/provenance, persistent
+//       worker pool) — and write per-job artifacts keyed by session id.
+//       Each job's outputs are byte-identical to the equivalent one-shot
+//       `rapids flow` invocation.
+//
 //   rapids bench-diff <baseline.json> <current.json>
 //          [--fail-above pattern=pct]... [--fail-below pattern=pct]...
 //          [--all]
@@ -87,6 +96,7 @@
 #include "library/cell_library.hpp"
 #include "mapping/mapper.hpp"
 #include "opt/fanout_opt.hpp"
+#include "serve/serve.hpp"
 #include "sym/gisg.hpp"
 #include "sym/symmetry.hpp"
 #include "trace/bench_diff.hpp"
@@ -319,6 +329,8 @@ int cmd_flow(const std::vector<std::string>& args) {
   }
   if (!out_metrics.empty()) {
     MetricsRegistry reg;
+    // The one-shot path runs on the process-default session context.
+    reg.set_label("session.id", "default");
     reg.set_label("circuit", target);
     reg.set_label("mode", to_string(mode));
     reg.set_label("threads", std::to_string(r.threads));
@@ -463,6 +475,32 @@ int cmd_trace_check(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  ServeOptions options;
+  std::string jobs_file;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) throw InputError("missing value after " + a);
+      return args[++i];
+    };
+    if (a == "--jobs") {
+      jobs_file = next();
+    } else if (a == "--max-concurrent") {
+      options.max_concurrent = std::stoi(next());
+      if (options.max_concurrent < 1) {
+        throw InputError("--max-concurrent must be >= 1");
+      }
+    } else {
+      throw InputError("unknown serve flag: " + a);
+    }
+  }
+  if (jobs_file.empty()) return serve_loop(std::cin, std::cout, options);
+  std::ifstream is(jobs_file);
+  if (!is) throw InputError("cannot read " + jobs_file);
+  return serve_loop(is, std::cout, options);
+}
+
 int cmd_fuzz(const std::vector<std::string>& args) {
   FuzzOptions options;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -504,10 +542,11 @@ int cmd_fuzz(const std::vector<std::string>& args) {
 
 int usage() {
   std::cerr << "usage: rapids [--log-level L] "
-               "<flow|symmetry|table1|fuzz|bench-diff|trace-check|list> [args]\n"
+               "<flow|serve|symmetry|table1|fuzz|bench-diff|trace-check|list> [args]\n"
                "  rapids flow c432 --mode gsg+gs --threads 4 --out c432_opt.blif\n"
                "  rapids flow c499 --sat-verify --paranoid\n"
                "  rapids flow c499 --trace t.json --metrics-json m.json\n"
+               "  rapids serve --jobs jobs.txt --max-concurrent 2\n"
                "  rapids bench-diff old.json new.json --fail-below "
                "rate.probes_per_sec=40\n"
                "  rapids trace-check t.json\n"
@@ -545,6 +584,7 @@ int main(int argc, char** argv) {
       return cmd_symmetry(args[0]);
     }
     if (cmd == "flow") return cmd_flow(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "table1") return cmd_table1(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
     if (cmd == "bench-diff") return cmd_bench_diff(args);
