@@ -12,11 +12,15 @@
 //     clone of the network would have cost,
 //   - gates re-sorted per canonicalize pass after setup,
 //   - swap candidates enumerated vs pruned lists served from cache,
+//   - timing propagation shape: gates propagated per probe and the
+//     slack-margin damp cutoff rate (the probe-cost story),
 //   - the phase-timing breakdown (setup/probe/arbitrate/commit/sync).
 //
 // The acceptance gauge is the growth ratio of the per-commit quantities
 // from the smallest to the largest size point: O(dirty) costs stay
-// roughly flat (<= 2x) while the network grows 20x.
+// roughly flat (<= 2x) while the network grows 20x. The bench FAILS
+// (exit 1) when per-commit sync bytes grow as fast as the mapped network
+// itself — that would mean the delta path degenerated to O(network).
 //
 // Usage: scale_flow [--out BENCH_scale.json] [--sizes 10000,50000,...]
 //                   [--threads N] [--iters N] [--seed N]
@@ -63,6 +67,13 @@ struct SizePoint {
   double gates_canonicalized_per_call = 0.0;
   std::uint64_t candidates_enumerated = 0;
   std::uint64_t pruned_groups_cached = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t gates_propagated = 0;
+  std::uint64_t damp_cutoffs = 0;
+  std::uint64_t margin_refreshes = 0;
+  double gates_propagated_per_probe = 0.0;
+  double damp_cutoff_rate = 0.0;  // cutoffs / (propagated + cutoffs)
+  double seconds_timing = 0.0;
 };
 
 SizePoint measure(std::size_t target, std::uint64_t seed, int threads, int iters,
@@ -125,6 +136,20 @@ SizePoint measure(std::size_t target, std::uint64_t seed, int threads, int iters
   }
   pt.candidates_enumerated = r.candidates_enumerated;
   pt.pruned_groups_cached = r.pruned_groups_cached;
+  pt.probes = r.probes;
+  pt.gates_propagated = r.gates_propagated;
+  pt.damp_cutoffs = r.damp_cutoffs;
+  pt.margin_refreshes = r.margin_refreshes;
+  pt.seconds_timing = r.seconds_timing;
+  if (r.probes > 0) {
+    pt.gates_propagated_per_probe =
+        static_cast<double>(r.gates_propagated) / static_cast<double>(r.probes);
+  }
+  if (r.gates_propagated + r.damp_cutoffs > 0) {
+    pt.damp_cutoff_rate =
+        static_cast<double>(r.damp_cutoffs) /
+        static_cast<double>(r.gates_propagated + r.damp_cutoffs);
+  }
   return pt;
 }
 
@@ -132,7 +157,7 @@ SizePoint measure(std::size_t target, std::uint64_t seed, int threads, int iters
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_scale.json";
-  std::vector<std::size_t> sizes = {10000, 50000, 100000, 200000};
+  std::vector<std::size_t> sizes = {10000, 50000, 100000, 200000, 500000};
   int threads = 2;
   int iters = 1;
   std::uint64_t seed = 7;
@@ -179,6 +204,7 @@ int main(int argc, char** argv) {
 
   // Growth of the per-commit O(dirty) quantities, smallest -> largest.
   double sync_growth = 0.0, canon_growth = 0.0, size_growth = 0.0;
+  double probe_cost_growth = 0.0;
   if (points.size() >= 2) {
     const SizePoint& lo = points.front();
     const SizePoint& hi = points.back();
@@ -187,6 +213,10 @@ int main(int argc, char** argv) {
     }
     if (lo.gates_canonicalized_per_call > 0) {
       canon_growth = hi.gates_canonicalized_per_call / lo.gates_canonicalized_per_call;
+    }
+    if (lo.gates_propagated_per_probe > 0) {
+      probe_cost_growth =
+          hi.gates_propagated_per_probe / lo.gates_propagated_per_probe;
     }
     size_growth = static_cast<double>(hi.mapped_gates) /
                   static_cast<double>(lo.mapped_gates > 0 ? lo.mapped_gates : 1);
@@ -200,6 +230,7 @@ int main(int argc, char** argv) {
        << "  \"network_size_growth\": " << size_growth << ",\n"
        << "  \"sync_bytes_per_commit_growth\": " << sync_growth << ",\n"
        << "  \"gates_canonicalized_per_call_growth\": " << canon_growth << ",\n"
+       << "  \"gates_propagated_per_probe_growth\": " << probe_cost_growth << ",\n"
        << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SizePoint& p = points[i];
@@ -215,7 +246,8 @@ int main(int argc, char** argv) {
          << ", \"probe\": " << p.seconds_probe
          << ", \"arbitrate\": " << p.seconds_arbitrate
          << ", \"commit\": " << p.seconds_commit
-         << ", \"sync\": " << p.seconds_sync << "},\n"
+         << ", \"sync\": " << p.seconds_sync
+         << ", \"margins\": " << p.seconds_timing << "},\n"
          << "     \"replica_sync\": {\"delta_syncs\": " << p.delta_syncs
          << ", \"full_syncs\": " << p.full_syncs
          << ", \"delta_commits_covered\": " << p.delta_commits
@@ -228,7 +260,13 @@ int main(int argc, char** argv) {
          << ", \"gates_canonicalized\": " << p.gates_canonicalized
          << ", \"gates_per_call\": " << p.gates_canonicalized_per_call
          << ", \"candidates_enumerated\": " << p.candidates_enumerated
-         << ", \"pruned_groups_cached\": " << p.pruned_groups_cached << "}}"
+         << ", \"pruned_groups_cached\": " << p.pruned_groups_cached << "},\n"
+         << "     \"timing\": {\"probes\": " << p.probes
+         << ", \"gates_propagated\": " << p.gates_propagated
+         << ", \"gates_propagated_per_probe\": " << p.gates_propagated_per_probe
+         << ", \"damp_cutoffs\": " << p.damp_cutoffs
+         << ", \"damp_cutoff_rate\": " << p.damp_cutoff_rate
+         << ", \"margin_refreshes\": " << p.margin_refreshes << "}}"
          << (i + 1 < points.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
@@ -242,5 +280,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cerr << "wrote " << out_path << "\n";
+
+  // O(dirty) acceptance check: per-commit sync bytes must grow strictly
+  // slower than the mapped network. A ratio at or above the size growth
+  // means the dedup+compacted delta journal degenerated to shipping
+  // O(network) state per commit.
+  if (points.size() >= 2 && sync_growth > 0.0 && size_growth > 0.0 &&
+      sync_growth >= size_growth) {
+    std::cerr << "FAIL: sync bytes_per_commit grew " << sync_growth
+              << "x while the network grew " << size_growth
+              << "x — the delta sync path is no longer O(dirty)\n";
+    return 1;
+  }
   return 0;
 }

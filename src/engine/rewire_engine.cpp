@@ -33,6 +33,31 @@ RewireEngine::RewireEngine(Network& net, Placement& placement, const CellLibrary
   // determinism bug the differential fuzzer caught. Commits top the
   // reserve back up (commit histories are identical across worker counts).
   net_.reserve_recycled_ids(kIdReserve);
+  // The Sta may predate this engine (replica contexts rebuild engines over
+  // a persistent Sta): start the counter cursor at its current values so
+  // stats_ only ever absorbs propagation work done under this engine.
+  sta_seen_gates_propagated_ = sta_.gates_propagated();
+  sta_seen_damp_cutoffs_ = sta_.damp_cutoffs();
+  sta_seen_damp_fallbacks_ = sta_.damp_fallbacks();
+  sta_seen_margin_refreshes_ = sta_.margin_refreshes();
+}
+
+void RewireEngine::sample_sta_counters() {
+  stats_.gates_propagated += sta_.gates_propagated() - sta_seen_gates_propagated_;
+  stats_.damp_cutoffs += sta_.damp_cutoffs() - sta_seen_damp_cutoffs_;
+  stats_.damp_fallbacks += sta_.damp_fallbacks() - sta_seen_damp_fallbacks_;
+  stats_.margin_refreshes += sta_.margin_refreshes() - sta_seen_margin_refreshes_;
+  sta_seen_gates_propagated_ = sta_.gates_propagated();
+  sta_seen_damp_cutoffs_ = sta_.damp_cutoffs();
+  sta_seen_damp_fallbacks_ = sta_.damp_fallbacks();
+  sta_seen_margin_refreshes_ = sta_.margin_refreshes();
+}
+
+void RewireEngine::refresh_timing_margins() {
+  if (timing_damp_ && !sta_.margins_valid() && !sta_.in_transaction()) {
+    sta_.refresh_damping_margins();
+  }
+  sample_sta_counters();
 }
 
 RewireEngine::~RewireEngine() { net_.set_id_recycling(prev_recycling_); }
@@ -293,10 +318,16 @@ EngineObjective RewireEngine::probe_with(ProbeScratch& scratch,
   const std::size_t bound_before = net_.id_bound();
   sta_.begin();
   apply_and_invalidate(scratch, move);
+  // Probes run damped (objective-exact bounded-cone propagation); every
+  // commit path leaves damping off so committed state is the true fixed
+  // point. Damping stays disarmed between calls.
+  sta_.set_damping_active(timing_damp_);
   sta_.propagate();
+  sta_.set_damping_active(false);
   const EngineObjective obj{sta_.critical_delay(), sta_.sum_po_arrival()};
   undo_network_edit(scratch, move);
   sta_.rollback();
+  sample_sta_counters();
   // Growing the id space mid-probe would leak probe history into future id
   // allocation (and through star-net branch order, into timing) — the
   // reserve must always cover a single move's inserts.
@@ -520,6 +551,7 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
             static_cast<double>(move_conflicts(full.conflicts)));
         log_warn() << "paranoid: full miter inconclusive (conflict budget); "
                       "rejecting the move conservatively";
+        sample_sta_counters();
         return EngineObjective{sta_.critical_delay(), sta_.sum_po_arrival()};
       }
       // Kept on the strength of the whole-network miter alone: the ROOT
@@ -550,6 +582,7 @@ EngineObjective RewireEngine::commit(const EngineMove& move) {
   // allocation stays a pure function of the commit history.
   net_.reserve_recycled_ids(kIdReserve);
   ++epoch_;
+  sample_sta_counters();
   return obj;
 }
 
@@ -576,6 +609,7 @@ void RewireEngine::commit_and_revert(const EngineMove& move) {
   for (const GateId d : scratch_.dirty_scratch) sta_.invalidate_net(d);
   sta_.propagate();
   sta_.commit();
+  sample_sta_counters();
 }
 
 int RewireEngine::commit_best(std::vector<RankedMove>& ranked, double min_gain) {

@@ -119,6 +119,13 @@ struct EngineStats {
   int cross_sg_committed = 0;
   int inverters_added = 0;
   std::uint64_t probes = 0;
+  // Propagation-shape counters sampled from the Sta: worklist pops across
+  // all probe/commit transactions, margin suppressions, PO-decrease
+  // fallback replays, and damping-margin refreshes.
+  std::uint64_t gates_propagated = 0;
+  std::uint64_t damp_cutoffs = 0;
+  std::uint64_t damp_fallbacks = 0;
+  std::uint64_t margin_refreshes = 0;
 
   EngineStats& operator+=(const EngineStats& o) {
     swaps_committed += o.swaps_committed;
@@ -126,6 +133,10 @@ struct EngineStats {
     cross_sg_committed += o.cross_sg_committed;
     inverters_added += o.inverters_added;
     probes += o.probes;
+    gates_propagated += o.gates_propagated;
+    damp_cutoffs += o.damp_cutoffs;
+    damp_fallbacks += o.damp_fallbacks;
+    margin_refreshes += o.margin_refreshes;
     return *this;
   }
 };
@@ -364,6 +375,23 @@ class RewireEngine {
   const EngineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = EngineStats{}; }
 
+  // --- bounded-cone damped probing -----------------------------------------
+
+  /// Enable slack-margin damped propagation for probes (commits always run
+  /// undamped so the stored inter-transaction state stays the exact fixed
+  /// point everything else — margin refresh, arrival-gap pruning, replica
+  /// sync — reads). Objective-exact by construction; `--no-timing-damp` is
+  /// the A/B hatch.
+  void set_timing_damp(bool on) { timing_damp_ = on; }
+  bool timing_damp() const { return timing_damp_; }
+  /// Arm the Sta-level damped-vs-undamped PO differential on every damped
+  /// probe (throws InternalError on any mismatch).
+  void set_timing_damp_diff(bool on) { sta_.set_damp_diff(on); }
+  /// Refresh the Sta's damping margins if stale (round granularity; no-op
+  /// when damping is off) and pull the Sta's propagation counters into
+  /// this engine's stats window.
+  void refresh_timing_margins();
+
  private:
   /// Apply the move's network edit and mark dirty timing state. Fills the
   /// scratch's reusable undo records.
@@ -406,6 +434,16 @@ class RewireEngine {
   PartitionStats pstats_harvested_;
 
   EngineStats stats_;
+  bool timing_damp_ = true;
+  // Cursor over the Sta's monotonic propagation counters: the Sta outlives
+  // engine stat windows (and replica engines share one Sta per context), so
+  // each engine folds only the delta since its last sample into stats_.
+  std::uint64_t sta_seen_gates_propagated_ = 0;
+  std::uint64_t sta_seen_damp_cutoffs_ = 0;
+  std::uint64_t sta_seen_damp_fallbacks_ = 0;
+  std::uint64_t sta_seen_margin_refreshes_ = 0;
+  /// Fold (sta counters − cursor) into stats_ and advance the cursor.
+  void sample_sta_counters();
 
   // Replica-sync journal: flat append-only per-commit records (structural
   // rows, STA arrival/net ids, partition dirty gates) plus one end-offset

@@ -40,7 +40,8 @@ OptMode mode_for_iteration(int iter) {
 /// failure description.
 std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_seed,
                            int threads, bool sat_crosscheck, bool paranoid_diff,
-                           bool extract_diff, bool speculate_diff) {
+                           bool extract_diff, bool speculate_diff,
+                           bool timing_damp_diff) {
   const CellLibrary& lib = builtin_library_035();
   FlowOptions fopt;
   fopt.placer.seed = flow_seed;
@@ -50,6 +51,10 @@ std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_
   // committed move cross-checks the spliced partition against a fresh full
   // extraction (throws "extract-diff mismatch" on any canonical drift).
   fopt.opt.extract_diff = extract_diff;
+  // Arm the Sta's per-probe self-check: every damped propagation is
+  // replayed undamped and any PO-arrival divergence throws ("timing-damp-
+  // diff: ..."), so the shrinker can chase the exact probe that broke.
+  fopt.opt.timing_damp_diff = timing_damp_diff;
   fopt.verify = false;  // the harness does its own, stronger checks
 
   try {
@@ -95,6 +100,27 @@ std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_
           barrier.result.resizes_committed != parallel.result.resizes_committed) {
         return "speculate: speculative and barrier schedulers committed "
                "different move counts";
+      }
+    }
+
+    if (timing_damp_diff) {
+      // Flow-level parity: slack-margin damped propagation must produce
+      // byte-identical netlists AND the identical final delay to full-cone
+      // propagation — damping only changes how much of the fanout cone a
+      // probe walks, never any probe objective.
+      FlowOptions dopt = fopt;
+      dopt.opt.threads = 1;
+      dopt.opt.timing_damp = false;
+      dopt.opt.timing_damp_diff = false;
+      const ModeRun undamped = run_mode(prepared, lib, mode, dopt);
+      if (blif_string(undamped.optimized) != blif_string(serial.optimized)) {
+        return "timing-damp: damped and full-cone flows produced different "
+               "netlists";
+      }
+      if (undamped.result.final_delay != serial.result.final_delay) {
+        return "timing-damp: damped and full-cone flows report different "
+               "final delays (" + std::to_string(serial.result.final_delay) +
+               " vs " + std::to_string(undamped.result.final_delay) + ")";
       }
     }
 
@@ -166,6 +192,9 @@ std::string run_experiment(const Network& src, OptMode mode, std::uint64_t flow_
     const std::string what = e.what();
     if (what.find("extract-diff mismatch") != std::string::npos) {
       return "extract-diff: " + what;  // distinct kind: the shrinker chases it
+    }
+    if (what.find("timing-damp-diff") != std::string::npos) {
+      return "timing-damp-diff: " + what;  // per-probe PO-arrival divergence
     }
     return "exception: " + what;
   }
@@ -246,7 +275,8 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
                                                options.sat_crosscheck,
                                                options.paranoid_diff,
                                                options.extract_diff,
-                                               options.speculate_diff);
+                                               options.speculate_diff,
+                                               options.timing_damp_diff);
     if (failure.empty()) {
       log << "[fuzz] iter " << iter << " mode " << mode_name << " ("
           << src.num_logic_gates() << " gates): ok\n";
@@ -272,7 +302,8 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
                                                options.threads, options.sat_crosscheck,
                                                options.paranoid_diff,
                                                options.extract_diff,
-                                               options.speculate_diff);
+                                               options.speculate_diff,
+                                               options.timing_damp_diff);
         return !err.empty() && err.compare(0, f.kind.size(), f.kind) == 0;
       };
       minimal = shrink_network(src, still_fails, options.shrink_budget);
@@ -312,6 +343,12 @@ FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
             << "       " << base << " --threads " << options.threads
             << " --no-speculate --out " << stem << "_barrier.blif\n"
             << "       cmp " << stem << "_spec.blif " << stem << "_barrier.blif\n";
+      } else if (f.kind == "timing-damp" || f.kind == "timing-damp-diff") {
+        txt << "repro: " << base << " --threads 1 --timing-damp-diff --out "
+            << stem << "_damp.blif\n"
+            << "       " << base << " --threads 1 --no-timing-damp --out "
+            << stem << "_full.blif\n"
+            << "       cmp " << stem << "_damp.blif " << stem << "_full.blif\n";
       } else if (f.kind == "extract-diff" || f.kind == "extract-parity") {
         txt << "repro: " << base << " --extract-diff --threads 1 --out " << stem
             << "_inc.blif\n"

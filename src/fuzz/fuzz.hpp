@@ -52,6 +52,12 @@ struct FuzzOptions {
   /// require a byte-identical netlist plus identical committed-move counts
   /// — speculation may change when probes run, never which moves win.
   bool speculate_diff = false;
+  /// Timing-damping differential: run the flows with the Sta's damp-diff
+  /// self-check armed (every damped probe propagation replayed undamped,
+  /// per-probe PO-arrival equality asserted), and additionally require the
+  /// damped flow's netlist and final delay to be byte-identical to a
+  /// `--no-timing-damp` full-cone flow.
+  bool timing_damp_diff = false;
   /// Shrink failing circuits to minimal reproducers.
   bool shrink = true;
   /// Budget for the shrinker, in flow re-runs per failure.

@@ -39,6 +39,7 @@ SchedulerOptions scheduler_options(const OptimizerOptions& o) {
   s.seed = o.seed;
   s.delta_sync = o.delta_replica_sync;
   s.speculate = o.speculate;
+  s.timing_damp = o.timing_damp;
   s.session = o.session;
   return s;
 }
@@ -63,6 +64,9 @@ class Optimizer {
     engine_.set_paranoid(options.paranoid, popt);
     engine_.set_incremental_extraction(options.incremental_extraction);
     engine_.set_extract_diff(options.extract_diff);
+    // Damp-diff rides on the Sta (the engine forwards it); replicas inherit
+    // it through the probe contexts' full-sync path.
+    engine_.set_timing_damp_diff(options.timing_damp_diff);
   }
 
   OptimizerResult run() {
@@ -195,6 +199,11 @@ class Optimizer {
     result.seconds_arbitrate = sched.seconds_arbitrate;
     result.seconds_commit = sched.seconds_commit;
     result.seconds_sync = sched.sync.seconds;
+    result.seconds_timing = sched.seconds_timing;
+    result.gates_propagated = stats.gates_propagated;
+    result.damp_cutoffs = stats.damp_cutoffs;
+    result.damp_fallbacks = stats.damp_fallbacks;
+    result.margin_refreshes = stats.margin_refreshes;
     result.replica_full_syncs = sched.sync.full_syncs;
     result.replica_delta_syncs = sched.sync.delta_syncs;
     result.replica_delta_commits = sched.sync.delta_commits;

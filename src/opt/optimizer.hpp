@@ -96,6 +96,18 @@ struct OptimizerOptions {
   /// kept as an A/B lever; the final netlist is bit-identical either way.
   /// Moot at threads == 1.
   bool speculate = true;
+  /// Slack-margin damped timing propagation (default on): probe-time STA
+  /// re-propagation stops at gates whose arrival increase stays under a
+  /// PO-seeded slack margin (refreshed per scheduler round), so probe cost
+  /// tracks the real disturbance instead of the structural fanout cone.
+  /// Commits always propagate undamped. The probe objectives — and hence
+  /// the committed netlist — are bit-identical either way; `flow
+  /// --no-timing-damp` is the A/B lever.
+  bool timing_damp = true;
+  /// Self-check: after every damped probe propagation, replay the deferred
+  /// gates undamped and abort if any primary-output arrival moves (proves
+  /// the damping cutoff exact; O(deferred) per probe — tests/fuzzing).
+  bool timing_damp_diff = false;
   /// Slack-epoch candidate cache (default on): serve arrival-gap-pruned
   /// swap lists from the per-slot cache while every relevant driver's
   /// arrival stamp is unchanged, instead of re-enumerating each phase. The
@@ -169,6 +181,18 @@ struct OptimizerResult {
   double seconds_arbitrate = 0.0;
   double seconds_commit = 0.0;
   double seconds_sync = 0.0;
+  /// Damping-margin refresh time (a subset of probe wall time, like sync).
+  double seconds_timing = 0.0;
+  /// Propagation-shape counters (merged across live engine + replicas):
+  /// worklist pops across every probe/commit propagation, pops suppressed by
+  /// the slack-margin cutoff, exact undamped replays after an in-probe PO
+  /// arrival decrease, and PO-seeded margin recomputations. cutoffs /
+  /// (propagated + cutoffs) is the damping rate; gates_propagated / probes
+  /// is the per-probe cost the damping exists to flatten.
+  std::uint64_t gates_propagated = 0;
+  std::uint64_t damp_cutoffs = 0;
+  std::uint64_t damp_fallbacks = 0;
+  std::uint64_t margin_refreshes = 0;
   /// Replica-sync cost breakdown (zero at --threads 1, which probes the
   /// live engine and never syncs).
   std::uint64_t replica_full_syncs = 0;

@@ -130,6 +130,12 @@ void ProbeContext::sync(RewireEngine& source, bool with_partition) {
   // path is held to the same proof discipline as the live engine. The
   // scheduler harvests the per-worker proof counters after each round.
   engine_->set_paranoid(source.paranoid(), source.paranoid_options());
+  // Damping configuration rides along too (margins themselves are NOT
+  // synced — they are a per-Sta accelerator, refreshed replica-side at
+  // round granularity; damped and undamped probes return identical
+  // objectives by construction).
+  engine_->set_timing_damp(source.timing_damp());
+  engine_->set_timing_damp_diff(source.sta().damp_diff());
   partition_adopted_ = false;
   if (with_partition) adopt_partition_from(source);
 
@@ -157,6 +163,10 @@ EngineStats ProbeContext::take_stats() {
   if (engine_) {
     const EngineStats& total = engine_->stats();
     window.probes = total.probes - harvested_.probes;
+    window.gates_propagated = total.gates_propagated - harvested_.gates_propagated;
+    window.damp_cutoffs = total.damp_cutoffs - harvested_.damp_cutoffs;
+    window.damp_fallbacks = total.damp_fallbacks - harvested_.damp_fallbacks;
+    window.margin_refreshes = total.margin_refreshes - harvested_.margin_refreshes;
     harvested_ = total;
   }
   return window;

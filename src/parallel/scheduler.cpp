@@ -76,6 +76,9 @@ ParallelRewireScheduler::ParallelRewireScheduler(RewireEngine& engine,
   }
   probe_stats_ = ShardedStats(pool_->workers());
   options_.threads = pool_->workers();
+  // The damping lever lives on the engines: the live one here, replicas
+  // inherit it at sync time.
+  engine_.set_timing_damp(options_.timing_damp);
   contexts_.reserve(static_cast<std::size_t>(pool_->workers()));
   for (int w = 0; w < pool_->workers(); ++w) {
     contexts_.push_back(
@@ -196,6 +199,17 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
   TraceSpan round_span(session_->tracer(), "probe", "probe_round");
   round_span.set_arg("groups", static_cast<std::int64_t>(groups.size()));
 
+  // Refresh the live engine's damping margins at ROUND granularity (no-op
+  // while they are still valid or damping is off): the serial fast path
+  // probes the live engine, and arbitration's re-validation probes reuse
+  // them until the round's first commit invalidates. seconds_timing is a
+  // quoted subset of this round's probe time.
+  {
+    const Timer margin_timer;
+    engine_.refresh_timing_margins();
+    stats_.seconds_timing += margin_timer.seconds();
+  }
+
   const double base_critical = engine_.sta().critical_delay();
   const double base_sum = engine_.sta().sum_po_arrival();
   const int workers = pool_->workers();
@@ -258,6 +272,9 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
         static_cast<int>(g));
   }
 
+  // Per-worker margin-refresh seconds, summed after the barrier (workers
+  // must not race on the shared stats struct).
+  std::vector<double> margin_seconds(static_cast<std::size_t>(workers), 0.0);
   pool_->run([&](int w) {
     // Install this session on the pool thread: a session-lent pool thread
     // has no ambient context, and its thread-local worker id must be this
@@ -287,6 +304,13 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
       // partition was rebuilt since adoption): adopt late.
       ctx.adopt_partition_from(engine_);
     }
+    {
+      // Replica margins (stale after every sync — they are not shipped,
+      // see ProbeContext::sync) refresh once per round per worker.
+      const Timer margin_timer;
+      ctx.engine().refresh_timing_margins();
+      margin_seconds[static_cast<std::size_t>(w)] = margin_timer.seconds();
+    }
     std::uint64_t my_probes = 0;
     for (const int g : mine) {
       GroupResult& r = results[static_cast<std::size_t>(g)];
@@ -306,6 +330,7 @@ std::vector<GroupResult> ParallelRewireScheduler::probe_round(
   // (workers are quiescent past the pool barrier). Proof-session counters
   // ride along: per-worker sessions merge into the live engine's view.
   stats_.worker_probes += harvest_worker_counters();
+  for (const double s : margin_seconds) stats_.seconds_timing += s;
   stats_.seconds_probe += round_timer.seconds();
   return results;
 }
@@ -388,9 +413,16 @@ void ParallelRewireScheduler::begin_speculation(std::span<const ProbeGroup> grou
     ProbeContext& ctx = *contexts_[static_cast<std::size_t>(w)];
     if (!ctx.in_sync_with(engine_)) {
       ctx.sync(engine_, any_cross);
-    } else if (any_cross && !ctx.partition_current(engine_)) {
+    }
+    if (any_cross && !ctx.partition_current(engine_)) {
       ctx.adopt_partition_from(engine_);
     }
+    // Speculative probes run damped too; a post-sync replica's margins are
+    // always stale, so refresh here on the main thread — the async workers
+    // must start with everything precomputed.
+    const Timer margin_timer;
+    ctx.engine().refresh_timing_margins();
+    stats_.seconds_timing += margin_timer.seconds();
   }
 
   spec_active_ = true;

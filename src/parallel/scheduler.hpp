@@ -111,6 +111,12 @@ struct SchedulerOptions {
   /// pre-pipelining barrier scheduler, the A/B reference for
   /// `--no-speculate`. Moot at threads == 1 (no spawned workers).
   bool speculate = true;
+  /// Slack-margin damped probe propagation (objective-exact bounded-cone
+  /// timing; see Sta::refresh_damping_margins). The scheduler refreshes
+  /// margins at round granularity on the live engine and every replica.
+  /// Off = every probe propagates to the full disturbance cone — the
+  /// `--no-timing-damp` A/B reference.
+  bool timing_damp = true;
   /// Session the round's observability (trace spans, provenance records)
   /// and worker pool belong to. Null = the process-default context: the
   /// scheduler owns a private pool and records on the singletons — the
@@ -147,10 +153,13 @@ struct SchedulerStats {
   std::uint64_t speculation_wasted = 0;
   // Phase wall times: probe_round (worker fan-out incl. replica sync),
   // arbitration overhead, and live commits (disjoint — arbitrate excludes
-  // the commit time). Replica sync cost is broken out in `sync`.
+  // the commit time). Replica sync cost is broken out in `sync`;
+  // seconds_timing is the damping-margin refresh time, a quoted SUBSET of
+  // seconds_probe (refreshes run inside the probe phase).
   double seconds_probe = 0.0;
   double seconds_arbitrate = 0.0;
   double seconds_commit = 0.0;
+  double seconds_timing = 0.0;
   ReplicaSyncStats sync;
   /// Distribution of live-validated gains over committed moves (critical
   /// gain for MinCritical/FirstFit rounds, sum-of-PO gain for Relaxation).

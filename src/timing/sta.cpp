@@ -10,13 +10,15 @@
 namespace rapids {
 
 namespace {
-// Arrival changes below this threshold (ns) do not propagate further; keeps
-// incremental updates local without visible drift versus a full recompute.
-constexpr double kEps = 1e-9;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Propagation terminates on BIT-EXACT equality: recompute_arrival is a pure
+// function of fanin arrivals and delays, so gates outside the true
+// disturbance cone recompute bit-identically and drop out of the worklist —
+// incremental propagation is bitwise equal to a full recompute, with no
+// epsilon drift to paper over.
 bool differs(const RiseFall& a, const RiseFall& b) {
-  return std::abs(a.rise - b.rise) > kEps || std::abs(a.fall - b.fall) > kEps;
+  return a.rise != b.rise || a.fall != b.fall;
 }
 }  // namespace
 
@@ -63,6 +65,10 @@ void Sta::copy_state_from(const Sta& other) {
   saved_net_count_ = 0;
   txn_dirty_nets_.clear();
   seeds_.clear();
+  // Margins are anchored to the source's committed state, which this copy
+  // now mirrors — but they are cheap to recompute and not synced, so the
+  // replica refreshes its own.
+  margins_valid_ = false;
 }
 
 void Sta::rebuild_net(GateId driver) {
@@ -147,6 +153,7 @@ void Sta::run_full() {
   }
   critical_delay_ = recompute_critical();
   required_valid_ = false;
+  margins_valid_ = false;
   ++state_version_;
   ++timing_epoch_;
   arrival_stamp_.assign(n, timing_epoch_);
@@ -254,6 +261,7 @@ void Sta::begin() {
   saved_net_count_ = 0;
   txn_dirty_nets_.clear();
   seeds_.clear();
+  txn_max_dirty_level_ = 0;
 }
 
 void Sta::save_arrival(GateId g) {
@@ -288,6 +296,18 @@ void Sta::grow() {
   net_saved_.resize(n, false);
   arrival_stamp_.resize(n, timing_epoch_);
   pin_delay_.resize(n * pin_stride_, 0.0);
+  if (!level_.empty()) {
+    // Slots minted after the last margin refresh must never be suppressed:
+    // a -inf ceiling fails the fresh <= req_damp test, and a +inf level
+    // disables damping for any transaction that seeds through them.
+    level_.resize(n, std::numeric_limits<int>::max());
+    req_damp_.resize(n, RiseFall{-kInf, -kInf});
+  }
+}
+
+void Sta::note_dirty_level(GateId g) {
+  const int lv = g < level_.size() ? level_[g] : std::numeric_limits<int>::max();
+  txn_max_dirty_level_ = std::max(txn_max_dirty_level_, lv);
 }
 
 void Sta::invalidate_net(GateId driver) {
@@ -299,12 +319,14 @@ void Sta::invalidate_net(GateId driver) {
     net_dirty_[driver] = true;
     txn_dirty_nets_.push_back(driver);
   }
+  note_dirty_level(driver);
   seeds_.push_back(driver);
 }
 
 void Sta::touch_gate(GateId g) {
   RAPIDS_ASSERT(in_txn_);
   grow();
+  note_dirty_level(g);
   seeds_.push_back(g);
 }
 
@@ -316,6 +338,7 @@ void Sta::propagate() {
   // worklist is a member scratch vector drained by index: FIFO order
   // without per-call allocation.
   queue_.clear();
+  deferred_.clear();
   auto push = [&](GateId g) {
     if (net_.is_deleted(g)) return;
     queue_.push_back(g);
@@ -326,20 +349,81 @@ void Sta::propagate() {
   std::size_t head = 0;
   std::size_t iterations = 0;
   const std::size_t hard_cap = 64 * (net_.num_gates() + 16);
-  while (head < queue_.size()) {
-    RAPIDS_ASSERT_MSG(++iterations < hard_cap, "STA propagation did not converge");
-    const GateId g = queue_[head++];
-    RiseFall fresh;
-    recompute_arrival(g, fresh);
-    const bool arrival_changed = differs(fresh, arrival_[g]);
-    const bool force_fanout = net_dirty_[g];
-    if (arrival_changed) {
+  bool po_decreased = false;
+  const auto drain = [&](bool damp) {
+    while (head < queue_.size()) {
+      RAPIDS_ASSERT_MSG(++iterations < hard_cap, "STA propagation did not converge");
+      const GateId g = queue_[head++];
+      ++gates_propagated_;
+      RiseFall fresh;
+      recompute_arrival(g, fresh);
+      if (!differs(fresh, arrival_[g])) {
+        // Cut-off 1: bit-identical recompute — the disturbance cone ends
+        // here. A dirty net still forces the sinks once (their wire
+        // delays changed even though this arrival did not).
+        if (net_dirty_[g]) {
+          net_dirty_[g] = false;
+          for (const Pin& pin : net_.fanouts(g)) push(pin.gate);
+        }
+        continue;
+      }
+      // Cut-off 2: a pure component-wise increase that stays under the
+      // PO-seeded ceiling cannot raise any primary-output arrival. Two
+      // guards keep the ceiling sound against in-transaction delay edits:
+      // the level guard — no seed may sit strictly downstream of g
+      // (forward levels strictly increase along paths), so every gate and
+      // wire delay strictly below g still matches the refresh-time value —
+      // and the net guard (!net_saved_) — g's OWN net is untouched this
+      // transaction, so the first-hop wire delays match too (net_dirty_ is
+      // cleared on first processing, but the RC change outlives it).
+      // Nothing is stored — the PO-decrease fallback below can replay
+      // exactly.
+      if (damp && !net_dirty_[g] && !net_saved_[g] && g < level_.size() &&
+          level_[g] >= txn_max_dirty_level_ &&
+          fresh.rise >= arrival_[g].rise && fresh.fall >= arrival_[g].fall &&
+          fresh.rise <= req_damp_[g].rise && fresh.fall <= req_damp_[g].fall) {
+        deferred_.push_back(g);
+        ++damp_cutoffs_;
+        continue;
+      }
+      if ((fresh.rise < arrival_[g].rise || fresh.fall < arrival_[g].fall) &&
+          net_.type(g) == GateType::Output) {
+        po_decreased = true;
+      }
       save_arrival(g);
       arrival_[g] = fresh;
-    }
-    if (arrival_changed || force_fanout) {
       net_dirty_[g] = false;
       for (const Pin& pin : net_.fanouts(g)) push(pin.gate);
+    }
+  };
+  drain(damp_active_ && margins_valid_);
+  if (po_decreased && !deferred_.empty()) {
+    // A primary output dropped below the arrival the ceilings were seeded
+    // from, so a suppressed increase elsewhere could now own the max.
+    // Deferred gates stored nothing — replay them undamped.
+    ++damp_fallbacks_;
+    for (const GateId g : deferred_) push(g);
+    deferred_.clear();
+    drain(false);
+  }
+  if (damp_diff_ && !deferred_.empty()) {
+    // Differential self-check: finishing the worklist undamped must leave
+    // every primary-output arrival bit-identical to the damped fixed point.
+    diff_po_.clear();
+    for (const GateId po : net_.primary_outputs()) diff_po_.push_back(arrival_[po]);
+    for (const GateId g : deferred_) push(g);
+    deferred_.clear();
+    drain(false);
+    std::size_t i = 0;
+    for (const GateId po : net_.primary_outputs()) {
+      RAPIDS_ASSERT_MSG(!differs(arrival_[po], diff_po_[i]),
+                        "timing-damp-diff: damped propagation perturbed PO " +
+                            net_.name(po) + " rise " +
+                            std::to_string(diff_po_[i].rise) + " -> " +
+                            std::to_string(arrival_[po].rise) + " fall " +
+                            std::to_string(diff_po_[i].fall) + " -> " +
+                            std::to_string(arrival_[po].fall));
+      ++i;
     }
   }
   critical_delay_ = recompute_critical();
@@ -371,6 +455,10 @@ void Sta::rollback() {
 
 void Sta::commit() {
   RAPIDS_ASSERT(in_txn_);
+  // Committed arrival or net-delay changes stale the damping ceilings
+  // (they bake in PO arrivals AND path delays); rollback restores state
+  // exactly and deliberately leaves them valid.
+  if (!saved_arrivals_.empty() || saved_net_count_ > 0) margins_valid_ = false;
   if (!saved_arrivals_.empty()) ++timing_epoch_;
   for (const auto& [g, a] : saved_arrivals_) {
     (void)a;
@@ -425,10 +513,20 @@ std::size_t Sta::adopt_delta(const Sta& other, std::span<const GateId> arrival_i
     pin_delay_.resize(n * pin_stride_, 0.0);
   }
   std::size_t bytes = 0;
-  for (const GateId g : arrival_ids) {
-    arrival_[g] = other.arrival_[g];
-    arrival_stamp_[g] = other.arrival_stamp_[g];
-    bytes += sizeof(RiseFall) + sizeof(std::uint64_t);
+  // The caller ships arrival ids sorted and deduplicated (the delta-sync
+  // dedup pass); commits touch contiguous cone slices, so compact the list
+  // into maximal consecutive runs and move each with one bulk copy of the
+  // arrival and stamp rows instead of a per-id scatter.
+  for (std::size_t i = 0; i < arrival_ids.size();) {
+    std::size_t j = i + 1;
+    while (j < arrival_ids.size() && arrival_ids[j] == arrival_ids[j - 1] + 1) ++j;
+    const GateId first = arrival_ids[i];
+    const std::size_t run = j - i;
+    std::copy_n(other.arrival_.begin() + first, run, arrival_.begin() + first);
+    std::copy_n(other.arrival_stamp_.begin() + first, run,
+                arrival_stamp_.begin() + first);
+    bytes += run * (sizeof(RiseFall) + sizeof(std::uint64_t));
+    i = j;
   }
   for (const GateId d : net_ids) {
     nets_[d] = other.nets_[d];
@@ -442,6 +540,7 @@ std::size_t Sta::adopt_delta(const Sta& other, std::span<const GateId> arrival_i
   timing_epoch_ = other.timing_epoch_;
   state_version_ = other.state_version_;
   required_valid_ = false;
+  margins_valid_ = false;
   return bytes;
 }
 
@@ -478,6 +577,64 @@ void Sta::refresh_required() {
     required_[g] = req;
   }
   required_valid_ = true;
+}
+
+void Sta::refresh_damping_margins() {
+  RAPIDS_ASSERT_MSG(!in_txn_, "margin refresh requires a committed fixed point");
+  const std::size_t n = arrival_.size();
+  // Forward levels, strict through Output gates (unlike logic_levels, which
+  // lets an Output share its driver's level): the damping guard needs
+  // level(u) < level(v) for EVERY edge u→v so "no seed at level >= mine"
+  // implies "no seed strictly downstream of me".
+  level_.assign(n, 0);
+  for (const GateId g : topological_order(net_)) {
+    int lv = 0;
+    for (const GateId f : net_.fanins(g)) {
+      lv = std::max(lv, level_[f] + 1);
+    }
+    level_[g] = lv;
+  }
+  // PO-seeded ceiling: the same backward recurrence as refresh_required,
+  // but each primary output anchors at its OWN current arrival, so
+  //   req_damp(g) = min over g→PO paths of (arrival(PO) − path delay).
+  // The ceiling depends only on path delays and PO arrivals — an increase
+  // kept under it cannot change any PO's max, hence neither objective term.
+  // The guard absorbs the rounding skew between this backward recurrence
+  // (subtractions) and forward propagation (additions): without it, a
+  // suppressed increase sitting exactly at the ceiling can land an ulp
+  // above the stored PO arrival when replayed forward. 1e-6 ns dwarfs any
+  // accumulated double rounding error (~1e-10 over the deepest paths)
+  // while staying far below real slack margins, and --timing-damp-diff
+  // bit-checks the resulting exactness on every damped propagation.
+  constexpr double kDampGuard = 1e-6;
+  req_damp_.assign(n, RiseFall{kInf, kInf});
+  for (const GateId po : net_.primary_outputs()) {
+    req_damp_[po] = RiseFall{arrival_[po].rise - kDampGuard,
+                             arrival_[po].fall - kDampGuard};
+  }
+  for (const GateId g : reverse_topological_order(net_)) {
+    const GateType t = net_.type(g);
+    if (t == GateType::Output) continue;
+    RiseFall req = req_damp_[g];
+    for (const Pin& pin : net_.fanouts(g)) {
+      const GateId h = pin.gate;
+      const double wire = pin_delay_[pin.gate * pin_stride_ + pin.index];
+      RiseFall through{kInf, kInf};
+      if (net_.type(h) == GateType::Output) {
+        through = req_damp_[h];
+      } else {
+        const std::int32_t ci = net_.cell(h);
+        RAPIDS_ASSERT(ci >= 0);
+        const RiseFall d = gate_delay(lib_.cell(ci), nets_[h].total_cap());
+        accumulate_arc_required(arc_sense(net_.type(h)), req_damp_[h], d, through);
+      }
+      req.rise = std::min(req.rise, through.rise - wire);
+      req.fall = std::min(req.fall, through.fall - wire);
+    }
+    req_damp_[g] = req;
+  }
+  margins_valid_ = true;
+  ++margin_refreshes_;
 }
 
 }  // namespace rapids

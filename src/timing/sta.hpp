@@ -113,6 +113,64 @@ class Sta {
   /// pass); cheap relative to run_full since net caches are reused.
   void refresh_required();
 
+  // --- bounded-cone damped propagation -------------------------------------
+  //
+  // Two objective-exact cut-offs keep probe cost proportional to the real
+  // timing disturbance instead of the structural fanout cone:
+  //
+  //  1. Exact termination (always on): a popped gate whose recomputed
+  //     arrival is BIT-IDENTICAL to the stored value drops out of the
+  //     worklist. Arrivals are pure functions of fanin arrivals and
+  //     delays, so undisturbed cone tails recompute bit-equal and the
+  //     frontier stops exactly where the disturbance does.
+  //
+  //  2. Slack-margin damping (active only when armed via
+  //     set_damping_active and margins are fresh): refresh_damping_margins
+  //     computes, per gate, the PO-seeded ceiling
+  //         req_damp(g) = min over g→PO paths of
+  //                       (arrival(PO) − downstream path delay)
+  //     — structurally refresh_required() with each primary output seeded
+  //     at its OWN current arrival instead of the global required time. A
+  //     pure component-wise arrival increase at g that stays under this
+  //     ceiling cannot raise any PO arrival (max analysis is monotone), so
+  //     the worklist defers it instead of storing/propagating. Soundness
+  //     holds within a transaction via a forward-level guard (no dirty
+  //     seed may sit downstream of a suppressed gate, since in-txn delay
+  //     edits invalidate the refresh-time path delays) and a PO-decrease
+  //     fallback (if the same transaction LOWERS any primary output below
+  //     its refresh-time arrival, deferred gates are re-pushed and the
+  //     worklist completes undamped — deferred gates stored nothing, so
+  //     this is exact).
+  //
+  // Margins are invalidated by any state-changing commit(), run_full(),
+  // copy_state_from() and adopt_delta(); rollback() restores state exactly
+  // and leaves them valid. Commits must run with damping inactive so the
+  // stored inter-transaction state is always the true fixed point.
+
+  /// Arm/disarm margin damping for subsequent propagate() calls. Damping
+  /// only engages while margins_valid(); callers (the engine probe path)
+  /// toggle this around probes and leave it off for commits.
+  void set_damping_active(bool on) { damp_active_ = on; }
+  bool damping_active() const { return damp_active_; }
+  /// Differential self-check: after a damped fixed point, finish the
+  /// worklist undamped and assert every primary-output arrival is
+  /// bit-identical. Throws InternalError on mismatch.
+  void set_damp_diff(bool on) { damp_diff_ = on; }
+  bool damp_diff() const { return damp_diff_; }
+  /// Recompute per-gate damping ceilings and forward levels from the
+  /// current (committed, fixed-point) state. O(n) reverse pass; call at
+  /// round granularity, never per-probe.
+  void refresh_damping_margins();
+  bool margins_valid() const { return margins_valid_; }
+
+  /// Propagation-shape counters (monotonic, accumulated across the Sta's
+  /// lifetime): worklist pops, margin suppressions, PO-decrease fallbacks,
+  /// and margin refreshes.
+  std::uint64_t gates_propagated() const { return gates_propagated_; }
+  std::uint64_t damp_cutoffs() const { return damp_cutoffs_; }
+  std::uint64_t damp_fallbacks() const { return damp_fallbacks_; }
+  std::uint64_t margin_refreshes() const { return margin_refreshes_; }
+
   // --- delta replica sync & slack epochs -----------------------------------
 
   /// Monotonic counter bumped by every run_full(). Delta replica sync is
@@ -158,6 +216,10 @@ class Sta {
   void save_arrival(GateId g);
   void save_net(GateId driver);
   double recompute_critical() const;
+  /// Record a transaction seed's forward level into txn_max_dirty_level_
+  /// (gates minted after the last margin refresh disable damping for the
+  /// whole transaction).
+  void note_dirty_level(GateId g);
 
   const Network& net_;
   const CellLibrary& lib_;
@@ -177,6 +239,22 @@ class Sta {
   double critical_delay_ = 0.0;
   double required_time_ = 0.0;
   bool required_valid_ = false;
+
+  // Damped-propagation state. req_damp_/level_ are refreshed together by
+  // refresh_damping_margins(); slots minted after a refresh (mid-txn
+  // inverters) get never-suppress sentinels until the next refresh.
+  std::vector<RiseFall> req_damp_;  // PO-seeded per-gate arrival ceiling
+  std::vector<int> level_;          // forward topo level (strict through Outputs)
+  bool margins_valid_ = false;
+  bool damp_active_ = false;
+  bool damp_diff_ = false;
+  int txn_max_dirty_level_ = 0;     // max forward level over this txn's seeds
+  std::vector<GateId> deferred_;    // suppressed gates (propagate-local scratch)
+  std::vector<RiseFall> diff_po_;   // damp-diff PO snapshot scratch
+  std::uint64_t gates_propagated_ = 0;
+  std::uint64_t damp_cutoffs_ = 0;
+  std::uint64_t damp_fallbacks_ = 0;
+  std::uint64_t margin_refreshes_ = 0;
   std::uint64_t state_version_ = 0;
   std::uint64_t timing_epoch_ = 0;
   std::vector<std::uint64_t> arrival_stamp_;

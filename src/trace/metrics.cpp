@@ -176,6 +176,13 @@ void collect_flow_metrics(MetricsRegistry& reg, const OptimizerResult& r) {
   reg.add_counter("scheduler.speculation_hits", r.sched_speculation_hits);
   reg.add_counter("scheduler.speculation_wasted", r.sched_speculation_wasted);
 
+  // Timing propagation shape — the damping yardstick: gates_propagated /
+  // probes is the per-probe cost the slack-margin cutoff exists to flatten.
+  reg.add_counter("timing.gates_propagated", r.gates_propagated);
+  reg.add_counter("timing.damp_cutoffs", r.damp_cutoffs);
+  reg.add_counter("timing.damp_fallbacks", r.damp_fallbacks);
+  reg.add_counter("timing.margin_refreshes", r.margin_refreshes);
+
   // Replica sync.
   reg.add_counter("sync.full_syncs", r.replica_full_syncs);
   reg.add_counter("sync.delta_syncs", r.replica_delta_syncs);
@@ -225,6 +232,7 @@ void collect_flow_metrics(MetricsRegistry& reg, const OptimizerResult& r) {
   reg.set_gauge("time.finalize_s", r.seconds_finalize);
   reg.set_gauge("time.unattributed_s", r.seconds_unattributed);
   reg.set_gauge("time.sync_s", r.seconds_sync);
+  reg.set_gauge("time.timing_s", r.seconds_timing);
   if (r.seconds > 0.0) {
     reg.set_gauge("rate.probes_per_sec", static_cast<double>(r.probes) / r.seconds);
   }

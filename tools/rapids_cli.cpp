@@ -7,6 +7,7 @@
 //          [--sat-verify] [--paranoid] [--sat-session|--no-sat-session]
 //          [--no-incremental] [--extract-diff] [--no-delta-sync]
 //          [--speculate|--no-speculate] [--no-prune-cache]
+//          [--no-timing-damp] [--timing-damp-diff]
 //          [--trace out.json] [--metrics-json out.json]
 //          [--provenance out.json]
 //       Map, place, optimize and report; optionally write results.
@@ -26,7 +27,10 @@
 //       shipping O(dirty) deltas; --no-speculate disables the pipelined
 //       speculative rounds (workers probing the next round behind the
 //       serial arbiter); --no-prune-cache re-enumerates pruned swap lists
-//       every phase. All are A/B levers: same netlist.
+//       every phase; --no-timing-damp propagates every probe's full fanout
+//       cone instead of stopping at the slack-margin cutoff. All are A/B
+//       levers: same netlist. --timing-damp-diff replays every damped
+//       probe undamped and aborts if any PO arrival moves (self-check).
 //       --trace writes a Chrome trace-event JSON of the run (one track per
 //       probe worker; load in Perfetto or chrome://tracing), --metrics-json
 //       a machine-readable counter/gauge/histogram snapshot, --provenance
@@ -58,7 +62,8 @@
 //
 //   rapids fuzz [--seed N] [--iters N] [--threads N] [--max-gates N]
 //          [--max-inputs N] [--no-sat] [--paranoid-diff] [--extract-diff]
-//          [--speculate-diff] [--no-shrink] [--out-dir DIR]
+//          [--speculate-diff] [--timing-damp-diff] [--no-shrink]
+//          [--out-dir DIR]
 //       Differential fuzzing: random circuits through the full flow at
 //       --threads 1 vs N and across optimizer modes, cross-checked by
 //       random vectors + SAT. --paranoid-diff additionally cross-checks
@@ -67,8 +72,11 @@
 //       maintenance against full re-extraction after every committed move
 //       (partition canonical equality + netlist parity); --speculate-diff
 //       cross-checks the pipelined speculative scheduler against the
-//       barrier scheduler (same committed moves, same netlist). Failures
-//       shrink to minimal reproducers.
+//       barrier scheduler (same committed moves, same netlist);
+//       --timing-damp-diff cross-checks slack-margin damped propagation
+//       against full-cone propagation (per-probe PO-arrival equality plus
+//       whole-flow netlist parity). Failures shrink to minimal
+//       reproducers.
 //
 //   rapids symmetry <circuit|file.blif|file.bench>
 //       Supergate / symmetry / redundancy report for a mapped circuit.
@@ -219,6 +227,10 @@ int cmd_flow(const std::vector<std::string>& args) {
       options.opt.speculate = false;
     } else if (a == "--no-prune-cache") {
       options.opt.prune_cache = false;
+    } else if (a == "--no-timing-damp") {
+      options.opt.timing_damp = false;
+    } else if (a == "--timing-damp-diff") {
+      options.opt.timing_damp_diff = true;
     } else if (a == "--trace") {
       out_trace = next();
     } else if (a == "--metrics-json") {
@@ -273,7 +285,8 @@ int cmd_flow(const std::vector<std::string>& args) {
   // unattributed remainder exceeds 5%.
   std::cout << "phases: setup " << r.seconds_setup << " s, groups "
             << r.seconds_groups << " s, probe " << r.seconds_probe
-            << " s (incl. sync " << r.seconds_sync << " s), arbitrate "
+            << " s (incl. sync " << r.seconds_sync << " s, margins "
+            << r.seconds_timing << " s), arbitrate "
             << r.seconds_arbitrate << " s, commit " << r.seconds_commit
             << " s, finalize " << r.seconds_finalize << " s, other "
             << r.seconds_unattributed << " s = " << r.seconds << " s\n";
@@ -289,6 +302,20 @@ int cmd_flow(const std::vector<std::string>& args) {
             << r.replica_sync_bytes_delta << " B over " << r.replica_delta_commits
             << " commits) / " << r.replica_full_syncs << " full ("
             << r.replica_sync_bytes_full << " B)\n";
+  // Propagation shape: how much of the structural fanout cone each probe
+  // actually walked, and how much the slack-margin cutoff suppressed.
+  if (r.probes > 0) {
+    const double visited = static_cast<double>(r.gates_propagated);
+    const double suppressed = static_cast<double>(r.damp_cutoffs);
+    std::cout << "timing: " << r.gates_propagated << " gates propagated ("
+              << visited / static_cast<double>(r.probes) << " per probe), "
+              << r.damp_cutoffs << " damp cutoffs ("
+              << (visited + suppressed > 0.0
+                      ? 100.0 * suppressed / (visited + suppressed)
+                      : 0.0)
+              << "%), " << r.damp_fallbacks << " undamped replays, "
+              << r.margin_refreshes << " margin refreshes\n";
+  }
   if (r.sched_speculation_hits + r.sched_speculation_wasted > 0) {
     const double total = static_cast<double>(r.sched_speculation_hits +
                                              r.sched_speculation_wasted);
@@ -528,6 +555,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       options.extract_diff = true;
     } else if (a == "--speculate-diff") {
       options.speculate_diff = true;
+    } else if (a == "--timing-damp-diff") {
+      options.timing_damp_diff = true;
     } else if (a == "--no-shrink") {
       options.shrink = false;
     } else if (a == "--out-dir") {
